@@ -1,0 +1,280 @@
+package raven
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// library-level micro-benchmarks. The experiment benches run the same
+// harness as cmd/ravenbench at reduced scale and report the headline
+// ratio as a custom metric, so `go test -bench=.` regenerates every
+// result. Absolute times are host-specific; the shapes are asserted in
+// internal/experiments/experiments_test.go.
+
+import (
+	"testing"
+
+	"raven/internal/datagen"
+	"raven/internal/device"
+	"raven/internal/engine"
+	"raven/internal/experiments"
+	"raven/internal/hummingbird"
+	"raven/internal/mlruntime"
+	"raven/internal/opt"
+	"raven/internal/sqlparse"
+	"raven/internal/strategy"
+	"raven/internal/testfix"
+	"raven/internal/train"
+)
+
+// ---- Figure / table reproduction benches ----
+
+func BenchmarkFig1OpenMLStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(experiments.Config{Seed: 1}, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(experiments.Config{Rows: 2000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Strategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(experiments.Config{Seed: 1}, 40, 4, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Spark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig6(experiments.Config{Rows: 5000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 12 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+func BenchmarkFig7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(experiments.Config{Seed: 1}, []int{1000, 10000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SQLServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(experiments.Config{Rows: 5000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9LinearSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(experiments.Config{Rows: 8000, Seed: 1},
+			[]float64{0.001, 0.1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10TreeDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(experiments.Config{Rows: 8000, Seed: 1},
+			[]int{3, 10, 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11DataInduced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig11(experiments.Config{Rows: 8000, Seed: 1},
+			[]int{10, 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PrunedColumns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tab2, err := experiments.Fig11(experiments.Config{Rows: 4000, Seed: 1}, []int{10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab2.Rows) != 1 {
+			b.Fatal("missing table 2 rows")
+		}
+	}
+}
+
+func BenchmarkFig12GPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(experiments.Config{Rows: 20000, Seed: 1},
+			[][2]int{{20, 4}, {100, 7}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccuracyParity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Accuracy(experiments.Config{Rows: 1500, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Library micro-benches ----
+
+// benchEnv builds a hospital workload once for the operator benches.
+type benchEnv struct {
+	ds   *datagen.Dataset
+	cat  *engine.Catalog
+	gb   string
+	prog *hummingbird.Program
+	sess *mlruntime.Session
+}
+
+func newBenchEnv(b *testing.B, rows, estimators, depth int) *benchEnv {
+	b.Helper()
+	ds := datagen.Hospital(rows, 1)
+	cat := ds.Catalog()
+	p, err := ds.Train(train.KindGradientBoosting, func(s *train.Spec) {
+		s.NEstimators = estimators
+		s.MaxDepth = depth
+		s.LearningRate = 0.2
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cat.RegisterModel(p); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := hummingbird.Compile(p, hummingbird.StrategyAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := mlruntime.NewSession(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchEnv{ds: ds, cat: cat, gb: p.Name, prog: prog, sess: sess}
+}
+
+func BenchmarkMLRuntimeGB(b *testing.B) {
+	env := newBenchEnv(b, 10000, 20, 4)
+	tbl := env.ds.Tables[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.sess.RunTable(tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tbl.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkHummingbirdCPU(b *testing.B) {
+	env := newBenchEnv(b, 10000, 20, 4)
+	tbl := env.ds.Tables[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.prog.Run(tbl, &device.CPUDevice); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tbl.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkMLtoSQLEval(b *testing.B) {
+	env := newBenchEnv(b, 10000, 20, 4)
+	tbl := env.ds.Tables[0]
+	pipe, _ := env.cat.Model(env.gb)
+	inputMap := map[string]string{}
+	for _, in := range pipe.Inputs {
+		inputMap[in.Name] = in.Name
+	}
+	exprs, err := opt.CompileToSQL(pipe, inputMap, map[string]string{"score": "score"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ne := range exprs {
+			if _, err := ne.E.Eval(tbl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(tbl.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkOptimizerCovidQuery(b *testing.B) {
+	cat := engine.NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(pi)
+	cat.RegisterTable(pt)
+	cat.RegisterTable(bt)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		b.Fatal(err)
+	}
+	g, err := sqlparse.ParseAndPlan(testfix.CovidQuery, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt.New(cat, ravenDefaultOpts())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Optimize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ravenDefaultOpts() opt.Options {
+	o := opt.DefaultOptions()
+	o.Strategy = strategy.PaperRule{}
+	return o
+}
+
+func BenchmarkParseAndPlan(b *testing.B) {
+	cat := engine.NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(pi)
+	cat.RegisterTable(pt)
+	cat.RegisterTable(bt)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.ParseAndPlan(testfix.CovidQuery, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndSession(b *testing.B) {
+	s := NewSession()
+	pi, pt, bt := testfix.CovidTables()
+	s.RegisterTable(pi)
+	s.RegisterTable(pt)
+	s.RegisterTable(bt)
+	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(testfix.CovidQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command ravensql runs a prediction query over CSV tables and a model
+// file, printing the result as CSV — the smallest end-to-end deployment of
+// the library.
+//
+// Usage:
+//
+//	ravensql -csv patients.csv -model risk.onnx.json \
+//	  -query "SELECT d.id, p.score FROM PREDICT(MODEL = risk, DATA = patients AS d) WITH (score FLOAT) AS p"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raven"
+	"raven/internal/data"
+)
+
+type csvList []string
+
+func (c *csvList) String() string     { return fmt.Sprint([]string(*c)) }
+func (c *csvList) Set(v string) error { *c = append(*c, v); return nil }
+
+func main() {
+	var csvs csvList
+	flag.Var(&csvs, "csv", "CSV table file (repeatable)")
+	var (
+		modelPath = flag.String("model", "", "model file (.onnx.json)")
+		query     = flag.String("query", "", "prediction query")
+		explain   = flag.Bool("explain", false, "print the optimized plan instead of executing")
+		noOpt     = flag.Bool("no-opt", false, "disable Raven optimizations")
+	)
+	flag.Parse()
+	if *query == "" || *modelPath == "" || len(csvs) == 0 {
+		fmt.Fprintln(os.Stderr, "ravensql: -csv, -model and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var options []raven.Option
+	if *noOpt {
+		options = append(options, raven.WithoutOptimizations())
+	}
+	s := raven.NewSession(options...)
+	for _, path := range csvs {
+		if _, err := s.RegisterTableCSV(path); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := s.RegisterModelFile(*modelPath); err != nil {
+		fatal(err)
+	}
+	if *explain {
+		plan, rep, err := s.Explain(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(plan)
+		fmt.Println(rep.String())
+		return
+	}
+	res, err := s.Query(*query)
+	if err != nil {
+		fatal(err)
+	}
+	if err := data.WriteCSV(res.Table, os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d rows in %v (optimizations: %v)\n",
+		res.Table.NumRows(), res.Wall, res.Report.Fired)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ravensql: %v\n", err)
+	os.Exit(1)
+}

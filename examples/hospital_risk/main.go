@@ -1,0 +1,58 @@
+// Hospital risk: the paper's running example (§2.2). A COVID-risk model
+// trained over patient data is invoked from a prediction query that joins
+// three tables and filters on asthma patients. The demo prints the plan
+// before and after optimization so each cross-optimization is visible:
+//
+//   - predicate-based model pruning: asthma='yes' folds an input into a
+//     constant and prunes half the decision tree;
+//   - model-projection pushdown: the freed features make bpm unused, so
+//     the pulmonary_test join disappears entirely;
+//   - join elimination: blood_test contributes nothing and is dropped.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raven"
+	"raven/internal/testfix"
+)
+
+func main() {
+	pi, pt, bt := testfix.CovidTables()
+	pipe := testfix.CovidPipeline()
+
+	// First look at the unoptimized plan.
+	baseline := raven.NewSession(raven.WithoutOptimizations())
+	for _, t := range []*raven.Table{pi, pt, bt} {
+		baseline.RegisterTable(t)
+	}
+	if err := baseline.RegisterModel(pipe); err != nil {
+		log.Fatal(err)
+	}
+	plan, _, err := baseline.Explain(testfix.CovidQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== plan without Raven optimizations ===")
+	fmt.Println(plan)
+
+	// Now the optimized session.
+	s := raven.NewSession()
+	for _, t := range []*raven.Table{pi, pt, bt} {
+		s.RegisterTable(t)
+	}
+	if err := s.RegisterModel(pipe); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== optimized plan ===")
+	fmt.Println(res.Plan)
+	fmt.Println("=== optimizer report ===")
+	fmt.Println(res.Report.String())
+	fmt.Println("=== high-risk asthma patients ===")
+	fmt.Println(res.Table.String())
+}

@@ -1,0 +1,78 @@
+// Quickstart: train a pipeline on a small table, register it with a Raven
+// session, and run an optimized prediction query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"raven"
+)
+
+func main() {
+	// 1. Build a small customer table with a churn label.
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	ids := make([]int64, n)
+	tenure := make([]float64, n)
+	spend := make([]float64, n)
+	plan := make([]string, n)
+	label := make([]float64, n)
+	plans := []string{"basic", "plus", "pro"}
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		tenure[i] = rng.Float64() * 60
+		spend[i] = 20 + rng.Float64()*200
+		plan[i] = plans[rng.Intn(3)]
+		if tenure[i] < 12 && plan[i] == "basic" && spend[i] < 60 {
+			label[i] = 1 // churns
+		}
+	}
+	customers, err := raven.NewTable("customers",
+		raven.NewIntColumn("id", ids),
+		raven.NewFloatColumn("tenure", tenure),
+		raven.NewFloatColumn("spend", spend),
+		raven.NewStringColumn("plan", plan),
+		raven.NewFloatColumn("label", label),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train a decision-tree pipeline (scaler + one-hot + tree).
+	pipe, err := raven.TrainPipeline(customers, raven.TrainSpec{
+		Name:        "churn",
+		Kind:        raven.ModelDecisionTree,
+		Numeric:     []string{"tenure", "spend"},
+		Categorical: []string{"plan"},
+		Label:       "label",
+		MaxDepth:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Register everything with a session and run a prediction query.
+	// The WHERE clause lets Raven prune the model: plan='basic' folds the
+	// one-hot input into constants, and the projection pushdown stops the
+	// scan from reading unused columns.
+	s := raven.NewSession()
+	s.RegisterTable(customers)
+	if err := s.RegisterModel(pipe); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Query(`
+SELECT d.id, p.score
+FROM PREDICT(MODEL = churn, DATA = customers AS d) WITH (score FLOAT) AS p
+WHERE d.plan = 'basic' AND p.score > 0.8`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("high-churn-risk basic customers: %d rows (of %d)\n", res.Table.NumRows(), n)
+	fmt.Printf("wall time: %v\n", res.Wall)
+	fmt.Printf("optimizations fired: %v\n", res.Report.Fired)
+	fmt.Println("\noptimized plan:")
+	fmt.Println(res.Plan)
+}

@@ -1,0 +1,123 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads a table from CSV with a header row. Column types are
+// inferred from the first data row: values parsing as integers become
+// Int64, as floats become Float64, "true"/"false" become Bool, anything
+// else String.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv header: %w", err)
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row: %w", err)
+		}
+		rows = append(rows, rec)
+	}
+	types := make([]Type, len(header))
+	for j := range header {
+		types[j] = String
+		if len(rows) > 0 {
+			types[j] = inferType(rows[0][j])
+		}
+	}
+	cols := make([]*Column, len(header))
+	for j, h := range header {
+		c := &Column{Name: strings.TrimSpace(h), Type: types[j]}
+		for i, rec := range rows {
+			v := rec[j]
+			switch types[j] {
+			case Int64:
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: csv %s row %d: %w", h, i, err)
+				}
+				c.I64 = append(c.I64, x)
+			case Float64:
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: csv %s row %d: %w", h, i, err)
+				}
+				c.F64 = append(c.F64, x)
+			case Bool:
+				c.B = append(c.B, v == "true")
+			default:
+				c.Str = append(c.Str, v)
+			}
+		}
+		cols[j] = c
+	}
+	return NewTable(name, cols...)
+}
+
+// ReadCSVFile loads a table from a CSV file; the table is named after the
+// file's base name without extension.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return ReadCSV(base, f)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.NumCols())
+	for j, c := range t.Cols {
+		header[j] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	rec := make([]string, t.NumCols())
+	for i := 0; i < n; i++ {
+		for j, c := range t.Cols {
+			rec[j] = c.AsString(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func inferType(v string) Type {
+	if v == "true" || v == "false" {
+		return Bool
+	}
+	if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return Int64
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return Float64
+	}
+	return String
+}

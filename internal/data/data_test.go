@@ -1,0 +1,340 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tb, err := NewTable("pt",
+		NewInt("id", []int64{1, 2, 3, 4, 5}),
+		NewFloat("bmi", []float64{21.5, 30.2, 18.0, 25.1, 27.7}),
+		NewString("gender", []string{"F", "M", "F", "M", "F"}),
+		NewBool("asthma", []bool{true, false, true, true, false}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := sampleTable(t)
+	if got := tb.NumRows(); got != 5 {
+		t.Fatalf("NumRows = %d, want 5", got)
+	}
+	if got := tb.NumCols(); got != 4 {
+		t.Fatalf("NumCols = %d, want 4", got)
+	}
+	if tb.Col("bmi") == nil || tb.Col("nope") != nil {
+		t.Fatal("Col lookup broken")
+	}
+	if !tb.HasCol("gender") || tb.HasCol("ghost") {
+		t.Fatal("HasCol broken")
+	}
+	s := tb.Schema()
+	if s.Index("asthma") != 3 || s.Index("zzz") != -1 {
+		t.Fatalf("Schema.Index wrong: %v", s)
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"id", "bmi", "gender", "asthma"}) {
+		t.Fatalf("Schema.Names = %v", s.Names())
+	}
+}
+
+func TestTableDuplicateColumn(t *testing.T) {
+	_, err := NewTable("x", NewInt("a", []int64{1}), NewInt("a", []int64{2}))
+	if err == nil {
+		t.Fatal("expected error for duplicate column")
+	}
+}
+
+func TestTableLengthMismatch(t *testing.T) {
+	_, err := NewTable("x", NewInt("a", []int64{1, 2}), NewInt("b", []int64{2}))
+	if err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tb := sampleTable(t)
+	p, err := tb.Project([]string{"gender", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Cols[0].Name != "gender" || p.Cols[1].Name != "id" {
+		t.Fatalf("Project wrong: %v", p.Schema().Names())
+	}
+	if _, err := tb.Project([]string{"missing"}); err == nil {
+		t.Fatal("expected error projecting missing column")
+	}
+}
+
+func TestSliceGatherFilter(t *testing.T) {
+	tb := sampleTable(t)
+	sl := tb.Slice(1, 4)
+	if sl.NumRows() != 3 || sl.Col("id").I64[0] != 2 {
+		t.Fatalf("Slice wrong: %v", sl.Col("id").I64)
+	}
+	g := tb.Gather([]int{4, 0})
+	if g.Col("id").I64[0] != 5 || g.Col("id").I64[1] != 1 {
+		t.Fatalf("Gather wrong: %v", g.Col("id").I64)
+	}
+	f := tb.Filter([]bool{true, false, false, true, false})
+	if f.NumRows() != 2 || f.Col("bmi").F64[1] != 25.1 {
+		t.Fatalf("Filter wrong: %v", f.Col("bmi").F64)
+	}
+	if f.Col("gender").Str[0] != "F" {
+		t.Fatalf("Filter string col wrong")
+	}
+}
+
+func TestAppendClone(t *testing.T) {
+	tb := sampleTable(t)
+	cl := tb.Clone()
+	if err := cl.AppendFrom(tb); err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumRows() != 10 || tb.NumRows() != 5 {
+		t.Fatalf("append/clone: got %d/%d rows", cl.NumRows(), tb.NumRows())
+	}
+	cl.Col("bmi").F64[0] = -1
+	if tb.Col("bmi").F64[0] == -1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReplicateShiftsKeys(t *testing.T) {
+	tb := sampleTable(t)
+	r := Replicate(tb, 3, "id")
+	if r.NumRows() != 15 {
+		t.Fatalf("Replicate rows = %d", r.NumRows())
+	}
+	seen := make(map[int64]bool)
+	for _, v := range r.Col("id").I64 {
+		if seen[v] {
+			t.Fatalf("duplicate key %d after Replicate with shift", v)
+		}
+		seen[v] = true
+	}
+	if r.Col("gender").Str[5] != "F" {
+		t.Fatal("Replicate did not repeat categorical values")
+	}
+}
+
+func TestColumnAsFloatAsString(t *testing.T) {
+	tb := sampleTable(t)
+	if tb.Col("asthma").AsFloat(0) != 1 || tb.Col("asthma").AsFloat(1) != 0 {
+		t.Fatal("bool AsFloat wrong")
+	}
+	if tb.Col("id").AsFloat(2) != 3 {
+		t.Fatal("int AsFloat wrong")
+	}
+	if !math.IsNaN(tb.Col("gender").AsFloat(0)) {
+		t.Fatal("string AsFloat should be NaN")
+	}
+	if tb.Col("gender").AsString(1) != "M" || tb.Col("id").AsString(0) != "1" {
+		t.Fatal("AsString wrong")
+	}
+}
+
+func TestComputeColStats(t *testing.T) {
+	tb := sampleTable(t)
+	s := ComputeColStats(tb.Col("bmi"))
+	if s.Min != 18.0 || s.Max != 30.2 {
+		t.Fatalf("bmi stats = [%v,%v]", s.Min, s.Max)
+	}
+	g := ComputeColStats(tb.Col("gender"))
+	if !reflect.DeepEqual(g.Distinct, []string{"F", "M"}) {
+		t.Fatalf("gender distinct = %v", g.Distinct)
+	}
+	b := ComputeColStats(tb.Col("asthma"))
+	if b.Min != 0 || b.Max != 1 {
+		t.Fatalf("bool stats = [%v,%v]", b.Min, b.Max)
+	}
+	if !b.HasRange() || g.HasRange() {
+		t.Fatal("HasRange wrong")
+	}
+}
+
+func TestPartitionBy(t *testing.T) {
+	tb := sampleTable(t)
+	pt, err := PartitionBy(tb, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(pt.Parts))
+	}
+	if pt.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", pt.NumRows())
+	}
+	// Partition "F" should contain only F rows, with local stats.
+	var fPart *Partition
+	for _, p := range pt.Parts {
+		if p.Key == "F" {
+			fPart = p
+		}
+	}
+	if fPart == nil || fPart.Table.NumRows() != 3 {
+		t.Fatalf("F partition wrong: %+v", fPart)
+	}
+	if fPart.Stats["bmi"].Max != 27.7 {
+		t.Fatalf("F partition bmi max = %v", fPart.Stats["bmi"].Max)
+	}
+	g := pt.GlobalStats()
+	if g["bmi"].Min != 18.0 || g["bmi"].Max != 30.2 {
+		t.Fatalf("global bmi stats wrong: %+v", g["bmi"])
+	}
+	if g["bmi"].Rows != 5 {
+		t.Fatalf("global rows = %d", g["bmi"].Rows)
+	}
+	flat := pt.Flatten()
+	if flat.NumRows() != 5 {
+		t.Fatalf("Flatten rows = %d", flat.NumRows())
+	}
+	if _, err := PartitionBy(tb, "missing"); err == nil {
+		t.Fatal("expected error partitioning on missing column")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := sampleTable(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("pt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 5 || got.NumCols() != 4 {
+		t.Fatalf("round trip shape: %dx%d", got.NumRows(), got.NumCols())
+	}
+	if got.Col("id").Type != Int64 || got.Col("bmi").Type != Float64 ||
+		got.Col("gender").Type != String || got.Col("asthma").Type != Bool {
+		t.Fatalf("type inference wrong: %v", got.Schema())
+	}
+	if got.Col("bmi").F64[1] != 30.2 || got.Col("gender").Str[0] != "F" {
+		t.Fatal("round trip values wrong")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1,notanum")); err != nil {
+		// "notanum" infers String for column b from first row, so this
+		// actually succeeds; use a second row to force the error.
+		t.Fatalf("unexpected: %v", err)
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a\n1\nxyz")); err == nil {
+		t.Fatal("expected parse error for mixed int column")
+	}
+}
+
+// Property: Filter(keep) preserves exactly the kept rows in order, for all
+// column types.
+func TestQuickFilterPreservesRows(t *testing.T) {
+	f := func(vals []float64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keep := make([]bool, len(vals))
+		var want []float64
+		for i := range keep {
+			keep[i] = rng.Intn(2) == 0
+			if keep[i] {
+				want = append(want, vals[i])
+			}
+		}
+		c := NewFloat("x", vals)
+		got := c.Filter(keep)
+		if got.Len() != len(want) {
+			return false
+		}
+		for i := range want {
+			v := got.F64[i]
+			if v != want[i] && !(math.IsNaN(v) && math.IsNaN(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stats bounds always contain every value of the column.
+func TestQuickStatsBound(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := ComputeColStats(NewFloat("x", clean))
+		for _, v := range clean {
+			if v < s.Min || v > s.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: partitioning then flattening preserves the multiset of rows.
+func TestQuickPartitionFlatten(t *testing.T) {
+	f := func(keys []uint8, vals []float64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		ks := make([]string, n)
+		for i := 0; i < n; i++ {
+			ks[i] = string(rune('a' + keys[i]%4))
+		}
+		tb := MustNewTable("t", NewString("k", ks), NewFloat("v", vals[:n]))
+		pt, err := PartitionBy(tb, "k")
+		if err != nil {
+			return false
+		}
+		flat := pt.Flatten()
+		if flat.NumRows() != n {
+			return false
+		}
+		count := func(t *Table) map[string]int {
+			m := make(map[string]int)
+			for i := 0; i < t.NumRows(); i++ {
+				m[t.Col("k").AsString(i)+"|"+t.Col("v").AsString(i)]++
+			}
+			return m
+		}
+		return reflect.DeepEqual(count(tb), count(flat))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	tb := sampleTable(t)
+	if tb.ByteSize() <= 0 {
+		t.Fatal("ByteSize should be positive")
+	}
+	if NewInt("a", []int64{1, 2}).ByteSize() != 16 {
+		t.Fatal("int ByteSize wrong")
+	}
+}

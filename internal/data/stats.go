@@ -1,0 +1,242 @@
+package data
+
+import (
+	"math"
+	"sort"
+)
+
+// ColStats holds zone-map style statistics for one column: min/max for
+// numeric columns and the distinct value set (capped) for categoricals.
+// These power the data-induced optimizations (§4.2 of the paper) and
+// partition pruning.
+type ColStats struct {
+	Name string
+	Type Type
+	// Min and Max are valid for Float64/Int64/Bool columns.
+	Min, Max float64
+	// Distinct holds up to MaxDistinctTracked distinct values for String
+	// columns (sorted); DistinctOverflow is set when the cap was hit.
+	Distinct         []string
+	DistinctOverflow bool
+	Rows             int
+}
+
+// MaxDistinctTracked caps the categorical distinct set kept in stats.
+const MaxDistinctTracked = 256
+
+// HasRange reports whether min/max are meaningful for this column.
+func (s *ColStats) HasRange() bool {
+	return s.Type != String && s.Rows > 0
+}
+
+// ComputeColStats scans a column and returns its statistics.
+func ComputeColStats(c *Column) *ColStats {
+	s := &ColStats{Name: c.Name, Type: c.Type, Rows: c.Len()}
+	switch c.Type {
+	case Float64:
+		s.Min, s.Max = math.Inf(1), math.Inf(-1)
+		for _, v := range c.F64 {
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	case Int64:
+		s.Min, s.Max = math.Inf(1), math.Inf(-1)
+		for _, v := range c.I64 {
+			f := float64(v)
+			if f < s.Min {
+				s.Min = f
+			}
+			if f > s.Max {
+				s.Max = f
+			}
+		}
+	case Bool:
+		s.Min, s.Max = math.Inf(1), math.Inf(-1)
+		for _, v := range c.B {
+			f := 0.0
+			if v {
+				f = 1
+			}
+			if f < s.Min {
+				s.Min = f
+			}
+			if f > s.Max {
+				s.Max = f
+			}
+		}
+	case String:
+		seen := make(map[string]bool)
+		for _, v := range c.Str {
+			if len(seen) >= MaxDistinctTracked {
+				if !seen[v] {
+					s.DistinctOverflow = true
+					break
+				}
+				continue
+			}
+			seen[v] = true
+		}
+		s.Distinct = make([]string, 0, len(seen))
+		for v := range seen {
+			s.Distinct = append(s.Distinct, v)
+		}
+		sort.Strings(s.Distinct)
+	}
+	if s.Rows == 0 && s.Type != String {
+		s.Min, s.Max = math.NaN(), math.NaN()
+	}
+	return s
+}
+
+// TableStats maps column name to statistics.
+type TableStats map[string]*ColStats
+
+// ComputeTableStats computes statistics for every column of t.
+func ComputeTableStats(t *Table) TableStats {
+	out := make(TableStats, t.NumCols())
+	for _, c := range t.Cols {
+		out[c.Name] = ComputeColStats(c)
+	}
+	return out
+}
+
+// Partition is one horizontal slice of a partitioned table along with its
+// own zone-map statistics.
+type Partition struct {
+	// Key is the partition's value of the partitioning column ("" for
+	// unpartitioned data).
+	Key   string
+	Table *Table
+	Stats TableStats
+}
+
+// PartitionedTable is a table stored as one or more partitions. Engines
+// scan partitions independently; the optimizer may compile a specialized
+// model per partition (data-induced optimization).
+type PartitionedTable struct {
+	Name string
+	// PartitionColumn is empty when the table is a single partition.
+	PartitionColumn string
+	Parts           []*Partition
+	schema          Schema
+}
+
+// SinglePartition wraps a table as a one-partition PartitionedTable,
+// computing statistics.
+func SinglePartition(t *Table) *PartitionedTable {
+	return &PartitionedTable{
+		Name:   t.Name,
+		Parts:  []*Partition{{Table: t, Stats: ComputeTableStats(t)}},
+		schema: t.Schema(),
+	}
+}
+
+// PartitionBy splits t by the distinct values of column col (which must be
+// low-cardinality), computing per-partition statistics. This mirrors the
+// paper's Hospital experiments partitioned on num_issues / rcount.
+func PartitionBy(t *Table, col string) (*PartitionedTable, error) {
+	c := t.Col(col)
+	if c == nil {
+		return nil, errNoColumn(t.Name, col)
+	}
+	groups := make(map[string][]int)
+	var order []string
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		k := c.AsString(i)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Strings(order)
+	pt := &PartitionedTable{Name: t.Name, PartitionColumn: col, schema: t.Schema()}
+	for _, k := range order {
+		part := t.Gather(groups[k])
+		pt.Parts = append(pt.Parts, &Partition{Key: k, Table: part, Stats: ComputeTableStats(part)})
+	}
+	return pt, nil
+}
+
+// NumRows returns the total number of rows across partitions.
+func (p *PartitionedTable) NumRows() int {
+	n := 0
+	for _, part := range p.Parts {
+		n += part.Table.NumRows()
+	}
+	return n
+}
+
+// Schema returns the table schema.
+func (p *PartitionedTable) Schema() Schema { return p.schema }
+
+// GlobalStats merges per-partition statistics into table-level statistics.
+func (p *PartitionedTable) GlobalStats() TableStats {
+	out := make(TableStats)
+	for _, part := range p.Parts {
+		for name, s := range part.Stats {
+			g, ok := out[name]
+			if !ok {
+				cp := *s
+				cp.Distinct = append([]string(nil), s.Distinct...)
+				out[name] = &cp
+				continue
+			}
+			g.Rows += s.Rows
+			if s.HasRange() {
+				if s.Min < g.Min {
+					g.Min = s.Min
+				}
+				if s.Max > g.Max {
+					g.Max = s.Max
+				}
+			}
+			if s.Type == String {
+				g.Distinct = mergeDistinct(g.Distinct, s.Distinct)
+				g.DistinctOverflow = g.DistinctOverflow || s.DistinctOverflow ||
+					len(g.Distinct) > MaxDistinctTracked
+			}
+		}
+	}
+	return out
+}
+
+// Flatten concatenates all partitions into a single table (copying).
+func (p *PartitionedTable) Flatten() *Table {
+	if len(p.Parts) == 1 {
+		return p.Parts[0].Table
+	}
+	out := p.Parts[0].Table.Clone()
+	for _, part := range p.Parts[1:] {
+		_ = out.AppendFrom(part.Table)
+	}
+	return out
+}
+
+func mergeDistinct(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type errNoCol struct{ table, col string }
+
+func errNoColumn(table, col string) error { return &errNoCol{table, col} }
+
+func (e *errNoCol) Error() string {
+	return "data: table " + e.table + " has no column " + e.col
+}

@@ -1,0 +1,263 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields.
+type Schema []Field
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, f := range s {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Index returns the position of the named field, or -1.
+func (s Schema) Index(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name   string
+	Cols   []*Column
+	byName map[string]int
+}
+
+// NewTable builds a table from columns, validating equal lengths.
+func NewTable(name string, cols ...*Column) (*Table, error) {
+	t := &Table{Name: name, byName: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if err := t.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable panicking on error; for tests and generators
+// building tables from literals.
+func MustNewTable(name string, cols ...*Column) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AddColumn appends a column, enforcing unique names and matching length.
+func (t *Table) AddColumn(c *Column) error {
+	if _, dup := t.byName[c.Name]; dup {
+		return fmt.Errorf("data: duplicate column %q in table %q", c.Name, t.Name)
+	}
+	if len(t.Cols) > 0 && c.Len() != t.NumRows() {
+		return fmt.Errorf("data: column %q has %d rows, table %q has %d",
+			c.Name, c.Len(), t.Name, t.NumRows())
+	}
+	t.byName[c.Name] = len(t.Cols)
+	t.Cols = append(t.Cols, c)
+	return nil
+}
+
+// NumRows returns the row count (0 for an empty table).
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Col returns the named column or nil.
+func (t *Table) Col(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.Cols[i]
+	}
+	return nil
+}
+
+// HasCol reports whether the table contains the named column.
+func (t *Table) HasCol(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.Cols))
+	for i, c := range t.Cols {
+		s[i] = Field{Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+// Project returns a table with only the named columns (zero-copy views).
+func (t *Table) Project(names []string) (*Table, error) {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(names))}
+	for _, n := range names {
+		c := t.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("data: table %q has no column %q", t.Name, n)
+		}
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Slice returns a zero-copy view of rows [lo, hi).
+func (t *Table) Slice(lo, hi int) *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(c.Slice(lo, hi))
+	}
+	return out
+}
+
+// Gather returns a table with the rows at the given indices.
+func (t *Table) Gather(idx []int) *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(c.Gather(idx))
+	}
+	return out
+}
+
+// Filter returns a table with rows where keep[i] is true.
+func (t *Table) Filter(keep []bool) *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(c.Filter(keep))
+	}
+	return out
+}
+
+// AppendFrom appends all rows of src; schemas must match by name and type.
+func (t *Table) AppendFrom(src *Table) error {
+	for _, c := range t.Cols {
+		sc := src.Col(c.Name)
+		if sc == nil {
+			return fmt.Errorf("data: append: source lacks column %q", c.Name)
+		}
+		if err := c.AppendFrom(sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(c.Clone())
+	}
+	return out
+}
+
+// ByteSize returns the approximate payload size of all columns.
+func (t *Table) ByteSize() int64 {
+	var n int64
+	for _, c := range t.Cols {
+		n += c.ByteSize()
+	}
+	return n
+}
+
+// Rename returns the same table under a new name (columns shared).
+func (t *Table) Rename(name string) *Table {
+	out := &Table{Name: name, Cols: t.Cols, byName: t.byName}
+	return out
+}
+
+// String renders up to 10 rows for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows)\n", t.Name, t.NumRows())
+	for _, c := range t.Cols {
+		b.WriteString(c.Name)
+		b.WriteString("\t")
+	}
+	b.WriteString("\n")
+	n := t.NumRows()
+	if n > 10 {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range t.Cols {
+			b.WriteString(c.AsString(i))
+			b.WriteString("\t")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Replicate returns a table with the rows repeated factor times, used to
+// scale datasets like the paper does ("we replicate each dataset several
+// folds"). Integer key columns listed in shiftKeys are offset per copy so
+// primary-key uniqueness is preserved.
+func Replicate(t *Table, factor int, shiftKeys ...string) *Table {
+	if factor <= 1 {
+		return t
+	}
+	shift := make(map[string]bool, len(shiftKeys))
+	for _, k := range shiftKeys {
+		shift[k] = true
+	}
+	base := t.NumRows()
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		nc := &Column{Name: c.Name, Type: c.Type}
+		switch c.Type {
+		case Float64:
+			nc.F64 = make([]float64, 0, base*factor)
+			for f := 0; f < factor; f++ {
+				nc.F64 = append(nc.F64, c.F64...)
+			}
+		case Int64:
+			nc.I64 = make([]int64, 0, base*factor)
+			for f := 0; f < factor; f++ {
+				if shift[c.Name] {
+					off := int64(f * base)
+					for _, v := range c.I64 {
+						nc.I64 = append(nc.I64, v+off)
+					}
+				} else {
+					nc.I64 = append(nc.I64, c.I64...)
+				}
+			}
+		case String:
+			nc.Str = make([]string, 0, base*factor)
+			for f := 0; f < factor; f++ {
+				nc.Str = append(nc.Str, c.Str...)
+			}
+		case Bool:
+			nc.B = make([]bool, 0, base*factor)
+			for f := 0; f < factor; f++ {
+				nc.B = append(nc.B, c.B...)
+			}
+		}
+		_ = out.AddColumn(nc)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"raven/internal/engine"
+	"raven/internal/mlruntime"
+	"raven/internal/sqlparse"
+	"raven/internal/train"
+)
+
+func TestTable1Shapes(t *testing.T) {
+	cases := []struct {
+		ds          *Dataset
+		tables      int
+		numeric     int
+		categorical int
+		minEncoded  int
+		maxEncoded  int
+	}{
+		{CreditCard(500, 1), 1, 28, 0, 28, 28},
+		{Hospital(500, 1), 1, 9, 15, 55, 59},
+		{Expedia(500, 1), 3, 8, 20, 250, 700},
+		{Flights(500, 1), 4, 4, 33, 350, 900},
+	}
+	for _, c := range cases {
+		if got := len(c.ds.Tables); got != c.tables {
+			t.Errorf("%s: tables = %d, want %d", c.ds.Name, got, c.tables)
+		}
+		if got := len(c.ds.Spec.Numeric); got != c.numeric {
+			t.Errorf("%s: numeric = %d, want %d", c.ds.Name, got, c.numeric)
+		}
+		if got := len(c.ds.Spec.Categorical); got != c.categorical {
+			t.Errorf("%s: categorical = %d, want %d", c.ds.Name, got, c.categorical)
+		}
+		if got := c.ds.NumInputs(); got != c.numeric+c.categorical {
+			t.Errorf("%s: NumInputs = %d", c.ds.Name, got)
+		}
+		w, err := c.ds.EncodedWidth()
+		if err != nil {
+			t.Fatalf("%s: %v", c.ds.Name, err)
+		}
+		if w < c.minEncoded || w > c.maxEncoded {
+			t.Errorf("%s: encoded width = %d, want [%d, %d]", c.ds.Name, w, c.minEncoded, c.maxEncoded)
+		}
+	}
+}
+
+func TestTrainSampleHasAllInputsAndLabel(t *testing.T) {
+	for _, ds := range All(400, 3) {
+		if !ds.TrainSample.HasCol("label") {
+			t.Fatalf("%s: sample lacks label", ds.Name)
+		}
+		for _, n := range append(append([]string{}, ds.Spec.Numeric...), ds.Spec.Categorical...) {
+			if !ds.TrainSample.HasCol(n) {
+				t.Fatalf("%s: sample lacks input %q", ds.Name, n)
+			}
+		}
+		// Base tables must not leak the label to the scoring side.
+		for _, tb := range ds.Tables {
+			if tb.HasCol("label") {
+				t.Fatalf("%s: base table %s carries the label", ds.Name, tb.Name)
+			}
+		}
+	}
+}
+
+func TestModelsLearnSignal(t *testing.T) {
+	for _, ds := range All(600, 5) {
+		p, err := ds.Train(train.KindDecisionTree, func(s *train.Spec) { s.MaxDepth = 6 })
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		feat, err := train.FitFeaturizers(ds.TrainSample, ds.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := feat.Transform(ds.TrainSample, ds.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The model must beat the majority class on its training sample.
+		lc := ds.TrainSample.Col("label")
+		pos := 0.0
+		scores := make([]float64, x.Rows)
+		y := make([]float64, x.Rows)
+		ens := p.FinalModel()
+		_ = ens
+		for i := 0; i < x.Rows; i++ {
+			y[i] = lc.AsFloat(i)
+			pos += y[i]
+		}
+		majority := pos / float64(x.Rows)
+		if majority < 0.5 {
+			majority = 1 - majority
+		}
+		sess, err := mlruntime.NewSession(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sess.RunTable(ds.TrainSample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = out["score"].Block.Data
+		if acc := train.Accuracy(scores, y); acc <= majority+0.02 {
+			t.Errorf("%s: accuracy %.3f not above majority %.3f", ds.Name, acc, majority)
+		}
+	}
+}
+
+func TestCanonicalQueriesExecute(t *testing.T) {
+	for _, ds := range All(300, 7) {
+		p, err := ds.Train(train.KindLogistic, func(s *train.Spec) { s.Alpha = 1 })
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		cat := ds.Catalog()
+		if err := cat.RegisterModel(p); err != nil {
+			t.Fatal(err)
+		}
+		q := ds.Query(p.Name)
+		g, err := sqlparse.ParseAndPlan(q, cat)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", ds.Name, err, q)
+		}
+		res, err := engine.Run(g, cat, engine.Local)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if res.Table.NumRows() != 300 {
+			t.Fatalf("%s: rows = %d, want 300 (FK joins must not drop rows)",
+				ds.Name, res.Table.NumRows())
+		}
+		// Aggregate variant.
+		ag := ds.AggregateQuery(p.Name)
+		if !strings.Contains(ag, "AVG(p.score)") {
+			t.Fatalf("%s: aggregate query malformed: %s", ds.Name, ag)
+		}
+		g2, err := sqlparse.ParseAndPlan(ag, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		res2, err := engine.Run(g2, cat, engine.Local)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if res2.Table.NumRows() != 1 {
+			t.Fatalf("%s: aggregate rows = %d", ds.Name, res2.Table.NumRows())
+		}
+	}
+}
+
+func TestHospitalPartitioning(t *testing.T) {
+	ds := Hospital(600, 9)
+	pt, err := HospitalPartitionColumn(ds.Tables[0], "num_issues")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) != 2 {
+		t.Fatalf("num_issues partitions = %d, want 2", len(pt.Parts))
+	}
+	if pt.NumRows() != 600 {
+		t.Fatalf("partition rows = %d", pt.NumRows())
+	}
+	pt2, err := HospitalPartitionColumn(ds.Tables[0], "rcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt2.Parts) != 6 {
+		t.Fatalf("rcount partitions = %d, want 6", len(pt2.Parts))
+	}
+	// Partition stats must differ (the correlations data-induced pruning
+	// relies on).
+	g0 := pt2.Parts[0].Stats["glucose"]
+	g5 := pt2.Parts[5].Stats["glucose"]
+	if g0 == nil || g5 == nil || g0.Max >= g5.Max {
+		t.Fatalf("glucose stats not shifted across rcount partitions: %+v vs %+v", g0, g5)
+	}
+}
+
+func TestQueryRendering(t *testing.T) {
+	ds := Expedia(100, 11)
+	q := ds.Query("m", "d.promotion_flag = 'v1'", "p.score > 0.5")
+	for _, want := range []string{"WITH d AS", "JOIN hotels", "JOIN destinations",
+		"PREDICT(MODEL = m, DATA = d)", "WHERE d.promotion_flag = 'v1' AND p.score > 0.5"} {
+		if !strings.Contains(q, want) {
+			t.Fatalf("query missing %q:\n%s", want, q)
+		}
+	}
+	cc := CreditCard(100, 11)
+	q2 := cc.Query("m")
+	if strings.Contains(q2, "WITH d AS") || !strings.Contains(q2, "DATA = creditcard AS d") {
+		t.Fatalf("single-table query malformed: %s", q2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Hospital(200, 21)
+	b := Hospital(200, 21)
+	if a.Tables[0].Col("glucose").F64[7] != b.Tables[0].Col("glucose").F64[7] {
+		t.Fatal("hospital generation not deterministic")
+	}
+}

@@ -1,0 +1,49 @@
+package device
+
+import "testing"
+
+func TestCPUReturnsMeasured(t *testing.T) {
+	log := &CostLog{MeasuredNanos: 12345, GEMMFlops: 1e12, Kernels: 99}
+	if got := CPUDevice.ModeledNanos(log); got != 12345 {
+		t.Fatalf("CPU ModeledNanos = %d, want measured 12345", got)
+	}
+}
+
+func TestGPUModelComponents(t *testing.T) {
+	// Pure launch cost: 10 kernels at 5µs.
+	log := &CostLog{Kernels: 10}
+	if got := TeslaP100.ModeledNanos(log); got != 50_000 {
+		t.Fatalf("launch-only = %dns, want 50000", got)
+	}
+	// Pure transfer: 12 GB at 12 GB/s ≈ 1s.
+	log = &CostLog{BytesIn: 12e9}
+	got := TeslaP100.ModeledNanos(log)
+	if got < 9e8 || got > 1.1e9 {
+		t.Fatalf("transfer-only = %dns, want ~1e9", got)
+	}
+	// Pure GEMM: 9.3 TFLOP at 9.3 TFLOPS ≈ 1s.
+	log = &CostLog{GEMMFlops: 9.3e12}
+	got = TeslaP100.ModeledNanos(log)
+	if got < 9e8 || got > 1.1e9 {
+		t.Fatalf("gemm-only = %dns, want ~1e9", got)
+	}
+}
+
+func TestGPUOrdering(t *testing.T) {
+	// For the same big workload the V100 must beat the K80.
+	log := &CostLog{GEMMFlops: 1e13, GatherElems: 1e10, Kernels: 100, BytesIn: 1e8}
+	v100 := TeslaV100.ModeledNanos(log)
+	k80 := TeslaK80.ModeledNanos(log)
+	if v100 >= k80 {
+		t.Fatalf("V100 (%d) should be faster than K80 (%d)", v100, k80)
+	}
+}
+
+func TestAddKernel(t *testing.T) {
+	log := &CostLog{}
+	log.AddKernel()
+	log.AddKernel()
+	if log.Kernels != 2 {
+		t.Fatalf("Kernels = %d", log.Kernels)
+	}
+}

@@ -1,0 +1,82 @@
+// Package engine binds the substrates together: it implements the catalog,
+// lowers unified-IR plans to physical operator trees, executes them, and
+// converts measured per-operator work into reported end-to-end times under
+// an engine profile (Spark-like cluster, SQL Server DOP1/16, MADlib-like).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"raven/internal/data"
+	"raven/internal/ir"
+	"raven/internal/model"
+)
+
+// Catalog maps names to tables and trained pipelines. It implements
+// ir.Catalog.
+type Catalog struct {
+	tables map[string]*data.PartitionedTable
+	models map[string]*model.Pipeline
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*data.PartitionedTable),
+		models: make(map[string]*model.Pipeline),
+	}
+}
+
+// RegisterTable registers a table as a single partition (stats computed).
+func (c *Catalog) RegisterTable(t *data.Table) {
+	c.tables[t.Name] = data.SinglePartition(t)
+}
+
+// RegisterPartitioned registers an already partitioned table.
+func (c *Catalog) RegisterPartitioned(pt *data.PartitionedTable) {
+	c.tables[pt.Name] = pt
+}
+
+// RegisterModel registers a trained pipeline under its name.
+func (c *Catalog) RegisterModel(p *model.Pipeline) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("engine: registering model %q: %w", p.Name, err)
+	}
+	c.models[p.Name] = p
+	return nil
+}
+
+// Table implements ir.Catalog.
+func (c *Catalog) Table(name string) (*data.PartitionedTable, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Model implements ir.Catalog.
+func (c *Catalog) Model(name string) (*model.Pipeline, bool) {
+	m, ok := c.models[name]
+	return m, ok
+}
+
+// TableNames returns the registered table names, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModelNames returns the registered model names, sorted.
+func (c *Catalog) ModelNames() []string {
+	out := make([]string, 0, len(c.models))
+	for n := range c.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ ir.Catalog = (*Catalog)(nil)

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"time"
+
+	"raven/internal/device"
+)
+
+// This file centralizes every modeled (as opposed to measured) cost
+// constant, per the substitution policy in DESIGN.md §4. All computation
+// in this repository runs for real on the host CPU; the constants below
+// model only the boundary costs of the paper's production setups that a
+// single-process Go binary does not pay natively:
+//
+//   - the Spark Python vectorized-UDF bridge (process hop + Arrow
+//     serialization) per batch,
+//   - ML runtime session initialization (model load/parse), which the
+//     paper measures at 2-4s cold / ~0.1s warm on Spark,
+//   - scheduling cost per partition,
+//   - (in internal/device) GPU kernel-launch latency and PCIe transfer.
+//
+// The constants are order-of-magnitude figures from the paper's §7.4 and
+// common measurements of the respective systems; experiments only compare
+// configurations that share them, so conclusions depend on their relative
+// not absolute magnitude.
+
+// Profile describes an execution environment: its parallelism and its
+// boundary costs.
+type Profile struct {
+	Name string
+	// DOP is the degree of parallelism the cost model divides
+	// data-parallel operator time by (Spark: workers × cores).
+	DOP int
+	// BatchSize is the rows-per-batch the engine feeds operators
+	// (the paper's UDF batch default is 10k).
+	BatchSize int
+	// UDFBatchOverhead is the modeled cost of shipping one batch across
+	// the data-engine → ML-runtime boundary (Python bridge + Arrow for
+	// Spark; in-process call for SQL Server).
+	UDFBatchOverhead time.Duration
+	// SessionInit is the modeled one-time ML runtime initialization
+	// (model load, graph construction) per predict session.
+	SessionInit time.Duration
+	// PartitionOverhead is the modeled scheduling cost per scanned
+	// partition.
+	PartitionOverhead time.Duration
+	// MaterializeFeaturization forces featurizer output to be
+	// materialized as one column per feature before the model runs
+	// (MADlib's execution style). Widths beyond MaxMaterializedColumns
+	// fail, mirroring PostgreSQL's 1600-column table limit.
+	MaterializeFeaturization bool
+	// GPU is the device used by MLtoDNN-on-GPU plans (nil means the
+	// default simulated Tesla P100).
+	GPU *device.Device
+	// PredictPenalty scales the measured ML-runtime time in the cost
+	// model, modeling slower inference runtimes than our vectorized Go
+	// interpreter: scikit-learn inference is commonly ~3× slower than
+	// ONNX Runtime on traditional models, and SparkML's row-oriented
+	// JVM pipelines are slower still. 0 means 1 (no penalty).
+	PredictPenalty float64
+}
+
+// SparkSKL is the paper's "Spark+SKL" baseline: the Spark cluster invoking
+// scikit-learn instead of ONNX Runtime through the same Python UDF.
+var SparkSKL = Profile{
+	Name:              "spark+skl",
+	DOP:               32,
+	BatchSize:         10000,
+	UDFBatchOverhead:  1 * time.Millisecond,
+	SessionInit:       100 * time.Millisecond,
+	PartitionOverhead: 2 * time.Millisecond,
+	PredictPenalty:    3,
+}
+
+// SparkML is the paper's SparkML baseline: JVM-native (no Python bridge)
+// but row-oriented pipeline execution.
+var SparkML = Profile{
+	Name:              "sparkml",
+	DOP:               32,
+	BatchSize:         10000,
+	SessionInit:       100 * time.Millisecond,
+	PartitionOverhead: 2 * time.Millisecond,
+	PredictPenalty:    8,
+}
+
+// MaxMaterializedColumns mirrors PostgreSQL's 1600-column-per-table limit
+// that forced the paper to skip Expedia/Flights for MADlib. The generated
+// Expedia/Flights widths are scaled down ~10x from the paper's (DESIGN.md),
+// so the limit is scaled by the same factor to preserve the behaviour.
+const MaxMaterializedColumns = 160
+
+// Spark models the paper's HDInsight cluster: 4 workers × 8 cores, Python
+// vectorized UDFs calling ONNX Runtime.
+var Spark = Profile{
+	Name:              "spark",
+	DOP:               32,
+	BatchSize:         10000,
+	UDFBatchOverhead:  1 * time.Millisecond,
+	SessionInit:       100 * time.Millisecond,
+	PartitionOverhead: 2 * time.Millisecond,
+}
+
+// SQLServerDOP16 models SQL Server with degree-of-parallelism 16 and the
+// in-process PREDICT/ONNX Runtime integration.
+var SQLServerDOP16 = Profile{
+	Name:             "sqlserver-dop16",
+	DOP:              16,
+	BatchSize:        10000,
+	UDFBatchOverhead: 50 * time.Microsecond,
+	SessionInit:      10 * time.Millisecond,
+}
+
+// SQLServerDOP1 is the single-threaded SQL Server configuration.
+var SQLServerDOP1 = Profile{
+	Name:             "sqlserver-dop1",
+	DOP:              1,
+	BatchSize:        10000,
+	UDFBatchOverhead: 50 * time.Microsecond,
+	SessionInit:      10 * time.Millisecond,
+}
+
+// MADlib models PostgreSQL+MADlib: single-threaded row engine that
+// materializes each featurization step.
+var MADlib = Profile{
+	Name:                     "madlib",
+	DOP:                      1,
+	BatchSize:                10000,
+	UDFBatchOverhead:         2 * time.Millisecond,
+	SessionInit:              5 * time.Millisecond,
+	MaterializeFeaturization: true,
+}
+
+// SparkGPU models the paper's GPU Spark cluster for Fig. 12: one driver
+// and three workers with 6 CPUs each and Tesla K80s, picked to match the
+// CPU cluster's hourly cost.
+var SparkGPU = Profile{
+	Name:              "spark-gpu",
+	DOP:               18,
+	BatchSize:         10000,
+	UDFBatchOverhead:  1 * time.Millisecond,
+	SessionInit:       100 * time.Millisecond,
+	PartitionOverhead: 2 * time.Millisecond,
+	GPU:               &device.TeslaK80,
+}
+
+// Local is an overhead-free single-threaded profile for tests.
+var Local = Profile{Name: "local", DOP: 1, BatchSize: 1024}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"time"
+
+	"raven/internal/data"
+	"raven/internal/device"
+	"raven/internal/ir"
+	"raven/internal/relational"
+)
+
+// Result is the outcome of executing a plan: the result table, the real
+// single-threaded wall time, and the profile-modeled reported time per
+// DESIGN.md §4 (measured parallel work divided by DOP, plus boundary
+// overheads).
+type Result struct {
+	Table *data.Table
+	// Wall is the real end-to-end single-thread execution time.
+	Wall time.Duration
+	// Reported is the cost-model time under the profile.
+	Reported time.Duration
+	// Ops holds per-operator statistics (pre-order).
+	Ops []*relational.OpStats
+	// Sessions is the number of ML runtime sessions initialized.
+	Sessions int
+	// PredictBatches counts batches that crossed the UDF boundary.
+	PredictBatches int64
+	// BytesConverted counts bytes converted at the boundary.
+	BytesConverted int64
+	// PartitionsScanned counts partitions actually read (after pruning).
+	PartitionsScanned int
+}
+
+// Run lowers and executes an IR plan under the profile.
+func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
+	root, err := Lower(g, cat, prof)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(root, prof)
+}
+
+// Execute drains a physical plan and assembles the Result.
+func Execute(root Operator, prof Profile) (*Result, error) {
+	t0 := time.Now()
+	table, err := relational.Drain(root)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	res := &Result{Table: table, Wall: wall}
+	res.Ops = relational.CollectStats(root)
+	res.Reported = reportedTime(root, prof, res)
+	return res, nil
+}
+
+// reportedTime converts measured per-operator times into the modeled
+// end-to-end time: exclusive times of data-parallel operators are divided
+// by the profile's DOP, serial operators are charged fully, and boundary
+// overheads (session init, per-batch UDF bridge, per-partition scheduling)
+// are added from the profile constants.
+func reportedTime(root Operator, prof Profile, res *Result) time.Duration {
+	dop := float64(prof.DOP)
+	if dop < 1 {
+		dop = 1
+	}
+	var totalNs float64
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		s := op.Stats()
+		excl := s.WallNs
+		for _, c := range op.Children() {
+			excl -= c.Stats().WallNs
+		}
+		if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
+			// Simulated GPU: the host compute stands in for the device;
+			// charge the modeled device time instead of the measured one.
+			excl -= gpu.ComputeNs
+		}
+		if excl < 0 {
+			excl = 0
+		}
+		work := float64(excl)
+		if _, isPredict := op.(*PredictOp); isPredict && prof.PredictPenalty > 1 {
+			work *= prof.PredictPenalty
+		}
+		if s.Parallel {
+			totalNs += work / dop
+		} else {
+			totalNs += work
+		}
+		switch o := op.(type) {
+		case *PredictOp:
+			res.Sessions += o.Sessions
+			res.PredictBatches += s.Batches
+			res.BytesConverted += o.BytesConverted
+			totalNs += float64(o.Sessions) * float64(prof.SessionInit.Nanoseconds())
+			totalNs += float64(s.Batches) * float64(prof.UDFBatchOverhead.Nanoseconds()) / dop
+		case *relational.Scan:
+			parts := len(o.Table.Parts) - o.SkippedPartitions()
+			if o.PartIndex >= 0 {
+				parts = 1
+			}
+			res.PartitionsScanned += parts
+			totalNs += float64(parts) * float64(prof.PartitionOverhead.Nanoseconds()) / dop
+		case *DNNOp:
+			res.Sessions++
+			res.PredictBatches += s.Batches
+			res.BytesConverted += o.BytesConverted
+			totalNs += float64(o.ModeledNs)
+			totalNs += float64(prof.SessionInit.Nanoseconds())
+		}
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return time.Duration(totalNs)
+}

@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"raven/internal/data"
+	"raven/internal/ir"
+	"raven/internal/model"
+	"raven/internal/relational"
+	"raven/internal/testfix"
+)
+
+func covidCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(pi)
+	cat.RegisterTable(pt)
+	cat.RegisterTable(bt)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// covidIR builds predict-over-joined-tables IR by hand.
+func covidIR(t *testing.T, cat *Catalog) *ir.Graph {
+	t.Helper()
+	g := &ir.Graph{}
+	s1 := g.NewNode(ir.KindScan)
+	s1.Table, s1.Alias = "patient_info", "pi"
+	s2 := g.NewNode(ir.KindScan)
+	s2.Table, s2.Alias = "pulmonary_test", "pt"
+	j := g.NewNode(ir.KindJoin, s1, s2)
+	j.LeftKey, j.RightKey = "pi.id", "pt.id"
+	pr := g.NewNode(ir.KindPredict, j)
+	pr.Pipeline = testfix.CovidPipeline()
+	pr.InputMap = map[string]string{
+		"age": "pi.age", "bpm": "pt.bpm",
+		"asthma": "pi.asthma", "hypertension": "pi.hypertension",
+	}
+	pr.OutputMap = map[string]string{"score": "p.score"}
+	pr.KeepInput = true
+	out := ir.NewGraph(pr)
+	if err := out.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCatalogBasics(t *testing.T) {
+	cat := covidCatalog(t)
+	if _, ok := cat.Table("patient_info"); !ok {
+		t.Fatal("table lookup failed")
+	}
+	if _, ok := cat.Table("ghost"); ok {
+		t.Fatal("ghost table found")
+	}
+	if _, ok := cat.Model("covid_risk"); !ok {
+		t.Fatal("model lookup failed")
+	}
+	if got := cat.TableNames(); len(got) != 3 || got[0] != "blood_test" {
+		t.Fatalf("TableNames = %v", got)
+	}
+	if got := cat.ModelNames(); len(got) != 1 || got[0] != "covid_risk" {
+		t.Fatalf("ModelNames = %v", got)
+	}
+	// Invalid model is rejected.
+	bad := &model.Pipeline{Name: "bad", Outputs: []string{"ghost"}}
+	if err := cat.RegisterModel(bad); err == nil {
+		t.Fatal("invalid model registered")
+	}
+}
+
+func TestRunPredictEndToEnd(t *testing.T) {
+	cat := covidCatalog(t)
+	g := covidIR(t, cat)
+	res, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 6 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	if res.Table.Col("p.score") == nil {
+		t.Fatalf("cols = %v", res.Table.Schema().Names())
+	}
+	if res.Sessions != 1 {
+		t.Fatalf("sessions = %d", res.Sessions)
+	}
+	if res.PredictBatches < 1 || res.BytesConverted <= 0 {
+		t.Fatalf("boundary accounting: batches=%d bytes=%d", res.PredictBatches, res.BytesConverted)
+	}
+	if res.Wall <= 0 || res.Reported <= 0 {
+		t.Fatal("times not positive")
+	}
+}
+
+func TestProfileOverheadsInReportedTime(t *testing.T) {
+	cat := covidCatalog(t)
+	g := covidIR(t, cat)
+	local, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := Run(g, cat, Spark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spark pays at least the 100ms session init that Local does not.
+	if spark.Reported < 100*time.Millisecond {
+		t.Fatalf("spark reported = %v, expected >= session init", spark.Reported)
+	}
+	if local.Reported >= spark.Reported {
+		t.Fatalf("local (%v) should report less than spark (%v)", local.Reported, spark.Reported)
+	}
+}
+
+func TestDOPReducesReportedTime(t *testing.T) {
+	// Large enough that parallel work dominates constant overheads.
+	cat := NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(data.Replicate(pi, 4000, "id"))
+	cat.RegisterTable(data.Replicate(pt, 4000, "id"))
+	cat.RegisterTable(data.Replicate(bt, 4000, "id"))
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	g := covidIR(t, cat)
+	d1, err := Run(g, cat, SQLServerDOP1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d16, err := Run(g, cat, SQLServerDOP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d16.Reported >= d1.Reported {
+		t.Fatalf("DOP16 (%v) not faster than DOP1 (%v)", d16.Reported, d1.Reported)
+	}
+}
+
+func TestPredictPenaltyScalesReportedTime(t *testing.T) {
+	cat := covidCatalog(t)
+	g := covidIR(t, cat)
+	plain := Local
+	penalized := Local
+	penalized.PredictPenalty = 50
+	a, err := Run(g, cat, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, cat, penalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reported <= a.Reported {
+		t.Fatalf("penalty did not increase reported time: %v vs %v", a.Reported, b.Reported)
+	}
+}
+
+func TestMADlibMaterializedMode(t *testing.T) {
+	cat := covidCatalog(t)
+	g := covidIR(t, cat)
+	res, err := Run(g, cat, MADlib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions as the plain path.
+	plain, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Table.NumRows(); i++ {
+		if res.Table.Col("p.score").F64[i] != plain.Table.Col("p.score").F64[i] {
+			t.Fatalf("row %d: MADlib mode changed predictions", i)
+		}
+	}
+	// Two sessions: featurization + model.
+	if res.Sessions != 2 {
+		t.Fatalf("MADlib sessions = %d, want 2", res.Sessions)
+	}
+}
+
+func TestMADlibColumnLimit(t *testing.T) {
+	// A model whose featurization exceeds MaxMaterializedColumns must fail
+	// under the MADlib profile (PostgreSQL's column limit) but run fine on
+	// other profiles.
+	cat := NewCatalog()
+	n := 10
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "k0"
+	}
+	tb := data.MustNewTable("wide", data.NewString("c", keys))
+	cat.RegisterTable(tb)
+	cats := make([]string, MaxMaterializedColumns+1)
+	for i := range cats {
+		cats[i] = "k" + string(rune('0'+i%10)) + string(rune('a'+i/10%26)) + string(rune('a'+i/260))
+	}
+	p := &model.Pipeline{
+		Name:   "wideohe",
+		Inputs: []model.Input{{Name: "c", Categorical: true}},
+		Ops: []model.Operator{
+			&model.OneHotEncoder{Name: "e", In: "c", Out: "F", Categories: cats},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "score",
+				Coef: make([]float64, len(cats)), Task: model.Regression},
+		},
+		Outputs: []string{"score"},
+	}
+	if err := cat.RegisterModel(p); err != nil {
+		t.Fatal(err)
+	}
+	g := &ir.Graph{}
+	scan := g.NewNode(ir.KindScan)
+	scan.Table, scan.Alias = "wide", "d"
+	pr := g.NewNode(ir.KindPredict, scan)
+	pr.Pipeline = p
+	pr.InputMap = map[string]string{"c": "d.c"}
+	pr.OutputMap = map[string]string{"score": "s"}
+	pr.KeepInput = false
+	graph := ir.NewGraph(pr)
+	if err := graph.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(graph, cat, Local); err != nil {
+		t.Fatalf("local run failed: %v", err)
+	}
+	_, err := Run(graph, cat, MADlib)
+	if err == nil || !strings.Contains(err.Error(), "column") {
+		t.Fatalf("expected column-limit error, got %v", err)
+	}
+}
+
+func TestLowerSQLTarget(t *testing.T) {
+	cat := covidCatalog(t)
+	g := covidIR(t, cat)
+	pr := ir.Find(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindPredict })
+	pr.Target = ir.TargetSQL
+	pr.SQLExprs = []relational.NamedExpr{
+		{Name: "p.score", E: relational.Num(0.42)},
+	}
+	res, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 0 {
+		t.Fatalf("SQL target must not start ML sessions, got %d", res.Sessions)
+	}
+	if got := res.Table.Col("p.score").F64[0]; got != 0.42 {
+		t.Fatalf("score = %v", got)
+	}
+	// Empty expression list is rejected.
+	pr.SQLExprs = nil
+	if _, err := Run(g, cat, Local); err == nil {
+		t.Fatal("expected error for SQL target without expressions")
+	}
+}
+
+func TestLowerDNNTargets(t *testing.T) {
+	cat := covidCatalog(t)
+	for _, target := range []ir.PredictTarget{ir.TargetDNNCPU, ir.TargetDNNGPU} {
+		g := covidIR(t, cat)
+		pr := ir.Find(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindPredict })
+		pr.Target = target
+		res, err := Run(g, cat, Spark)
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		score := res.Table.Col("p.score")
+		if score == nil || score.Len() != 6 {
+			t.Fatalf("%v: bad result", target)
+		}
+		// float32 parity with the ML runtime.
+		ml, err := Run(covidIR(t, cat), cat, Spark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if math.Abs(score.F64[i]-ml.Table.Col("p.score").F64[i]) > 1e-5 {
+				t.Fatalf("%v: row %d drifted", target, i)
+			}
+		}
+		if res.Sessions != 1 {
+			t.Fatalf("%v: sessions = %d", target, res.Sessions)
+		}
+	}
+}
+
+func TestLowerUnionPerPartition(t *testing.T) {
+	// A union of two single-partition scans must cover all rows once.
+	tb := data.MustNewTable("t",
+		data.NewFloat("v", []float64{1, 2, 3, 4}),
+		data.NewString("g", []string{"a", "a", "b", "b"}),
+	)
+	pt, err := data.PartitionBy(tb, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	cat.RegisterPartitioned(pt)
+	g := &ir.Graph{}
+	mk := func(part int) *ir.Node {
+		s := g.NewNode(ir.KindScan)
+		s.Table, s.Alias, s.PartIndex = "t", "d", part
+		return s
+	}
+	union := g.NewNode(ir.KindUnion, mk(0), mk(1))
+	graph := ir.NewGraph(union)
+	res, err := Run(graph, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestRenamePipelineInputsErrors(t *testing.T) {
+	p := testfix.CovidPipeline()
+	err := renamePipelineInputs(p.Clone(), map[string]string{"age": "d.age"})
+	if err == nil {
+		t.Fatal("expected unbound-input error")
+	}
+}

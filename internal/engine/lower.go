@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"fmt"
+
+	"raven/internal/ir"
+	"raven/internal/relational"
+)
+
+// Lower converts a unified-IR plan into a physical operator tree under the
+// given profile.
+func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
+	l := &lowerer{cat: cat, prof: prof}
+	return l.lower(g.Root)
+}
+
+type lowerer struct {
+	cat  *Catalog
+	prof Profile
+}
+
+func (l *lowerer) lower(n *ir.Node) (Operator, error) {
+	switch n.Kind {
+	case ir.KindScan:
+		t, ok := l.cat.Table(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", n.Table)
+		}
+		s := relational.NewScan(t, n.Alias, n.Columns, l.prof.BatchSize)
+		s.Prune = n.Prune
+		if n.PartIndex >= 0 {
+			s.PartIndex = n.PartIndex
+		}
+		return s, nil
+	case ir.KindFilter:
+		child, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &relational.Filter{Child: child, Pred: n.Pred}, nil
+	case ir.KindProject:
+		child, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &relational.Project{Child: child, Exprs: n.Exprs}, nil
+	case ir.KindJoin:
+		left, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := l.lower(n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		return &relational.HashJoin{Left: left, Right: right,
+			LeftKey: n.LeftKey, RightKey: n.RightKey}, nil
+	case ir.KindAggregate:
+		child, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &relational.Aggregate{Child: child, Aggs: n.Aggs}, nil
+	case ir.KindUnion:
+		inputs := make([]Operator, len(n.Children))
+		for i, c := range n.Children {
+			op, err := l.lower(c)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = op
+		}
+		return &relational.Union{Inputs: inputs}, nil
+	case ir.KindPredict:
+		return l.lowerPredict(n)
+	}
+	return nil, fmt.Errorf("engine: cannot lower node kind %v", n.Kind)
+}
+
+func (l *lowerer) lowerPredict(n *ir.Node) (Operator, error) {
+	child, err := l.lower(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	switch n.Target {
+	case ir.TargetSQL:
+		// MLtoSQL: the pipeline became relational expressions; no ML
+		// runtime is involved. Pass input columns through, then compute
+		// each mapped output.
+		var exprs []relational.NamedExpr
+		if n.KeepInput {
+			for _, c := range child.Columns() {
+				exprs = append(exprs, relational.NamedExpr{Name: c, E: relational.Col(c)})
+			}
+		}
+		if len(n.SQLExprs) == 0 {
+			return nil, fmt.Errorf("engine: predict node %d targets SQL but has no expressions", n.ID)
+		}
+		exprs = append(exprs, n.SQLExprs...)
+		return &relational.Project{Child: child, Exprs: exprs}, nil
+	case ir.TargetDNNCPU, ir.TargetDNNGPU:
+		return l.lowerDNN(n, child)
+	default:
+		op := &PredictOp{
+			Child:               child,
+			Pipeline:            n.Pipeline,
+			InputMap:            n.InputMap,
+			OutputMap:           n.OutputMap,
+			KeepInput:           n.KeepInput,
+			MaterializeFeatures: l.prof.MaterializeFeaturization,
+		}
+		return op, nil
+	}
+}

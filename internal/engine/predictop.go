@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"fmt"
+
+	"raven/internal/data"
+	"raven/internal/mlruntime"
+	"raven/internal/model"
+	"raven/internal/relational"
+)
+
+// PredictOp is the physical operator bridging the data engine and the ML
+// runtime: for each input batch it converts the bound columns to the ML
+// format, runs the trained pipeline, and emits the mapped outputs
+// (optionally alongside the input columns). It is the boundary whose
+// crossings (batches, converted bytes, sessions) the profiles charge for.
+type PredictOp struct {
+	Child     Operator
+	Pipeline  *model.Pipeline
+	InputMap  map[string]string // pipeline input -> child column
+	OutputMap map[string]string // pipeline output value -> result column
+	KeepInput bool
+	// MaterializeFeatures emulates MADlib: featurization output is
+	// materialized as one column per feature, then a model-only pipeline
+	// consumes the wide table. Fails beyond MaxMaterializedColumns.
+	MaterializeFeatures bool
+
+	stats    relational.OpStats
+	sess     *mlruntime.Session
+	featSess *mlruntime.Session // featurization-only session (MADlib mode)
+	mdlSess  *mlruntime.Session // model-only session (MADlib mode)
+	// Boundary accounting, charged by the profile cost model.
+	Sessions       int
+	BytesConverted int64
+}
+
+// Operator aliases the relational operator interface for engine plans.
+type Operator = relational.Operator
+
+// Columns returns pass-through columns plus mapped prediction outputs.
+func (p *PredictOp) Columns() []string {
+	var out []string
+	if p.KeepInput {
+		out = append(out, p.Child.Columns()...)
+	}
+	for _, v := range p.Pipeline.Outputs {
+		if name, ok := p.OutputMap[v]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Open initializes the ML runtime session(s).
+func (p *PredictOp) Open() error {
+	p.stats = relational.OpStats{Name: "Predict(" + p.Pipeline.Name + ")", Parallel: true}
+	defer timeOp(&p.stats)()
+	p.Sessions = 0
+	p.BytesConverted = 0
+	if err := p.Child.Open(); err != nil {
+		return err
+	}
+	if p.MaterializeFeatures {
+		return p.openMaterialized()
+	}
+	// The session pipeline reads child column names directly: rename the
+	// pipeline inputs to the bound columns so BindTable finds them.
+	bound := p.Pipeline.Clone()
+	keep := make(map[string]bool, len(p.OutputMap))
+	for v := range p.OutputMap {
+		keep[v] = true
+	}
+	var outs []string
+	for _, o := range bound.Outputs {
+		if keep[o] {
+			outs = append(outs, o)
+		}
+	}
+	bound.Outputs = outs
+	bound.Prune()
+	if err := renamePipelineInputs(bound, p.InputMap); err != nil {
+		return err
+	}
+	sess, err := mlruntime.NewSession(bound)
+	if err != nil {
+		return err
+	}
+	p.sess = sess
+	p.Sessions = 1
+	return nil
+}
+
+// openMaterialized splits the pipeline into featurization and model halves
+// with a materialized wide table between them (MADlib execution style).
+func (p *PredictOp) openMaterialized() error {
+	final := p.Pipeline.FinalModel()
+	if final == nil {
+		return fmt.Errorf("engine: MADlib mode requires a model operator in pipeline %q", p.Pipeline.Name)
+	}
+	width := p.Pipeline.NumFeatures()
+	if width > MaxMaterializedColumns {
+		return fmt.Errorf("engine: featurization of %q needs %d columns, exceeding the %d-column limit",
+			p.Pipeline.Name, width, MaxMaterializedColumns)
+	}
+	featureVal := final.Inputs()[0]
+	feat := p.Pipeline.Clone()
+	feat.Outputs = []string{featureVal}
+	feat.RemoveOp(final.OpName())
+	feat.Prune()
+	if err := renamePipelineInputs(feat, p.InputMap); err != nil {
+		return err
+	}
+	fs, err := mlruntime.NewSession(feat)
+	if err != nil {
+		return err
+	}
+	// Model-only pipeline: one numeric input per materialized feature.
+	mdl := &model.Pipeline{Name: p.Pipeline.Name + "_model"}
+	featCols := make([]string, width)
+	for i := range featCols {
+		featCols[i] = fmt.Sprintf("f%d", i)
+		mdl.Inputs = append(mdl.Inputs, model.Input{Name: featCols[i]})
+	}
+	mdl.Ops = append(mdl.Ops, &model.Concat{Name: "gather", In: featCols, Out: featureVal})
+	mdl.Ops = append(mdl.Ops, final.CloneOp())
+	keep := make(map[string]bool, len(p.OutputMap))
+	for v := range p.OutputMap {
+		keep[v] = true
+	}
+	for _, o := range p.Pipeline.Outputs {
+		if keep[o] {
+			mdl.Outputs = append(mdl.Outputs, o)
+		}
+	}
+	ms, err := mlruntime.NewSession(mdl)
+	if err != nil {
+		return err
+	}
+	p.featSess, p.mdlSess = fs, ms
+	p.Sessions = 2
+	return nil
+}
+
+// Next runs the pipeline over the next child batch.
+func (p *PredictOp) Next() (*data.Table, error) {
+	defer timeOp(&p.stats)()
+	b, err := p.Child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	var outs map[string]mlruntime.Value
+	if p.MaterializeFeatures {
+		outs, err = p.runMaterialized(b)
+	} else {
+		in, berr := mlruntime.BindTable(p.sess.Pipeline, b)
+		if berr != nil {
+			return nil, berr
+		}
+		p.BytesConverted += approxValueBytes(in)
+		outs, err = p.sess.Run(in, b.NumRows())
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := data.NewTable(b.Name)
+	if err != nil {
+		return nil, err
+	}
+	if p.KeepInput {
+		for _, c := range b.Cols {
+			if err := res.AddColumn(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, v := range p.Pipeline.Outputs {
+		name, ok := p.OutputMap[v]
+		if !ok {
+			continue
+		}
+		val, ok := outs[v]
+		if !ok || val.Block == nil || val.Block.Cols != 1 {
+			return nil, fmt.Errorf("engine: pipeline output %q is not a single numeric column", v)
+		}
+		if err := res.AddColumn(data.NewFloat(name, val.Block.Data)); err != nil {
+			return nil, err
+		}
+	}
+	p.stats.Rows += int64(res.NumRows())
+	p.stats.Batches++
+	return res, nil
+}
+
+func (p *PredictOp) runMaterialized(b *data.Table) (map[string]mlruntime.Value, error) {
+	in, err := mlruntime.BindTable(p.featSess.Pipeline, b)
+	if err != nil {
+		return nil, err
+	}
+	p.BytesConverted += approxValueBytes(in)
+	fouts, err := p.featSess.Run(in, b.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	var block *mlruntime.Block
+	for _, v := range fouts {
+		block = v.Block
+	}
+	// Materialize: one real column copy per feature (the MADlib table).
+	n := b.NumRows()
+	wide, err := data.NewTable("featurized")
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < block.Cols; c++ {
+		col := make([]float64, n)
+		for r := 0; r < n; r++ {
+			col[r] = block.Data[r*block.Cols+c]
+		}
+		if err := wide.AddColumn(data.NewFloat(fmt.Sprintf("f%d", c), col)); err != nil {
+			return nil, err
+		}
+	}
+	p.BytesConverted += wide.ByteSize()
+	min, err := mlruntime.BindTable(p.mdlSess.Pipeline, wide)
+	if err != nil {
+		return nil, err
+	}
+	return p.mdlSess.Run(min, n)
+}
+
+// Close closes the child.
+func (p *PredictOp) Close() error { return p.Child.Close() }
+
+// Stats returns the operator statistics.
+func (p *PredictOp) Stats() *relational.OpStats { return &p.stats }
+
+// Children returns the single child.
+func (p *PredictOp) Children() []Operator { return []Operator{p.Child} }
+
+// renamePipelineInputs rewrites pipeline input names (and the operator
+// references to them) to the mapped child column names.
+func renamePipelineInputs(p *model.Pipeline, inputMap map[string]string) error {
+	rename := make(map[string]string, len(inputMap))
+	for i := range p.Inputs {
+		col, ok := inputMap[p.Inputs[i].Name]
+		if !ok {
+			return fmt.Errorf("engine: pipeline input %q is unbound", p.Inputs[i].Name)
+		}
+		rename[p.Inputs[i].Name] = col
+		p.Inputs[i].Name = col
+	}
+	for _, op := range p.Ops {
+		switch o := op.(type) {
+		case *model.StandardScaler:
+			o.In = renameVal(o.In, rename)
+		case *model.OneHotEncoder:
+			o.In = renameVal(o.In, rename)
+		case *model.LabelEncoder:
+			o.In = renameVal(o.In, rename)
+		case *model.Normalizer:
+			o.In = renameVal(o.In, rename)
+		case *model.Concat:
+			for i := range o.In {
+				o.In[i] = renameVal(o.In[i], rename)
+			}
+		case *model.FeatureExtractor:
+			o.In = renameVal(o.In, rename)
+		case *model.LinearModel:
+			o.In = renameVal(o.In, rename)
+		case *model.TreeEnsemble:
+			o.In = renameVal(o.In, rename)
+		}
+	}
+	return nil
+}
+
+func renameVal(v string, rename map[string]string) string {
+	if nv, ok := rename[v]; ok {
+		return nv
+	}
+	return v
+}
+
+func approxValueBytes(in map[string]mlruntime.Value) int64 {
+	var n int64
+	for _, v := range in {
+		if v.Block != nil {
+			n += int64(len(v.Block.Data) * 8)
+		} else {
+			for _, s := range v.Str {
+				n += int64(len(s)) + 16
+			}
+		}
+	}
+	return n
+}
+
+func timeOp(s *relational.OpStats) func() {
+	return relational.Timer(s)
+}

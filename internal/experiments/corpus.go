@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"raven/internal/openml"
+	"raven/internal/strategy"
+)
+
+// Fig1 reports the distribution statistics of the generated OpenML-like
+// corpus (§2.1 Fig. 1: boxplots of #operators, #inputs, #features,
+// %unused features, #tree nodes, #trees, avg tree depth).
+func Fig1(cfg Config, corpus int) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if corpus == 0 {
+		corpus = 500
+	}
+	cases, err := openml.Generate(openml.CorpusOptions{N: corpus, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig1",
+		Title:  fmt.Sprintf("Statistics of %d generated traditional-ML pipelines", len(cases)),
+		Header: []string{"metric", "min", "p25", "median", "p75", "max"},
+	}
+	for _, s := range openml.Summary(cases) {
+		rep.AddRow(s.Name, f1(s.Min), f1(s.P25), f1(s.Med), f1(s.P75), f1(s.Max))
+	}
+	rep.Note("corpus tails scaled down from the paper's (which reach 50M features / thousands of trees)")
+	return rep, nil
+}
+
+// Fig4 trains and cross-validates the three optimization strategies on
+// measured corpus runtimes (§5.2: stratified 5-fold CV repeated; the
+// paper uses 138 models × 40 repeats = 200 runs).
+func Fig4(cfg Config, corpus, folds, repeats int) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if corpus == 0 {
+		corpus = 138
+	}
+	if folds == 0 {
+		folds = 5
+	}
+	if repeats == 0 {
+		repeats = 40
+	}
+	cases, err := openml.Generate(openml.CorpusOptions{N: corpus, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	examples, err := openml.MeasureAll(cases)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:    "fig4",
+		Title: "Strategy speedup vs optimal (stratified CV)",
+		Header: []string{"strategy", "mean accuracy", "min", "p25", "median",
+			"p75", "max"},
+	}
+	for _, b := range strategy.Builders() {
+		res, err := strategy.CrossValidate(b, examples, folds, repeats, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		q := res.SpeedupQuantiles()
+		rep.AddRow(b.Name, f2(res.MeanAccuracy()),
+			f2(q[0]), f2(q[1]), f2(q[2]), f2(q[3]), f2(q[4]))
+	}
+	bal := strategy.ClassBalance(examples)
+	rep.Note("class balance (best transformation per model): %v (paper: 25 MLtoSQL / 72 MLtoDNN / 41 none)", bal)
+	rep.Note("%d models, %d-fold CV × %d repeats = %d runs per strategy",
+		len(examples), folds, repeats, folds*repeats)
+	return rep, nil
+}

@@ -1,0 +1,223 @@
+package hummingbird
+
+import (
+	"fmt"
+	"time"
+
+	"raven/internal/data"
+	"raven/internal/device"
+	"raven/internal/model"
+	"raven/internal/pipefold"
+	"raven/internal/tensor"
+)
+
+// Output holds one batch's predictions.
+type Output struct {
+	Score []float64
+	Label []float64
+}
+
+// Run executes the program over a columnar batch on the device, returning
+// predictions and the device cost log (with both measured and modeled
+// time filled in). Results are always computed for real on the host in
+// float32; only the clock is device-modeled.
+func (p *Program) Run(batch *data.Table, dev *device.Device) (*Output, *device.CostLog, error) {
+	t0 := time.Now()
+	n := batch.NumRows()
+	log := &device.CostLog{}
+	x, err := p.buildX(batch, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Host→device transfer: raw input columns as float32/int32.
+	log.BytesIn = int64(n*len(p.InputCols)) * 4
+	var scores *tensor.Mat
+	switch {
+	case p.linW != nil:
+		scores, err = p.runLinear(x, log)
+	case p.gemm != nil:
+		scores, err = p.runGEMM(x, log)
+	case p.tt != nil:
+		scores = p.runTT(x, log)
+	default:
+		return nil, nil, fmt.Errorf("hummingbird: program %q has no model part", p.Name)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Aggregation / post-transform.
+	switch {
+	case p.linW != nil:
+		if p.task == model.Classification {
+			scores.Sigmoid()
+			log.AddKernel()
+		}
+	case p.algo == model.RandomForest:
+		scores.Scale(1 / float32(p.nTrees))
+		log.AddKernel()
+	case p.algo == model.GradientBoosting:
+		scores.AddScalar(p.baseScore)
+		log.AddKernel()
+		if p.task == model.Classification {
+			scores.Sigmoid()
+			log.AddKernel()
+		}
+	}
+	out := &Output{Score: scores.Float64Col(0)}
+	if p.task == model.Classification {
+		lbl := scores.Threshold(0.5)
+		log.AddKernel()
+		out.Label = lbl.Float64Col(0)
+	} else {
+		out.Label = append([]float64(nil), out.Score...)
+	}
+	log.BytesOut = int64(n) * 8
+	log.MeasuredNanos = time.Since(t0).Nanoseconds()
+	return out, log, nil
+}
+
+// buildX materializes the feature matrix from the symbolic per-feature
+// programs (the on-device featurization kernels).
+func (p *Program) buildX(batch *data.Table, log *device.CostLog) (*tensor.Mat, error) {
+	n := batch.NumRows()
+	d := len(p.Features)
+	x := tensor.New(n, d)
+	for j, f := range p.Features {
+		log.AddKernel()
+		log.GatherElems += int64(n)
+		if f.Kind == pipefold.Const {
+			v := float32(f.Value)
+			for r := 0; r < n; r++ {
+				x.Set(r, j, v)
+			}
+			continue
+		}
+		c := batch.Col(f.Input)
+		if c == nil {
+			return nil, fmt.Errorf("hummingbird: batch lacks column %q", f.Input)
+		}
+		switch f.Kind {
+		case pipefold.Num:
+			for r := 0; r < n; r++ {
+				x.Set(r, j, float32(f.Apply(c.AsFloat(r))))
+			}
+		case pipefold.OneHot:
+			for r := 0; r < n; r++ {
+				raw := 0.0
+				if c.AsString(r) == f.Cat {
+					raw = 1
+				}
+				x.Set(r, j, float32(f.Apply(raw)))
+			}
+		case pipefold.Label:
+			idx := make(map[string]int, len(f.Categories))
+			for k, cat := range f.Categories {
+				idx[cat] = k
+			}
+			for r := 0; r < n; r++ {
+				raw := -1.0
+				if ix, ok := idx[c.AsString(r)]; ok {
+					raw = float64(ix)
+				}
+				x.Set(r, j, float32(f.Apply(raw)))
+			}
+		}
+	}
+	return x, nil
+}
+
+func (p *Program) runLinear(x *tensor.Mat, log *device.CostLog) (*tensor.Mat, error) {
+	w := &tensor.Mat{Rows: len(p.linW), Cols: 1, Data: p.linW}
+	y, err := tensor.MatMul(x, w)
+	if err != nil {
+		return nil, err
+	}
+	y.AddScalar(p.linB)
+	log.AddKernel()
+	log.AddKernel()
+	log.GEMMFlops += tensor.FLOPs(x.Rows, x.Cols, 1)
+	return y, nil
+}
+
+func (p *Program) runGEMM(x *tensor.Mat, log *device.CostLog) (*tensor.Mat, error) {
+	g := p.gemm
+	a := &tensor.Mat{Rows: g.dims, Cols: g.internal, Data: g.a}
+	t, err := tensor.MatMul(x, a)
+	if err != nil {
+		return nil, err
+	}
+	log.AddKernel()
+	log.GEMMFlops += tensor.FLOPs(x.Rows, x.Cols, g.internal)
+	t, err = tensor.LessEqBroadcast(t, g.b)
+	if err != nil {
+		return nil, err
+	}
+	log.AddKernel()
+	log.GatherElems += int64(t.Rows * t.Cols)
+	cm := &tensor.Mat{Rows: g.internal, Cols: g.leaves, Data: g.c}
+	pm, err := tensor.MatMul(t, cm)
+	if err != nil {
+		return nil, err
+	}
+	log.AddKernel()
+	log.GEMMFlops += tensor.FLOPs(t.Rows, t.Cols, g.leaves)
+	pm, err = tensor.EqBroadcast(pm, g.d)
+	if err != nil {
+		return nil, err
+	}
+	log.AddKernel()
+	log.GatherElems += int64(pm.Rows * pm.Cols)
+	em := &tensor.Mat{Rows: g.leaves, Cols: 1, Data: g.e}
+	y, err := tensor.MatMul(pm, em)
+	if err != nil {
+		return nil, err
+	}
+	log.AddKernel()
+	log.GEMMFlops += tensor.FLOPs(pm.Rows, pm.Cols, 1)
+	return y, nil
+}
+
+// runTT evaluates all trees with the vectorized traversal loop: every
+// (row, tree) pair walks one level per iteration via gathers.
+func (p *Program) runTT(x *tensor.Mat, log *device.CostLog) *tensor.Mat {
+	tt := p.tt
+	n := x.Rows
+	nt := len(tt.roots)
+	cur := make([]int32, n*nt)
+	for r := 0; r < n; r++ {
+		copy(cur[r*nt:(r+1)*nt], tt.roots)
+	}
+	for depth := 0; depth < tt.maxDepth; depth++ {
+		for r := 0; r < n; r++ {
+			row := x.Row(r)
+			base := r * nt
+			for t := 0; t < nt; t++ {
+				node := cur[base+t]
+				if x := row[tt.feat[node]]; x <= tt.thresh[node] {
+					cur[base+t] = tt.left[node]
+				} else {
+					cur[base+t] = tt.right[node]
+				}
+			}
+		}
+	}
+	// Each level is one fused gather/compare/select kernel on device.
+	log.Kernels += int64(tt.maxDepth)
+	log.GatherElems += int64(tt.maxDepth) * int64(n) * int64(nt) * 3
+	y := tensor.New(n, 1)
+	for r := 0; r < n; r++ {
+		s := float32(0)
+		base := r * nt
+		for t := 0; t < nt; t++ {
+			s += tt.value[cur[base+t]]
+		}
+		y.Data[r] = s
+	}
+	log.AddKernel()
+	log.GatherElems += int64(n * nt)
+	if p.algo == model.DecisionTree {
+		// Single tree: sum over one tree is the leaf value already.
+		return y
+	}
+	return y
+}

@@ -1,0 +1,347 @@
+// Package mlruntime interprets trained pipelines over batches of rows. It
+// stands in for ONNX Runtime in the paper: the data engine hands it
+// columnar batches, pays an explicit columnar-to-row-major conversion, and
+// receives prediction columns back. Session initialization (validation,
+// width inference) is performed once per session, mirroring the model
+// loading costs §7.4 of the paper discusses.
+package mlruntime
+
+import (
+	"fmt"
+	"math"
+
+	"raven/internal/data"
+	"raven/internal/model"
+)
+
+// Block is a dense row-major numeric value: Data[r*Cols+c].
+type Block struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewBlock allocates a zeroed block.
+func NewBlock(rows, cols int) *Block {
+	return &Block{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns the r-th row slice of the block.
+func (b *Block) Row(r int) []float64 { return b.Data[r*b.Cols : (r+1)*b.Cols] }
+
+// Value is one named value during execution: either a numeric Block or a
+// categorical string column.
+type Value struct {
+	Block *Block
+	Str   []string
+}
+
+// Rows returns the row count of the value.
+func (v Value) Rows() int {
+	if v.Block != nil {
+		return v.Block.Rows
+	}
+	return len(v.Str)
+}
+
+// Session is a validated, ready-to-run pipeline.
+type Session struct {
+	Pipeline *model.Pipeline
+	widths   map[string]model.ValueInfo
+}
+
+// NewSession validates the pipeline and prepares it for execution.
+func NewSession(p *model.Pipeline) (*Session, error) {
+	w, err := p.ValueWidths()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Pipeline: p, widths: w}, nil
+}
+
+// BindTable converts the columns a pipeline needs from a columnar batch
+// into runtime values. This is the explicit columnar→ML-format conversion
+// the paper attributes to the UDF boundary; numeric columns are copied
+// into fresh float64 vectors.
+func BindTable(p *model.Pipeline, t *data.Table) (map[string]Value, error) {
+	vals := make(map[string]Value, len(p.Inputs))
+	n := t.NumRows()
+	for _, in := range p.Inputs {
+		c := t.Col(in.Name)
+		if c == nil {
+			return nil, fmt.Errorf("mlruntime: batch lacks input column %q", in.Name)
+		}
+		if in.Categorical {
+			if c.Type != data.String {
+				// Render non-string categoricals (e.g. int codes) to strings.
+				s := make([]string, n)
+				for i := 0; i < n; i++ {
+					s[i] = c.AsString(i)
+				}
+				vals[in.Name] = Value{Str: s}
+			} else {
+				vals[in.Name] = Value{Str: c.Str}
+			}
+			continue
+		}
+		b := NewBlock(n, 1)
+		switch c.Type {
+		case data.Float64:
+			copy(b.Data, c.F64)
+		default:
+			for i := 0; i < n; i++ {
+				b.Data[i] = c.AsFloat(i)
+			}
+		}
+		vals[in.Name] = Value{Block: b}
+	}
+	return vals, nil
+}
+
+// Run executes the pipeline over the bound inputs and returns all declared
+// outputs. n is the batch row count (allowed to be 0).
+func (s *Session) Run(inputs map[string]Value, n int) (map[string]Value, error) {
+	vals := make(map[string]Value, len(inputs)+len(s.Pipeline.Ops))
+	for _, in := range s.Pipeline.Inputs {
+		v, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("mlruntime: missing input %q", in.Name)
+		}
+		if v.Rows() != n {
+			return nil, fmt.Errorf("mlruntime: input %q has %d rows, want %d", in.Name, v.Rows(), n)
+		}
+		vals[in.Name] = v
+	}
+	for _, op := range s.Pipeline.Ops {
+		if err := s.exec(op, vals, n); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]Value, len(s.Pipeline.Outputs))
+	for _, name := range s.Pipeline.Outputs {
+		v, ok := vals[name]
+		if !ok {
+			return nil, fmt.Errorf("mlruntime: output %q not produced", name)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// RunTable binds a columnar batch and runs the pipeline in one call.
+func (s *Session) RunTable(t *data.Table) (map[string]Value, error) {
+	in, err := BindTable(s.Pipeline, t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(in, t.NumRows())
+}
+
+func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
+	get := func(name string) (Value, error) {
+		v, ok := vals[name]
+		if !ok {
+			return Value{}, fmt.Errorf("mlruntime: op %q reads undefined value %q", op.OpName(), name)
+		}
+		return v, nil
+	}
+	switch o := op.(type) {
+	case *model.StandardScaler:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		out := NewBlock(n, in.Block.Cols)
+		w := in.Block.Cols
+		for r := 0; r < n; r++ {
+			src := in.Block.Row(r)
+			dst := out.Row(r)
+			for c := 0; c < w; c++ {
+				dst[c] = (src[c] - o.Offset[c]) * o.Scale[c]
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.OneHotEncoder:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		idx := make(map[string]int, len(o.Categories))
+		for i, c := range o.Categories {
+			idx[c] = i
+		}
+		out := NewBlock(n, len(o.Categories))
+		for r := 0; r < n; r++ {
+			if j, ok := idx[in.Str[r]]; ok {
+				out.Data[r*out.Cols+j] = 1
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.LabelEncoder:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		idx := make(map[string]int, len(o.Categories))
+		for i, c := range o.Categories {
+			idx[c] = i
+		}
+		out := NewBlock(n, 1)
+		for r := 0; r < n; r++ {
+			if j, ok := idx[in.Str[r]]; ok {
+				out.Data[r] = float64(j)
+			} else {
+				out.Data[r] = -1
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.Normalizer:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		out := NewBlock(n, in.Block.Cols)
+		for r := 0; r < n; r++ {
+			src := in.Block.Row(r)
+			dst := out.Row(r)
+			norm := 0.0
+			switch o.Norm {
+			case "l1":
+				for _, v := range src {
+					norm += math.Abs(v)
+				}
+			case "max":
+				for _, v := range src {
+					if a := math.Abs(v); a > norm {
+						norm = a
+					}
+				}
+			default: // l2
+				for _, v := range src {
+					norm += v * v
+				}
+				norm = math.Sqrt(norm)
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			for c, v := range src {
+				dst[c] = v / norm
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.Concat:
+		width := 0
+		ins := make([]*Block, len(o.In))
+		for i, name := range o.In {
+			v, err := get(name)
+			if err != nil {
+				return err
+			}
+			if v.Block == nil {
+				return fmt.Errorf("mlruntime: concat %q input %q is categorical", o.Name, name)
+			}
+			ins[i] = v.Block
+			width += v.Block.Cols
+		}
+		out := NewBlock(n, width)
+		for r := 0; r < n; r++ {
+			dst := out.Row(r)
+			off := 0
+			for _, b := range ins {
+				copy(dst[off:off+b.Cols], b.Row(r))
+				off += b.Cols
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.FeatureExtractor:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		out := NewBlock(n, len(o.Indices))
+		for r := 0; r < n; r++ {
+			src := in.Block.Row(r)
+			dst := out.Row(r)
+			for i, ix := range o.Indices {
+				dst[i] = src[ix]
+			}
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.Constant:
+		out := NewBlock(n, len(o.Values))
+		for r := 0; r < n; r++ {
+			copy(out.Row(r), o.Values)
+		}
+		vals[o.Out] = Value{Block: out}
+	case *model.LinearModel:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		score := NewBlock(n, 1)
+		for r := 0; r < n; r++ {
+			src := in.Block.Row(r)
+			s := o.Intercept
+			for c, w := range o.Coef {
+				s += w * src[c]
+			}
+			if o.Task == model.Classification {
+				s = model.Sigmoid(s)
+			}
+			score.Data[r] = s
+		}
+		vals[o.OutScore] = Value{Block: score}
+		if o.OutLabel != "" {
+			label := NewBlock(n, 1)
+			for r := 0; r < n; r++ {
+				if score.Data[r] > 0.5 {
+					label.Data[r] = 1
+				}
+			}
+			vals[o.OutLabel] = Value{Block: label}
+		}
+	case *model.TreeEnsemble:
+		in, err := get(o.In)
+		if err != nil {
+			return err
+		}
+		score := NewBlock(n, 1)
+		for r := 0; r < n; r++ {
+			score.Data[r] = o.Score(in.Block.Row(r))
+		}
+		vals[o.OutScore] = Value{Block: score}
+		if o.OutLabel != "" {
+			label := NewBlock(n, 1)
+			for r := 0; r < n; r++ {
+				if o.Task == model.Classification {
+					if score.Data[r] > 0.5 {
+						label.Data[r] = 1
+					}
+				} else {
+					label.Data[r] = score.Data[r]
+				}
+			}
+			vals[o.OutLabel] = Value{Block: label}
+		}
+	default:
+		return fmt.Errorf("mlruntime: unsupported operator kind %q", op.Kind())
+	}
+	return nil
+}
+
+// PredictColumn runs the pipeline on a batch and returns one output as a
+// data column (convenience for the engines).
+func (s *Session) PredictColumn(t *data.Table, output string) (*data.Column, error) {
+	outs, err := s.RunTable(t)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := outs[output]
+	if !ok {
+		return nil, fmt.Errorf("mlruntime: pipeline has no output %q", output)
+	}
+	if v.Block == nil || v.Block.Cols != 1 {
+		return nil, fmt.Errorf("mlruntime: output %q is not a single numeric column", output)
+	}
+	return data.NewFloat(output, v.Block.Data), nil
+}

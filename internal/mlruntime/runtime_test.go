@@ -1,0 +1,328 @@
+package mlruntime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/data"
+	"raven/internal/model"
+	"raven/internal/testfix"
+)
+
+func covidSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(testfix.CovidPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func covidJoined(t *testing.T) *data.Table {
+	t.Helper()
+	pi, pt, _ := testfix.CovidTables()
+	// Manually join on id (1:1, same order).
+	return data.MustNewTable("d",
+		pi.Col("id"), pi.Col("age"), pi.Col("asthma"), pi.Col("hypertension"),
+		pt.Col("bpm"),
+	)
+}
+
+func TestRunCovidPipeline(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	out, err := s.RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := out["score"].Block
+	if score == nil || score.Rows != 6 || score.Cols != 1 {
+		t.Fatalf("score shape wrong: %+v", score)
+	}
+	// Row 0: age=30, asthma=yes → scaled age = (30-50)*0.01 = -0.2 <= 0.6,
+	// hyper=no → F[5]=0 <= 0.5 → leaf 0.3.
+	if math.Abs(score.Data[0]-0.3) > 1e-12 {
+		t.Errorf("row 0 score = %v, want 0.3", score.Data[0])
+	}
+	// Row 3: age=80 asthma=yes → scaled age = 0.3 <= 0.6 → hyper=no → 0.3.
+	if math.Abs(score.Data[3]-0.3) > 1e-12 {
+		t.Errorf("row 3 score = %v, want 0.3", score.Data[3])
+	}
+	// Row 2: age=45, asthma=yes, hyper=yes → scaled -0.05<=0.6, F[5]=1 → 0.9.
+	if math.Abs(score.Data[2]-0.9) > 1e-12 {
+		t.Errorf("row 2 score = %v, want 0.9", score.Data[2])
+	}
+	// Row 1: asthma=no, bpm=110 → scaled bpm = 0.375 > 0.3 → F[4]: hyper=yes
+	// → F[4]=0 <= 0.5 → leaf 0.8.
+	if math.Abs(score.Data[1]-0.8) > 1e-12 {
+		t.Errorf("row 1 score = %v, want 0.8", score.Data[1])
+	}
+	label := out["label"].Block
+	for i := 0; i < 6; i++ {
+		want := 0.0
+		if score.Data[i] > 0.5 {
+			want = 1
+		}
+		if label.Data[i] != want {
+			t.Errorf("label[%d] = %v, want %v", i, label.Data[i], want)
+		}
+	}
+}
+
+func TestPredictColumn(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	col, err := s.PredictColumn(d, "score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 6 || col.Type != data.Float64 {
+		t.Fatalf("PredictColumn shape: %d %v", col.Len(), col.Type)
+	}
+	if _, err := s.PredictColumn(d, "ghost"); err == nil {
+		t.Fatal("expected error for unknown output")
+	}
+}
+
+func TestBindTableErrors(t *testing.T) {
+	p := testfix.CovidPipeline()
+	missing := data.MustNewTable("d", data.NewFloat("age", []float64{1}))
+	if _, err := BindTable(p, missing); err == nil {
+		t.Fatal("expected error for missing input column")
+	}
+}
+
+func TestBindTableCoercions(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "c",
+		Inputs: []model.Input{{Name: "x"}, {Name: "k", Categorical: true}},
+		Ops: []model.Operator{
+			&model.Concat{Name: "id", In: []string{"x"}, Out: "xv"},
+			&model.LabelEncoder{Name: "le", In: "k", Out: "kv", Categories: []string{"1", "2"}},
+			&model.Concat{Name: "f", In: []string{"xv", "kv"}, Out: "F"},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "s",
+				Coef: []float64{1, 1}, Task: model.Regression},
+		},
+		Outputs: []string{"s"},
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Int column as numeric input; int column as categorical input.
+	tb := data.MustNewTable("d",
+		data.NewInt("x", []int64{3, 4}),
+		data.NewInt("k", []int64{1, 9}),
+	)
+	out, err := s.RunTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out["s"].Block.Data
+	// Row 0: x=3 + labelenc("1")=0 → 3. Row 1: x=4 + unknown(-1) → 3.
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("coercion scores = %v", got)
+	}
+}
+
+func TestRunRowCountMismatch(t *testing.T) {
+	s := covidSession(t)
+	in, err := BindTable(s.Pipeline, covidJoined(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(in, 3); err == nil {
+		t.Fatal("expected row-count mismatch error")
+	}
+	if _, err := s.Run(map[string]Value{}, 0); err == nil {
+		t.Fatal("expected missing-input error")
+	}
+}
+
+func TestScalerAndNormalizer(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "n",
+		Inputs: []model.Input{{Name: "a"}, {Name: "b"}},
+		Ops: []model.Operator{
+			&model.Concat{Name: "c", In: []string{"a", "b"}, Out: "v"},
+			&model.Normalizer{Name: "nl2", In: "v", Out: "l2", Norm: "l2"},
+			&model.Normalizer{Name: "nl1", In: "v", Out: "l1", Norm: "l1"},
+			&model.Normalizer{Name: "nmax", In: "v", Out: "max", Norm: "max"},
+		},
+		Outputs: []string{"l2", "l1", "max"},
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := data.MustNewTable("d",
+		data.NewFloat("a", []float64{3, 0}),
+		data.NewFloat("b", []float64{4, 0}),
+	)
+	out, err := s.RunTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := out["l2"].Block
+	if math.Abs(l2.Data[0]-0.6) > 1e-12 || math.Abs(l2.Data[1]-0.8) > 1e-12 {
+		t.Errorf("l2 row0 = %v", l2.Row(0))
+	}
+	l1 := out["l1"].Block
+	if math.Abs(l1.Data[0]-3.0/7) > 1e-12 {
+		t.Errorf("l1 row0 = %v", l1.Row(0))
+	}
+	mx := out["max"].Block
+	if math.Abs(mx.Data[0]-0.75) > 1e-12 {
+		t.Errorf("max row0 = %v", mx.Row(0))
+	}
+	// Zero row: norm guarded to 1, values stay 0.
+	if l2.Data[2] != 0 || l1.Data[2] != 0 || mx.Data[2] != 0 {
+		t.Error("zero-row normalization should stay zero")
+	}
+}
+
+func TestFeatureExtractorAndConstant(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "fe",
+		Inputs: []model.Input{{Name: "a"}},
+		Ops: []model.Operator{
+			&model.Constant{Name: "k", Out: "kv", Values: []float64{10, 20}},
+			&model.Concat{Name: "c", In: []string{"a", "kv"}, Out: "v"},
+			&model.FeatureExtractor{Name: "f", In: "v", Out: "g", Indices: []int{2, 0}},
+		},
+		Outputs: []string{"g"},
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := data.MustNewTable("d", data.NewFloat("a", []float64{1, 2}))
+	out, err := s.RunTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := out["g"].Block
+	if g.Cols != 2 || g.Data[0] != 20 || g.Data[1] != 1 || g.Data[2] != 20 || g.Data[3] != 2 {
+		t.Fatalf("FE output = %+v", g)
+	}
+}
+
+func TestOneHotUnknownIsZero(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "oh",
+		Inputs: []model.Input{{Name: "k", Categorical: true}},
+		Ops: []model.Operator{
+			&model.OneHotEncoder{Name: "e", In: "k", Out: "v", Categories: []string{"a", "b"}},
+		},
+		Outputs: []string{"v"},
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := data.MustNewTable("d", data.NewString("k", []string{"b", "zzz"}))
+	out, err := s.RunTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out["v"].Block
+	if v.Data[0] != 0 || v.Data[1] != 1 {
+		t.Fatalf("known row = %v", v.Row(0))
+	}
+	if v.Data[2] != 0 || v.Data[3] != 0 {
+		t.Fatalf("unknown row = %v", v.Row(1))
+	}
+}
+
+func TestLinearClassifierOutputs(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "lin",
+		Inputs: []model.Input{{Name: "x"}},
+		Ops: []model.Operator{
+			&model.Concat{Name: "c", In: []string{"x"}, Out: "v"},
+			&model.LinearModel{Name: "m", In: "v", OutLabel: "label", OutScore: "score",
+				Coef: []float64{2}, Intercept: -1, Task: model.Classification},
+		},
+		Outputs: []string{"label", "score"},
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := data.MustNewTable("d", data.NewFloat("x", []float64{0, 1}))
+	out, err := s.RunTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := out["score"].Block.Data[0] // sigmoid(-1)
+	s1 := out["score"].Block.Data[1] // sigmoid(1)
+	if math.Abs(s0-model.Sigmoid(-1)) > 1e-12 || math.Abs(s1-model.Sigmoid(1)) > 1e-12 {
+		t.Fatalf("scores = %v %v", s0, s1)
+	}
+	if out["label"].Block.Data[0] != 0 || out["label"].Block.Data[1] != 1 {
+		t.Fatal("labels wrong")
+	}
+}
+
+// Property: the runtime agrees with direct per-row evaluation of the
+// ensemble for random inputs.
+func TestQuickEnsembleRuntimeParity(t *testing.T) {
+	pipe := testfix.CovidPipeline()
+	sess, err := NewSession(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := pipe.Op("tree").(*model.TreeEnsemble)
+	f := func(age, bpm float64, asthma, hyper bool) bool {
+		if math.IsNaN(age) || math.IsNaN(bpm) || math.IsInf(age, 0) || math.IsInf(bpm, 0) {
+			return true
+		}
+		cat := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		tb := data.MustNewTable("d",
+			data.NewFloat("age", []float64{age}),
+			data.NewFloat("bpm", []float64{bpm}),
+			data.NewString("asthma", []string{cat(asthma)}),
+			data.NewString("hypertension", []string{cat(hyper)}),
+		)
+		out, err := sess.RunTable(tb)
+		if err != nil {
+			return false
+		}
+		// Build the feature vector by hand.
+		F := make([]float64, 6)
+		F[0] = (age - 50) * 0.01
+		F[1] = (bpm - 80) * 0.0125
+		if asthma {
+			F[3] = 1
+		} else {
+			F[2] = 1
+		}
+		if hyper {
+			F[5] = 1
+		} else {
+			F[4] = 1
+		}
+		return out["score"].Block.Data[0] == ens.Score(F)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t).Slice(0, 0)
+	out, err := s.RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["score"].Rows() != 0 {
+		t.Fatal("empty batch should yield empty output")
+	}
+}

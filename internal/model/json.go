@@ -1,0 +1,107 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// opEnvelope wraps a serialized operator with its kind tag.
+type opEnvelope struct {
+	Kind string          `json:"kind"`
+	Op   json.RawMessage `json:"op"`
+}
+
+type pipelineJSON struct {
+	Name    string       `json:"name"`
+	Inputs  []Input      `json:"inputs"`
+	Ops     []opEnvelope `json:"ops"`
+	Outputs []string     `json:"outputs"`
+}
+
+// MarshalJSON serializes the pipeline, tagging each operator with its kind.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	pj := pipelineJSON{Name: p.Name, Inputs: p.Inputs, Outputs: p.Outputs}
+	for _, op := range p.Ops {
+		raw, err := json.Marshal(op)
+		if err != nil {
+			return nil, err
+		}
+		pj.Ops = append(pj.Ops, opEnvelope{Kind: op.Kind(), Op: raw})
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON deserializes a pipeline produced by MarshalJSON.
+func (p *Pipeline) UnmarshalJSON(b []byte) error {
+	var pj pipelineJSON
+	if err := json.Unmarshal(b, &pj); err != nil {
+		return err
+	}
+	p.Name, p.Inputs, p.Outputs = pj.Name, pj.Inputs, pj.Outputs
+	p.Ops = nil
+	for _, env := range pj.Ops {
+		op, err := decodeOp(env)
+		if err != nil {
+			return err
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return nil
+}
+
+func decodeOp(env opEnvelope) (Operator, error) {
+	var op Operator
+	switch env.Kind {
+	case "StandardScaler":
+		op = &StandardScaler{}
+	case "OneHotEncoder":
+		op = &OneHotEncoder{}
+	case "LabelEncoder":
+		op = &LabelEncoder{}
+	case "Normalizer":
+		op = &Normalizer{}
+	case "Concat":
+		op = &Concat{}
+	case "FeatureExtractor":
+		op = &FeatureExtractor{}
+	case "Constant":
+		op = &Constant{}
+	case "LinearModel":
+		op = &LinearModel{}
+	case "TreeEnsemble":
+		op = &TreeEnsemble{}
+	default:
+		return nil, fmt.Errorf("model: unknown op kind %q", env.Kind)
+	}
+	if err := json.Unmarshal(env.Op, op); err != nil {
+		return nil, fmt.Errorf("model: decoding %s: %w", env.Kind, err)
+	}
+	return op, nil
+}
+
+// Save writes the pipeline to path as JSON (the repo's ".onnx.json" model
+// file format).
+func (p *Pipeline) Save(path string) error {
+	b, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a pipeline from a JSON model file.
+func Load(path string) (*Pipeline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{}
+	if err := json.Unmarshal(b, p); err != nil {
+		return nil, fmt.Errorf("model: loading %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("model: loading %s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,385 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// smallTree: x[0] <= 1 -> 0.25, else (x[1] <= 2 -> 0.75 else 0.5)
+func smallTree() Tree {
+	return Tree{Nodes: []TreeNode{
+		{Feature: 0, Threshold: 1, Left: 1, Right: 2},
+		{Feature: -1, Value: 0.25},
+		{Feature: 1, Threshold: 2, Left: 3, Right: 4},
+		{Feature: -1, Value: 0.75},
+		{Feature: -1, Value: 0.5},
+	}}
+}
+
+func twoInputPipeline() *Pipeline {
+	return &Pipeline{
+		Name:   "p",
+		Inputs: []Input{{Name: "a"}, {Name: "b"}, {Name: "c", Categorical: true}},
+		Ops: []Operator{
+			&Concat{Name: "cat0", In: []string{"a", "b"}, Out: "num"},
+			&StandardScaler{Name: "sc", In: "num", Out: "scaled",
+				Offset: []float64{0, 0}, Scale: []float64{1, 1}},
+			&OneHotEncoder{Name: "ohe", In: "c", Out: "c_oh", Categories: []string{"x", "y", "z"}},
+			&Concat{Name: "cat1", In: []string{"scaled", "c_oh"}, Out: "F"},
+			&TreeEnsemble{Name: "m", In: "F", OutLabel: "label", OutScore: "score",
+				Trees: []Tree{smallTree()}, Task: Classification, Algo: DecisionTree, Features: 5},
+		},
+		Outputs: []string{"label", "score"},
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	p := twoInputPipeline()
+	w, err := p.ValueWidths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["F"].Width != 5 {
+		t.Fatalf("F width = %d, want 5", w["F"].Width)
+	}
+	if w["c_oh"].Width != 3 || w["scaled"].Width != 2 {
+		t.Fatalf("widths wrong: %+v", w)
+	}
+	if !w["c"].Categorical || w["a"].Categorical {
+		t.Fatal("categorical flags wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *Pipeline)
+	}{
+		{"undefined value", func(p *Pipeline) {
+			p.Ops[0].(*Concat).In[0] = "ghost"
+		}},
+		{"width mismatch scaler", func(p *Pipeline) {
+			p.Ops[1].(*StandardScaler).Offset = []float64{0}
+		}},
+		{"width mismatch model", func(p *Pipeline) {
+			p.Ops[4].(*TreeEnsemble).Features = 7
+		}},
+		{"duplicate op", func(p *Pipeline) {
+			p.Ops[1].(*StandardScaler).Name = "cat0"
+		}},
+		{"dangling output", func(p *Pipeline) {
+			p.Outputs = append(p.Outputs, "ghost")
+		}},
+		{"categorical into scaler", func(p *Pipeline) {
+			p.Ops[0].(*Concat).In = []string{"a", "c"}
+		}},
+		{"ohe on numeric", func(p *Pipeline) {
+			p.Ops[2].(*OneHotEncoder).In = "a"
+		}},
+		{"FE index out of range", func(p *Pipeline) {
+			p.Ops = append(p.Ops, &FeatureExtractor{Name: "fe", In: "F", Out: "G", Indices: []int{9}})
+		}},
+	}
+	for _, tc := range cases {
+		p := twoInputPipeline()
+		tc.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestTreeEval(t *testing.T) {
+	tr := smallTree()
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{0, 0}, 0.25},
+		{[]float64{1, 0}, 0.25}, // boundary goes left
+		{[]float64{2, 1}, 0.75},
+		{[]float64{2, 3}, 0.5},
+	}
+	for _, c := range cases {
+		if got := tr.Eval(c.x); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", tr.Depth())
+	}
+	if tr.NumLeaves() != 3 {
+		t.Errorf("NumLeaves = %d, want 3", tr.NumLeaves())
+	}
+	uf := tr.UsedFeatures()
+	if len(uf) != 2 || uf[0] != 0 || uf[1] != 1 {
+		t.Errorf("UsedFeatures = %v", uf)
+	}
+}
+
+func TestEnsembleAggregation(t *testing.T) {
+	t1 := Tree{Nodes: []TreeNode{{Feature: -1, Value: 0.2}}}
+	t2 := Tree{Nodes: []TreeNode{{Feature: -1, Value: 0.6}}}
+	rf := &TreeEnsemble{Trees: []Tree{t1, t2}, Algo: RandomForest, Task: Classification, Features: 1}
+	if got := rf.Score([]float64{0}); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("RF score = %v, want 0.4", got)
+	}
+	gb := &TreeEnsemble{Trees: []Tree{t1, t2}, Algo: GradientBoosting, Task: Classification,
+		BaseScore: 0.1, Features: 1}
+	want := Sigmoid(0.1 + 0.2 + 0.6)
+	if got := gb.Score([]float64{0}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GB score = %v, want %v", got, want)
+	}
+	gbr := &TreeEnsemble{Trees: []Tree{t1, t2}, Algo: GradientBoosting, Task: Regression,
+		BaseScore: 0.1, Features: 1}
+	if got := gbr.Score([]float64{0}); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("GB regression score = %v, want 0.9", got)
+	}
+	dt := &TreeEnsemble{Trees: []Tree{smallTree()}, Algo: DecisionTree, Task: Classification, Features: 2}
+	if got := dt.Score([]float64{5, 0}); got != 0.75 {
+		t.Errorf("DT score = %v, want 0.75", got)
+	}
+}
+
+func TestEnsembleStats(t *testing.T) {
+	e := &TreeEnsemble{Trees: []Tree{smallTree(), {Nodes: []TreeNode{{Feature: -1, Value: 1}}}},
+		Features: 2}
+	if e.TotalNodes() != 6 {
+		t.Errorf("TotalNodes = %d", e.TotalNodes())
+	}
+	if e.MaxDepth() != 2 {
+		t.Errorf("MaxDepth = %d", e.MaxDepth())
+	}
+	if e.MeanDepth() != 1 {
+		t.Errorf("MeanDepth = %v", e.MeanDepth())
+	}
+	if got := e.UsedFeatures(); len(got) != 2 {
+		t.Errorf("UsedFeatures = %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); s != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", s)
+	}
+	if s := Sigmoid(100); s <= 0.999 {
+		t.Errorf("Sigmoid(100) = %v", s)
+	}
+	if s := Sigmoid(-100); s >= 0.001 {
+		t.Errorf("Sigmoid(-100) = %v", s)
+	}
+	// Symmetric: sigmoid(-x) = 1 - sigmoid(x)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return math.Abs(Sigmoid(-x)-(1-Sigmoid(x))) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	p := twoInputPipeline()
+	if op := p.Producer("F"); op == nil || op.OpName() != "cat1" {
+		t.Fatalf("Producer(F) = %v", op)
+	}
+	if op := p.Producer("a"); op != nil {
+		t.Fatalf("Producer(input) should be nil, got %v", op.OpName())
+	}
+	cons := p.Consumers("scaled")
+	if len(cons) != 1 || cons[0].OpName() != "cat1" {
+		t.Fatalf("Consumers(scaled) = %v", cons)
+	}
+	if p.Op("sc") == nil || p.Op("ghost") != nil {
+		t.Fatal("Op lookup broken")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := twoInputPipeline()
+	c := p.Clone()
+	c.Ops[1].(*StandardScaler).Scale[0] = 99
+	if p.Ops[1].(*StandardScaler).Scale[0] == 99 {
+		t.Fatal("Clone shares scaler params")
+	}
+	c.Ops[4].(*TreeEnsemble).Trees[0].Nodes[0].Threshold = 42
+	if p.Ops[4].(*TreeEnsemble).Trees[0].Nodes[0].Threshold == 42 {
+		t.Fatal("Clone shares tree nodes")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	p := twoInputPipeline()
+	// Add an orphan op and input that contribute nothing.
+	p.Inputs = append(p.Inputs, Input{Name: "junk"})
+	p.Ops = append(p.Ops, &StandardScaler{Name: "deadsc", In: "junk", Out: "dead",
+		Offset: []float64{0}, Scale: []float64{1}})
+	removed := p.Prune()
+	if len(removed) != 1 || removed[0] != "junk" {
+		t.Fatalf("Prune removed = %v", removed)
+	}
+	if p.Op("deadsc") != nil {
+		t.Fatal("dead op survived Prune")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertReplaceRemove(t *testing.T) {
+	p := twoInputPipeline()
+	fe := &FeatureExtractor{Name: "fe", In: "F", Out: "F2", Indices: []int{0, 1, 2, 3, 4}}
+	if err := p.InsertBefore("m", fe); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Op("m").(*TreeEnsemble).CloneOp().(*TreeEnsemble)
+	m.In = "F2"
+	if err := p.ReplaceOp("m", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertBefore("ghost", fe); err == nil {
+		t.Fatal("expected error for missing anchor")
+	}
+	if err := p.ReplaceOp("ghost", fe); err == nil {
+		t.Fatal("expected error for missing op")
+	}
+	p.RemoveOp("fe")
+	if p.Op("fe") != nil {
+		t.Fatal("RemoveOp failed")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := twoInputPipeline()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Pipeline
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Ops) != len(p.Ops) {
+		t.Fatalf("round trip shape: %s/%d", got.Name, len(got.Ops))
+	}
+	te := got.Op("m").(*TreeEnsemble)
+	if te.Trees[0].Eval([]float64{5, 0, 0, 0, 0}) != 0.75 {
+		t.Fatal("tree did not survive round trip")
+	}
+	sc := got.Op("sc").(*StandardScaler)
+	if len(sc.Offset) != 2 {
+		t.Fatal("scaler params lost")
+	}
+}
+
+func TestJSONUnknownKind(t *testing.T) {
+	raw := `{"name":"x","inputs":[],"ops":[{"kind":"Mystery","op":{}}],"outputs":[]}`
+	var p Pipeline
+	if err := json.Unmarshal([]byte(raw), &p); err == nil {
+		t.Fatal("expected error for unknown op kind")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	p := twoInputPipeline()
+	path := t.TempDir() + "/m.onnx.json"
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "p" || got.NumFeatures() != 5 {
+		t.Fatalf("Load: name=%s feats=%d", got.Name, got.NumFeatures())
+	}
+	if _, err := Load(t.TempDir() + "/missing.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestFinalModelAndCounts(t *testing.T) {
+	p := twoInputPipeline()
+	if m := p.FinalModel(); m == nil || m.OpName() != "m" {
+		t.Fatalf("FinalModel = %v", m)
+	}
+	if p.NumFeatures() != 5 {
+		t.Fatalf("NumFeatures = %d", p.NumFeatures())
+	}
+	if p.CountKind("OneHotEncoder") != 1 || p.CountKind("Concat") != 2 {
+		t.Fatal("CountKind wrong")
+	}
+	if p.NumOperators() != 5 {
+		t.Fatalf("NumOperators = %d", p.NumOperators())
+	}
+	lm := &Pipeline{Name: "lin", Inputs: []Input{{Name: "a"}},
+		Ops: []Operator{&LinearModel{Name: "l", In: "a", OutScore: "s",
+			Coef: []float64{2}, Intercept: 1, Task: Regression}},
+		Outputs: []string{"s"}}
+	if lm.NumFeatures() != 1 {
+		t.Fatal("linear NumFeatures wrong")
+	}
+	empty := &Pipeline{Name: "e"}
+	if empty.FinalModel() != nil || empty.NumFeatures() != 0 {
+		t.Fatal("empty pipeline model handling wrong")
+	}
+}
+
+// Property: tree Eval always returns the value of some leaf.
+func TestQuickTreeEvalReturnsLeaf(t *testing.T) {
+	tr := smallTree()
+	leaves := map[float64]bool{0.25: true, 0.75: true, 0.5: true}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return leaves[tr.Eval([]float64{a, b})]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := twoInputPipeline()
+	s := p.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	for _, want := range []string{"pipeline p(", "c:cat", "TreeEnsemble"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if Classification.String() != "classification" || Regression.String() != "regression" {
+		t.Error("Task.String wrong")
+	}
+	if DecisionTree.String() != "decision_tree" || GradientBoosting.String() != "gradient_boosting" ||
+		RandomForest.String() != "random_forest" {
+		t.Error("Algo.String wrong")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

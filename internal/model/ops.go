@@ -1,0 +1,442 @@
+// Package model defines the trained-pipeline format: a DAG of ML operators
+// (featurizers, linear models, tree ensembles) with named values flowing
+// between them. It stands in for ONNX in the paper: pipelines are built by
+// the training library, serialized to JSON, executed by internal/mlruntime
+// and rewritten by the Raven optimizer.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task distinguishes classification from regression models.
+type Task uint8
+
+const (
+	// Classification models output a label and a class-1 probability score.
+	Classification Task = iota
+	// Regression models output a numeric score only.
+	Regression
+)
+
+func (t Task) String() string {
+	if t == Regression {
+		return "regression"
+	}
+	return "classification"
+}
+
+// Algo identifies the tree-ensemble flavour; it controls aggregation.
+type Algo uint8
+
+const (
+	// DecisionTree is a single tree; score is the leaf probability.
+	DecisionTree Algo = iota
+	// RandomForest averages leaf probabilities over trees.
+	RandomForest
+	// GradientBoosting sums leaf margins and applies a sigmoid
+	// (classification) or identity (regression).
+	GradientBoosting
+)
+
+func (a Algo) String() string {
+	switch a {
+	case DecisionTree:
+		return "decision_tree"
+	case RandomForest:
+		return "random_forest"
+	case GradientBoosting:
+		return "gradient_boosting"
+	}
+	return fmt.Sprintf("Algo(%d)", uint8(a))
+}
+
+// Operator is one node of a trained pipeline. Operators are identified by
+// Name (unique in the pipeline), consume the named Inputs values and
+// produce the named Outputs values.
+type Operator interface {
+	// OpName returns the unique node name.
+	OpName() string
+	// Kind returns the operator type tag used for serialization and rule
+	// dispatch (e.g. "StandardScaler").
+	Kind() string
+	// Inputs lists the consumed value names.
+	Inputs() []string
+	// Outputs lists the produced value names.
+	Outputs() []string
+	// CloneOp returns a deep copy.
+	CloneOp() Operator
+}
+
+// StandardScaler applies out[i] = (x[i] - Offset[i]) * Scale[i] per
+// feature, mirroring sklearn's StandardScaler / ONNX Scaler.
+type StandardScaler struct {
+	Name   string    `json:"name"`
+	In     string    `json:"input"`
+	Out    string    `json:"output"`
+	Offset []float64 `json:"offset"`
+	Scale  []float64 `json:"scale"`
+}
+
+func (o *StandardScaler) OpName() string    { return o.Name }
+func (o *StandardScaler) Kind() string      { return "StandardScaler" }
+func (o *StandardScaler) Inputs() []string  { return []string{o.In} }
+func (o *StandardScaler) Outputs() []string { return []string{o.Out} }
+func (o *StandardScaler) CloneOp() Operator {
+	c := *o
+	c.Offset = append([]float64(nil), o.Offset...)
+	c.Scale = append([]float64(nil), o.Scale...)
+	return &c
+}
+
+// OneHotEncoder expands one categorical value into len(Categories) binary
+// features. Values outside Categories encode to all zeros (sklearn
+// handle_unknown="ignore").
+type OneHotEncoder struct {
+	Name       string   `json:"name"`
+	In         string   `json:"input"`
+	Out        string   `json:"output"`
+	Categories []string `json:"categories"`
+}
+
+func (o *OneHotEncoder) OpName() string    { return o.Name }
+func (o *OneHotEncoder) Kind() string      { return "OneHotEncoder" }
+func (o *OneHotEncoder) Inputs() []string  { return []string{o.In} }
+func (o *OneHotEncoder) Outputs() []string { return []string{o.Out} }
+func (o *OneHotEncoder) CloneOp() Operator {
+	c := *o
+	c.Categories = append([]string(nil), o.Categories...)
+	return &c
+}
+
+// LabelEncoder maps a categorical value to its index in Categories
+// (unknown values map to -1).
+type LabelEncoder struct {
+	Name       string   `json:"name"`
+	In         string   `json:"input"`
+	Out        string   `json:"output"`
+	Categories []string `json:"categories"`
+}
+
+func (o *LabelEncoder) OpName() string    { return o.Name }
+func (o *LabelEncoder) Kind() string      { return "LabelEncoder" }
+func (o *LabelEncoder) Inputs() []string  { return []string{o.In} }
+func (o *LabelEncoder) Outputs() []string { return []string{o.Out} }
+func (o *LabelEncoder) CloneOp() Operator {
+	c := *o
+	c.Categories = append([]string(nil), o.Categories...)
+	return &c
+}
+
+// Normalizer rescales each row by its L1/L2/max norm.
+type Normalizer struct {
+	Name string `json:"name"`
+	In   string `json:"input"`
+	Out  string `json:"output"`
+	Norm string `json:"norm"` // "l1", "l2" or "max"
+}
+
+func (o *Normalizer) OpName() string    { return o.Name }
+func (o *Normalizer) Kind() string      { return "Normalizer" }
+func (o *Normalizer) Inputs() []string  { return []string{o.In} }
+func (o *Normalizer) Outputs() []string { return []string{o.Out} }
+func (o *Normalizer) CloneOp() Operator { c := *o; return &c }
+
+// Concat concatenates numeric values feature-wise.
+type Concat struct {
+	Name string   `json:"name"`
+	In   []string `json:"inputs"`
+	Out  string   `json:"output"`
+}
+
+func (o *Concat) OpName() string    { return o.Name }
+func (o *Concat) Kind() string      { return "Concat" }
+func (o *Concat) Inputs() []string  { return o.In }
+func (o *Concat) Outputs() []string { return []string{o.Out} }
+func (o *Concat) CloneOp() Operator {
+	c := *o
+	c.In = append([]string(nil), o.In...)
+	return &c
+}
+
+// FeatureExtractor keeps the listed feature indices of its input, like a
+// relational projection over the feature dimension (ONNX graphs commonly
+// contain these; Raven's ModelProj rule inserts and pushes them down).
+type FeatureExtractor struct {
+	Name    string `json:"name"`
+	In      string `json:"input"`
+	Out     string `json:"output"`
+	Indices []int  `json:"indices"`
+}
+
+func (o *FeatureExtractor) OpName() string    { return o.Name }
+func (o *FeatureExtractor) Kind() string      { return "FeatureExtractor" }
+func (o *FeatureExtractor) Inputs() []string  { return []string{o.In} }
+func (o *FeatureExtractor) Outputs() []string { return []string{o.Out} }
+func (o *FeatureExtractor) CloneOp() Operator {
+	c := *o
+	c.Indices = append([]int(nil), o.Indices...)
+	return &c
+}
+
+// Constant produces a fixed numeric vector broadcast to every row. The
+// predicate-based model pruning rule replaces equality-constrained inputs
+// with Constant nodes.
+type Constant struct {
+	Name   string    `json:"name"`
+	Out    string    `json:"output"`
+	Values []float64 `json:"values"`
+}
+
+func (o *Constant) OpName() string    { return o.Name }
+func (o *Constant) Kind() string      { return "Constant" }
+func (o *Constant) Inputs() []string  { return nil }
+func (o *Constant) Outputs() []string { return []string{o.Out} }
+func (o *Constant) CloneOp() Operator {
+	c := *o
+	c.Values = append([]float64(nil), o.Values...)
+	return &c
+}
+
+// LinearModel is a binary linear/logistic regressor: score is
+// w·x + b for regression or sigmoid(w·x + b) for classification, and
+// label is 1 when the score exceeds 0.5 (classification only).
+type LinearModel struct {
+	Name      string    `json:"name"`
+	In        string    `json:"input"`
+	OutLabel  string    `json:"out_label,omitempty"`
+	OutScore  string    `json:"out_score"`
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+	Task      Task      `json:"task"`
+}
+
+func (o *LinearModel) OpName() string   { return o.Name }
+func (o *LinearModel) Kind() string     { return "LinearModel" }
+func (o *LinearModel) Inputs() []string { return []string{o.In} }
+func (o *LinearModel) Outputs() []string {
+	if o.OutLabel == "" {
+		return []string{o.OutScore}
+	}
+	return []string{o.OutLabel, o.OutScore}
+}
+func (o *LinearModel) CloneOp() Operator {
+	c := *o
+	c.Coef = append([]float64(nil), o.Coef...)
+	return &c
+}
+
+// NFeatures returns the expected input width.
+func (o *LinearModel) NFeatures() int { return len(o.Coef) }
+
+// TreeNode is one node of a decision tree stored in array form. Internal
+// nodes route x[Feature] <= Threshold to Left, otherwise to Right.
+// Leaves have Feature == -1 and carry Value (a probability for DT/RF
+// classification, a margin for gradient boosting, a prediction for
+// regression).
+type TreeNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Value     float64 `json:"v"`
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n TreeNode) IsLeaf() bool { return n.Feature < 0 }
+
+// Tree is a decision tree; Nodes[0] is the root.
+type Tree struct {
+	Nodes []TreeNode `json:"nodes"`
+}
+
+// Clone returns a deep copy of the tree.
+func (t Tree) Clone() Tree {
+	return Tree{Nodes: append([]TreeNode(nil), t.Nodes...)}
+}
+
+// Eval routes x through the tree and returns the leaf value.
+func (t *Tree) Eval(x []float64) float64 {
+	i := 0
+	for {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum root-to-leaf depth (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	var rec func(i int) int
+	rec = func(i int) int {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return 0
+		}
+		l, r := rec(n.Left), rec(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return rec(0)
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	k := 0
+	for _, n := range t.Nodes {
+		if n.IsLeaf() {
+			k++
+		}
+	}
+	return k
+}
+
+// UsedFeatures returns the sorted set of feature indices tested by the
+// tree's internal nodes.
+func (t *Tree) UsedFeatures() []int {
+	seen := make(map[int]bool)
+	for _, n := range t.Nodes {
+		if !n.IsLeaf() {
+			seen[n.Feature] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// TreeEnsemble is a decision tree, random forest or gradient-boosting
+// model over a dense feature vector.
+type TreeEnsemble struct {
+	Name      string  `json:"name"`
+	In        string  `json:"input"`
+	OutLabel  string  `json:"out_label,omitempty"`
+	OutScore  string  `json:"out_score"`
+	Trees     []Tree  `json:"trees"`
+	Task      Task    `json:"task"`
+	Algo      Algo    `json:"algo"`
+	BaseScore float64 `json:"base_score"` // GB prior margin
+	Features  int     `json:"n_features"` // input width
+	// LearningRate scales GB tree margins (already baked into leaf values
+	// by training; kept for provenance).
+	LearningRate float64 `json:"learning_rate,omitempty"`
+}
+
+func (o *TreeEnsemble) OpName() string   { return o.Name }
+func (o *TreeEnsemble) Kind() string     { return "TreeEnsemble" }
+func (o *TreeEnsemble) Inputs() []string { return []string{o.In} }
+func (o *TreeEnsemble) Outputs() []string {
+	if o.OutLabel == "" {
+		return []string{o.OutScore}
+	}
+	return []string{o.OutLabel, o.OutScore}
+}
+func (o *TreeEnsemble) CloneOp() Operator {
+	c := *o
+	c.Trees = make([]Tree, len(o.Trees))
+	for i, t := range o.Trees {
+		c.Trees[i] = t.Clone()
+	}
+	return &c
+}
+
+// NFeatures returns the expected input width.
+func (o *TreeEnsemble) NFeatures() int { return o.Features }
+
+// Score aggregates the trees for one input row.
+func (o *TreeEnsemble) Score(x []float64) float64 {
+	switch o.Algo {
+	case GradientBoosting:
+		s := o.BaseScore
+		for i := range o.Trees {
+			s += o.Trees[i].Eval(x)
+		}
+		if o.Task == Classification {
+			return Sigmoid(s)
+		}
+		return s
+	case RandomForest:
+		s := 0.0
+		for i := range o.Trees {
+			s += o.Trees[i].Eval(x)
+		}
+		return s / float64(len(o.Trees))
+	default: // DecisionTree
+		return o.Trees[0].Eval(x)
+	}
+}
+
+// UsedFeatures returns the sorted union of features used by any tree.
+func (o *TreeEnsemble) UsedFeatures() []int {
+	seen := make(map[int]bool)
+	for i := range o.Trees {
+		for _, f := range o.Trees[i].UsedFeatures() {
+			seen[f] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// TotalNodes returns the node count summed over trees.
+func (o *TreeEnsemble) TotalNodes() int {
+	n := 0
+	for i := range o.Trees {
+		n += len(o.Trees[i].Nodes)
+	}
+	return n
+}
+
+// MaxDepth returns the maximum depth over trees.
+func (o *TreeEnsemble) MaxDepth() int {
+	d := 0
+	for i := range o.Trees {
+		if td := o.Trees[i].Depth(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// MeanDepth returns the mean tree depth.
+func (o *TreeEnsemble) MeanDepth() float64 {
+	if len(o.Trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range o.Trees {
+		s += float64(o.Trees[i].Depth())
+	}
+	return s / float64(len(o.Trees))
+}
+
+// Sigmoid is the logistic function used by classifiers.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

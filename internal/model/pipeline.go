@@ -1,0 +1,358 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Input declares one pipeline input column. Categorical inputs carry
+// string values of width 1; numeric inputs carry one float64.
+type Input struct {
+	Name        string `json:"name"`
+	Categorical bool   `json:"categorical,omitempty"`
+}
+
+// ValueInfo describes a named value flowing through the pipeline.
+type ValueInfo struct {
+	Width       int
+	Categorical bool
+}
+
+// Pipeline is a trained pipeline: a DAG of operators in topological order
+// producing the named Outputs (conventionally "label" and "score").
+type Pipeline struct {
+	Name    string     `json:"name"`
+	Inputs  []Input    `json:"inputs"`
+	Ops     []Operator `json:"-"`
+	Outputs []string   `json:"outputs"`
+}
+
+// Clone deep-copies the pipeline.
+func (p *Pipeline) Clone() *Pipeline {
+	c := &Pipeline{
+		Name:    p.Name,
+		Inputs:  append([]Input(nil), p.Inputs...),
+		Outputs: append([]string(nil), p.Outputs...),
+	}
+	c.Ops = make([]Operator, len(p.Ops))
+	for i, op := range p.Ops {
+		c.Ops[i] = op.CloneOp()
+	}
+	return c
+}
+
+// InputNames returns the pipeline input column names in order.
+func (p *Pipeline) InputNames() []string {
+	out := make([]string, len(p.Inputs))
+	for i, in := range p.Inputs {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// Input returns the input spec with the given name, or nil.
+func (p *Pipeline) Input(name string) *Input {
+	for i := range p.Inputs {
+		if p.Inputs[i].Name == name {
+			return &p.Inputs[i]
+		}
+	}
+	return nil
+}
+
+// Producer returns the operator producing the named value, or nil if the
+// value is a pipeline input (or unknown).
+func (p *Pipeline) Producer(value string) Operator {
+	for _, op := range p.Ops {
+		for _, out := range op.Outputs() {
+			if out == value {
+				return op
+			}
+		}
+	}
+	return nil
+}
+
+// Consumers returns the operators consuming the named value.
+func (p *Pipeline) Consumers(value string) []Operator {
+	var out []Operator
+	for _, op := range p.Ops {
+		for _, in := range op.Inputs() {
+			if in == value {
+				out = append(out, op)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Op returns the operator with the given node name, or nil.
+func (p *Pipeline) Op(name string) Operator {
+	for _, op := range p.Ops {
+		if op.OpName() == name {
+			return op
+		}
+	}
+	return nil
+}
+
+// RemoveOp deletes the named operator (its outputs must be unused).
+func (p *Pipeline) RemoveOp(name string) {
+	for i, op := range p.Ops {
+		if op.OpName() == name {
+			p.Ops = append(p.Ops[:i], p.Ops[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplaceOp swaps the named operator for a replacement in place.
+func (p *Pipeline) ReplaceOp(name string, repl Operator) error {
+	for i, op := range p.Ops {
+		if op.OpName() == name {
+			p.Ops[i] = repl
+			return nil
+		}
+	}
+	return fmt.Errorf("model: pipeline %q has no op %q", p.Name, name)
+}
+
+// InsertBefore inserts op immediately before the named operator.
+func (p *Pipeline) InsertBefore(name string, op Operator) error {
+	for i, o := range p.Ops {
+		if o.OpName() == name {
+			p.Ops = append(p.Ops[:i], append([]Operator{op}, p.Ops[i:]...)...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model: pipeline %q has no op %q", p.Name, name)
+}
+
+// ValueWidths type-checks the pipeline and returns the width (and
+// categorical flag) of every value. It verifies topological order, unique
+// names, matching operator arities and declared outputs.
+func (p *Pipeline) ValueWidths() (map[string]ValueInfo, error) {
+	vals := make(map[string]ValueInfo, len(p.Inputs)+len(p.Ops))
+	for _, in := range p.Inputs {
+		if _, dup := vals[in.Name]; dup {
+			return nil, fmt.Errorf("model: duplicate input %q", in.Name)
+		}
+		vals[in.Name] = ValueInfo{Width: 1, Categorical: in.Categorical}
+	}
+	names := make(map[string]bool, len(p.Ops))
+	for _, op := range p.Ops {
+		if names[op.OpName()] {
+			return nil, fmt.Errorf("model: duplicate op name %q", op.OpName())
+		}
+		names[op.OpName()] = true
+		widths := make([]ValueInfo, len(op.Inputs()))
+		for i, in := range op.Inputs() {
+			vi, ok := vals[in]
+			if !ok {
+				return nil, fmt.Errorf("model: op %q consumes undefined value %q", op.OpName(), in)
+			}
+			widths[i] = vi
+		}
+		outs, err := inferOutputs(op, widths)
+		if err != nil {
+			return nil, err
+		}
+		for i, out := range op.Outputs() {
+			if _, dup := vals[out]; dup {
+				return nil, fmt.Errorf("model: value %q produced twice", out)
+			}
+			vals[out] = outs[i]
+		}
+	}
+	for _, out := range p.Outputs {
+		if _, ok := vals[out]; !ok {
+			return nil, fmt.Errorf("model: declared output %q is never produced", out)
+		}
+	}
+	return vals, nil
+}
+
+// Validate type-checks the pipeline.
+func (p *Pipeline) Validate() error {
+	_, err := p.ValueWidths()
+	return err
+}
+
+func inferOutputs(op Operator, in []ValueInfo) ([]ValueInfo, error) {
+	num := func(i int) error {
+		if in[i].Categorical {
+			return fmt.Errorf("model: op %q input %d must be numeric", op.OpName(), i)
+		}
+		return nil
+	}
+	switch o := op.(type) {
+	case *StandardScaler:
+		if err := num(0); err != nil {
+			return nil, err
+		}
+		if len(o.Offset) != in[0].Width || len(o.Scale) != in[0].Width {
+			return nil, fmt.Errorf("model: scaler %q has %d params for width %d",
+				o.Name, len(o.Offset), in[0].Width)
+		}
+		return []ValueInfo{{Width: in[0].Width}}, nil
+	case *OneHotEncoder:
+		if !in[0].Categorical || in[0].Width != 1 {
+			return nil, fmt.Errorf("model: OHE %q needs a width-1 categorical input", o.Name)
+		}
+		return []ValueInfo{{Width: len(o.Categories)}}, nil
+	case *LabelEncoder:
+		if !in[0].Categorical || in[0].Width != 1 {
+			return nil, fmt.Errorf("model: label encoder %q needs a width-1 categorical input", o.Name)
+		}
+		return []ValueInfo{{Width: 1}}, nil
+	case *Normalizer:
+		if err := num(0); err != nil {
+			return nil, err
+		}
+		return []ValueInfo{{Width: in[0].Width}}, nil
+	case *Concat:
+		w := 0
+		for i := range in {
+			if err := num(i); err != nil {
+				return nil, err
+			}
+			w += in[i].Width
+		}
+		return []ValueInfo{{Width: w}}, nil
+	case *FeatureExtractor:
+		if err := num(0); err != nil {
+			return nil, err
+		}
+		for _, ix := range o.Indices {
+			if ix < 0 || ix >= in[0].Width {
+				return nil, fmt.Errorf("model: FE %q index %d out of range [0,%d)",
+					o.Name, ix, in[0].Width)
+			}
+		}
+		return []ValueInfo{{Width: len(o.Indices)}}, nil
+	case *Constant:
+		return []ValueInfo{{Width: len(o.Values)}}, nil
+	case *LinearModel:
+		if err := num(0); err != nil {
+			return nil, err
+		}
+		if in[0].Width != len(o.Coef) {
+			return nil, fmt.Errorf("model: linear %q expects width %d, got %d",
+				o.Name, len(o.Coef), in[0].Width)
+		}
+		if o.OutLabel == "" {
+			return []ValueInfo{{Width: 1}}, nil
+		}
+		return []ValueInfo{{Width: 1}, {Width: 1}}, nil
+	case *TreeEnsemble:
+		if err := num(0); err != nil {
+			return nil, err
+		}
+		if in[0].Width != o.Features {
+			return nil, fmt.Errorf("model: ensemble %q expects width %d, got %d",
+				o.Name, o.Features, in[0].Width)
+		}
+		if o.OutLabel == "" {
+			return []ValueInfo{{Width: 1}}, nil
+		}
+		return []ValueInfo{{Width: 1}, {Width: 1}}, nil
+	}
+	return nil, fmt.Errorf("model: unknown operator kind %q", op.Kind())
+}
+
+// Prune removes operators and inputs that do not (transitively) contribute
+// to the declared pipeline outputs. It returns the names of removed
+// pipeline inputs.
+func (p *Pipeline) Prune() []string {
+	needed := make(map[string]bool, len(p.Outputs))
+	for _, out := range p.Outputs {
+		needed[out] = true
+	}
+	for i := len(p.Ops) - 1; i >= 0; i-- {
+		op := p.Ops[i]
+		used := false
+		for _, out := range op.Outputs() {
+			if needed[out] {
+				used = true
+			}
+		}
+		if !used {
+			p.Ops = append(p.Ops[:i], p.Ops[i+1:]...)
+			continue
+		}
+		for _, in := range op.Inputs() {
+			needed[in] = true
+		}
+	}
+	var removed []string
+	kept := p.Inputs[:0]
+	for _, in := range p.Inputs {
+		if needed[in.Name] {
+			kept = append(kept, in)
+		} else {
+			removed = append(removed, in.Name)
+		}
+	}
+	p.Inputs = kept
+	return removed
+}
+
+// NumOperators returns the operator count.
+func (p *Pipeline) NumOperators() int { return len(p.Ops) }
+
+// CountKind returns the number of operators of the given kind.
+func (p *Pipeline) CountKind(kind string) int {
+	n := 0
+	for _, op := range p.Ops {
+		if op.Kind() == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// FinalModel returns the pipeline's predictive model operator (LinearModel
+// or TreeEnsemble) or nil if there is none. Pipelines in this repo carry
+// exactly one model; rules that need it use this accessor.
+func (p *Pipeline) FinalModel() Operator {
+	for i := len(p.Ops) - 1; i >= 0; i-- {
+		switch p.Ops[i].(type) {
+		case *LinearModel, *TreeEnsemble:
+			return p.Ops[i]
+		}
+	}
+	return nil
+}
+
+// NumFeatures returns the feature width consumed by the final model, or 0.
+func (p *Pipeline) NumFeatures() int {
+	switch m := p.FinalModel().(type) {
+	case *LinearModel:
+		return m.NFeatures()
+	case *TreeEnsemble:
+		return m.NFeatures()
+	}
+	return 0
+}
+
+// String renders a one-line-per-op description.
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %s(", p.Name)
+	for i, in := range p.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.Name)
+		if in.Categorical {
+			b.WriteString(":cat")
+		}
+	}
+	fmt.Fprintf(&b, ") -> %s\n", strings.Join(p.Outputs, ", "))
+	for _, op := range p.Ops {
+		fmt.Fprintf(&b, "  %s %s(%s) -> %s\n", op.Kind(), op.OpName(),
+			strings.Join(op.Inputs(), ","), strings.Join(op.Outputs(), ","))
+	}
+	return b.String()
+}

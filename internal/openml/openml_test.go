@@ -1,0 +1,128 @@
+package openml
+
+import (
+	"math"
+	"testing"
+
+	"raven/internal/model"
+	"raven/internal/strategy"
+)
+
+func smallCorpus(t *testing.T) []*Case {
+	t.Helper()
+	cases, err := Generate(CorpusOptions{N: 20, TrainRows: 150, EvalRows: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	cases := smallCorpus(t)
+	if len(cases) != 20 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	kinds := map[string]int{}
+	for _, c := range cases {
+		if err := c.Pipeline.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if c.Table.NumRows() != 300 {
+			t.Fatalf("%s eval rows = %d", c.Name, c.Table.NumRows())
+		}
+		kinds[c.Spec.Kind.String()]++
+		// Every pipeline input must exist in the eval table.
+		for _, in := range c.Pipeline.Inputs {
+			if !c.Table.HasCol(in.Name) {
+				t.Fatalf("%s: eval table lacks %q", c.Name, in.Name)
+			}
+		}
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("model-kind variety too low: %v", kinds)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(CorpusOptions{N: 4, TrainRows: 100, EvalRows: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(CorpusOptions{N: 4, TrainRows: 100, EvalRows: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Spec.Kind != b[i].Spec.Kind || a[i].Pipeline.NumFeatures() != b[i].Pipeline.NumFeatures() {
+			t.Fatalf("case %d differs between runs", i)
+		}
+	}
+}
+
+func TestMeasureProducesFiniteBaseline(t *testing.T) {
+	cases := smallCorpus(t)[:6]
+	examples, err := MeasureAll(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range examples {
+		if e.Runtimes[0] <= 0 || math.IsInf(e.Runtimes[0], 0) {
+			t.Fatalf("%s: ML runtime time = %v", e.Name, e.Runtimes[0])
+		}
+		// SQL and DNN may be Inf only when translation failed; for the
+		// generated corpus (no normalizers) they must be finite.
+		if math.IsInf(e.Runtimes[1], 0) || math.IsInf(e.Runtimes[2], 0) {
+			t.Fatalf("%s: translated runtimes = %v", e.Name, e.Runtimes)
+		}
+		if e.F == nil {
+			t.Fatalf("%s: no features", e.Name)
+		}
+	}
+	// The corpus must not be degenerate: at least two different winners.
+	if len(strategy.ClassBalance(examples)) < 2 {
+		t.Skipf("tiny corpus produced a single winner; acceptable at N=6")
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	cases := smallCorpus(t)
+	stats := Summary(cases)
+	if len(stats) != 7 {
+		t.Fatalf("stats rows = %d", len(stats))
+	}
+	byName := map[string]Stat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+		if s.Min > s.P25 || s.P25 > s.Med || s.Med > s.P75 || s.P75 > s.Max {
+			t.Fatalf("%s: quantiles not monotone: %+v", s.Name, s)
+		}
+	}
+	if byName["# inputs"].Med < 3 {
+		t.Fatalf("median inputs = %v", byName["# inputs"].Med)
+	}
+	if byName["# features"].Med < byName["# inputs"].Med {
+		t.Fatal("features after encoding should exceed inputs")
+	}
+	if byName["% unused features"].Max <= 0 {
+		t.Fatal("corpus should contain unused features (Fig 1 shows ~46% mean)")
+	}
+	// Tree stats exist because most models are tree-based.
+	if byName["# trees"].Max < 1 {
+		t.Fatal("no tree models in corpus")
+	}
+}
+
+func TestCorpusHasUnusedFeatures(t *testing.T) {
+	cases := smallCorpus(t)
+	anyUnused := false
+	for _, c := range cases {
+		if e, ok := c.Pipeline.FinalModel().(*model.TreeEnsemble); ok {
+			if len(e.UsedFeatures()) < e.Features {
+				anyUnused = true
+			}
+		}
+	}
+	if !anyUnused {
+		t.Fatal("no pipeline left features unused; ModelProj would be pointless")
+	}
+}

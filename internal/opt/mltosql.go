@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"fmt"
+
+	"raven/internal/model"
+	"raven/internal/pipefold"
+	"raven/internal/relational"
+)
+
+// CompileToSQL translates a whole trained pipeline into relational
+// expressions over the bound input columns (the MLtoSQL transformation,
+// §5.1): scalers become arithmetic, one-hot encoders become CASE
+// expressions, trees become nested CASE expressions (depth-first, one
+// branch per path with used inputs), linear models become weighted sums,
+// and classifiers get a SIGMOID on the margin. Like the paper's
+// implementation it translates the whole pipeline or fails.
+func CompileToSQL(p *model.Pipeline, inputMap, outputMap map[string]string) ([]relational.NamedExpr, error) {
+	final := p.FinalModel()
+	if final == nil {
+		return nil, fmt.Errorf("opt: MLtoSQL needs a model operator in %q", p.Name)
+	}
+	feats, err := pipefold.Fold(p)
+	if err != nil {
+		return nil, fmt.Errorf("opt: MLtoSQL: %w", err)
+	}
+	fx := make([]relational.Expr, len(feats))
+	for i, f := range feats {
+		e, err := featureExpr(f, inputMap)
+		if err != nil {
+			return nil, err
+		}
+		fx[i] = e
+	}
+	var scoreExpr relational.Expr
+	var task model.Task
+	var labelVal, scoreVal string
+	switch m := final.(type) {
+	case *model.LinearModel:
+		scoreExpr = linearExpr(m, fx)
+		task, labelVal, scoreVal = m.Task, m.OutLabel, m.OutScore
+	case *model.TreeEnsemble:
+		scoreExpr = ensembleExpr(m, fx)
+		task, labelVal, scoreVal = m.Task, m.OutLabel, m.OutScore
+	default:
+		return nil, fmt.Errorf("opt: MLtoSQL cannot translate %q", final.Kind())
+	}
+	var out []relational.NamedExpr
+	for _, v := range p.Outputs {
+		col, ok := outputMap[v]
+		if !ok {
+			continue
+		}
+		switch v {
+		case scoreVal:
+			out = append(out, relational.NamedExpr{Name: col, E: scoreExpr})
+		case labelVal:
+			labelExpr := scoreExpr
+			if task == model.Classification {
+				labelExpr = &relational.Case{
+					Whens: []relational.When{{
+						Cond: relational.NewBinOp(relational.OpGt, scoreExpr, relational.Num(0.5)),
+						Then: relational.Num(1),
+					}},
+					Else: relational.Num(0),
+				}
+			}
+			out = append(out, relational.NamedExpr{Name: col, E: labelExpr})
+		default:
+			return nil, fmt.Errorf("opt: MLtoSQL cannot produce output %q", v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("opt: MLtoSQL produced no outputs")
+	}
+	return out, nil
+}
+
+// featureExpr renders one folded feature program as SQL.
+func featureExpr(f pipefold.Feature, inputMap map[string]string) (relational.Expr, error) {
+	colName := func() (string, error) {
+		col, ok := inputMap[f.Input]
+		if !ok {
+			return "", fmt.Errorf("opt: MLtoSQL: input %q unbound", f.Input)
+		}
+		return col, nil
+	}
+	switch f.Kind {
+	case pipefold.Const:
+		return relational.Num(f.Value), nil
+	case pipefold.Num:
+		col, err := colName()
+		if err != nil {
+			return nil, err
+		}
+		return affineExpr(relational.Col(col), f.Offset, f.Scale), nil
+	case pipefold.OneHot:
+		col, err := colName()
+		if err != nil {
+			return nil, err
+		}
+		// Fold the affine part into the branch constants.
+		return &relational.Case{
+			Whens: []relational.When{{
+				Cond: relational.NewBinOp(relational.OpEq, relational.Col(col), relational.Str(f.Cat)),
+				Then: relational.Num(f.Apply(1)),
+			}},
+			Else: relational.Num(f.Apply(0)),
+		}, nil
+	case pipefold.Label:
+		col, err := colName()
+		if err != nil {
+			return nil, err
+		}
+		whens := make([]relational.When, len(f.Categories))
+		for i, cat := range f.Categories {
+			whens[i] = relational.When{
+				Cond: relational.NewBinOp(relational.OpEq, relational.Col(col), relational.Str(cat)),
+				Then: relational.Num(f.Apply(float64(i))),
+			}
+		}
+		return &relational.Case{Whens: whens, Else: relational.Num(f.Apply(-1))}, nil
+	}
+	return nil, fmt.Errorf("opt: MLtoSQL: unknown feature kind %d", f.Kind)
+}
+
+func affineExpr(col relational.Expr, offset, scale float64) relational.Expr {
+	e := col
+	if offset != 0 {
+		e = relational.NewBinOp(relational.OpSub, e, relational.Num(offset))
+	}
+	if scale != 1 {
+		e = relational.NewBinOp(relational.OpMul, e, relational.Num(scale))
+	}
+	return e
+}
+
+// linearExpr renders Σ wᵢ·fᵢ + b, skipping zero weights (the sparsity
+// Fig. 9 sweeps over shows up directly as shorter SQL).
+func linearExpr(m *model.LinearModel, fx []relational.Expr) relational.Expr {
+	var sum relational.Expr = relational.Num(m.Intercept)
+	for i, w := range m.Coef {
+		if w == 0 {
+			continue
+		}
+		term := relational.NewBinOp(relational.OpMul, relational.Num(w), fx[i])
+		sum = relational.NewBinOp(relational.OpAdd, sum, term)
+	}
+	if m.Task == model.Classification {
+		return &relational.Func{Fn: relational.FnSigmoid, Arg: sum}
+	}
+	return sum
+}
+
+// treeExpr renders one tree as a nested CASE via depth-first traversal.
+func treeExpr(t *model.Tree, fx []relational.Expr) relational.Expr {
+	var rec func(i int) relational.Expr
+	rec = func(i int) relational.Expr {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return relational.Num(n.Value)
+		}
+		return &relational.Case{
+			Whens: []relational.When{{
+				Cond: relational.NewBinOp(relational.OpLe, fx[n.Feature], relational.Num(n.Threshold)),
+				Then: rec(n.Left),
+			}},
+			Else: rec(n.Right),
+		}
+	}
+	if len(t.Nodes) == 0 {
+		return relational.Num(0)
+	}
+	return rec(0)
+}
+
+// ensembleExpr renders a tree ensemble: single CASE for decision trees,
+// averaged sum for forests, sigmoid-wrapped margin sum for boosting.
+func ensembleExpr(m *model.TreeEnsemble, fx []relational.Expr) relational.Expr {
+	if m.Algo == model.DecisionTree {
+		return treeExpr(&m.Trees[0], fx)
+	}
+	var sum relational.Expr
+	for i := range m.Trees {
+		te := treeExpr(&m.Trees[i], fx)
+		if sum == nil {
+			sum = te
+		} else {
+			sum = relational.NewBinOp(relational.OpAdd, sum, te)
+		}
+	}
+	if sum == nil {
+		sum = relational.Num(0)
+	}
+	switch m.Algo {
+	case model.RandomForest:
+		return relational.NewBinOp(relational.OpDiv, sum, relational.Num(float64(len(m.Trees))))
+	default: // GradientBoosting
+		margin := relational.NewBinOp(relational.OpAdd, relational.Num(m.BaseScore), sum)
+		if m.Task == model.Classification {
+			return &relational.Func{Fn: relational.FnSigmoid, Arg: margin}
+		}
+		return margin
+	}
+}

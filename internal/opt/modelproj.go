@@ -1,0 +1,338 @@
+package opt
+
+import (
+	"fmt"
+
+	"raven/internal/ir"
+	"raven/internal/model"
+)
+
+// modelProjectionPushdown is the model-to-data cross-optimization (§4.1):
+// detect features unused by the model, densify the model, insert a
+// FeatureExtractor projecting them out, and push it down through the
+// featurizers until whole inputs disappear. The relational projection
+// pushdown (projection.go) then removes the freed columns from scans and
+// joins.
+func modelProjectionPushdown(n *ir.Node, rep *Report) error {
+	p := n.Pipeline
+	final := p.FinalModel()
+	if final == nil {
+		return nil
+	}
+	width, used := modelUsage(final)
+	if width == 0 || len(used) == width {
+		return nil
+	}
+	if len(used) == 0 {
+		// Degenerate constant model; nothing references any feature, but a
+		// zero-width extractor is invalid — leave one feature in place.
+		used = []int{0}
+	}
+	// Pass 1: densify the model and insert the extractor.
+	densify(final, used)
+	fe := &model.FeatureExtractor{
+		Name: "modelproj_fe", In: final.Inputs()[0], Out: "modelproj_dense", Indices: used,
+	}
+	if err := p.InsertBefore(final.OpName(), fe); err != nil {
+		return err
+	}
+	rewireSingleInput(final, fe.Out)
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("opt: densify broke pipeline: %w", err)
+	}
+	// Pass 2: push extractors down to fixpoint.
+	if err := pushExtractorsDown(p); err != nil {
+		return err
+	}
+	// Drop dead operators and inputs; unbind removed inputs.
+	removed := p.Prune()
+	for _, in := range removed {
+		rep.RemovedInputs = append(rep.RemovedInputs, in)
+		delete(n.InputMap, in)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("opt: projection pushdown broke pipeline: %w", err)
+	}
+	rep.fire("model-projection-pushdown")
+	return nil
+}
+
+// modelUsage returns the model's input width and the sorted list of used
+// feature indices (non-zero coefficients / features tested by any tree).
+func modelUsage(final model.Operator) (width int, used []int) {
+	switch m := final.(type) {
+	case *model.LinearModel:
+		for i, w := range m.Coef {
+			if w != 0 {
+				used = append(used, i)
+			}
+		}
+		return len(m.Coef), used
+	case *model.TreeEnsemble:
+		return m.Features, m.UsedFeatures()
+	}
+	return 0, nil
+}
+
+// densify remaps the model to the dense feature space defined by used.
+func densify(final model.Operator, used []int) {
+	remap := make(map[int]int, len(used))
+	for dense, orig := range used {
+		remap[orig] = dense
+	}
+	switch m := final.(type) {
+	case *model.LinearModel:
+		coef := make([]float64, len(used))
+		for dense, orig := range used {
+			coef[dense] = m.Coef[orig]
+		}
+		m.Coef = coef
+	case *model.TreeEnsemble:
+		for ti := range m.Trees {
+			for ni := range m.Trees[ti].Nodes {
+				nd := &m.Trees[ti].Nodes[ni]
+				if !nd.IsLeaf() {
+					nd.Feature = remap[nd.Feature]
+				}
+			}
+		}
+		m.Features = len(used)
+	}
+}
+
+func rewireSingleInput(op model.Operator, newIn string) {
+	switch o := op.(type) {
+	case *model.LinearModel:
+		o.In = newIn
+	case *model.TreeEnsemble:
+		o.In = newIn
+	case *model.StandardScaler:
+		o.In = newIn
+	case *model.Normalizer:
+		o.In = newIn
+	case *model.FeatureExtractor:
+		o.In = newIn
+	}
+}
+
+// pushExtractorsDown repeatedly applies the pushdown rules until no
+// FeatureExtractor can move further.
+func pushExtractorsDown(p *model.Pipeline) error {
+	fresh := 0
+	newName := func(prefix string) string {
+		fresh++
+		return fmt.Sprintf("%s_%d", prefix, fresh)
+	}
+	for {
+		changed := false
+		widths, err := p.ValueWidths()
+		if err != nil {
+			return err
+		}
+		outputs := make(map[string]bool, len(p.Outputs))
+		for _, o := range p.Outputs {
+			outputs[o] = true
+		}
+		for _, op := range p.Ops {
+			fe, ok := op.(*model.FeatureExtractor)
+			if !ok {
+				continue
+			}
+			// Identity extractors disappear (unless they define a declared
+			// pipeline output).
+			if in, ok := widths[fe.In]; ok && len(fe.Indices) == in.Width &&
+				ascending(fe.Indices) && !outputs[fe.Out] {
+				removeIdentityFE(p, fe)
+				changed = true
+				break
+			}
+			prod := p.Producer(fe.In)
+			if prod == nil {
+				continue // extractor directly over a pipeline input
+			}
+			if len(p.Consumers(fe.In)) != 1 {
+				continue // the producer's full output is needed elsewhere
+			}
+			ok, err := pushOneExtractor(p, fe, prod, newName)
+			if err != nil {
+				return err
+			}
+			if ok {
+				changed = true
+				break // op list mutated; restart the scan
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// removeIdentityFE deletes an identity extractor, rewiring its consumers.
+func removeIdentityFE(p *model.Pipeline, fe *model.FeatureExtractor) bool {
+	for _, c := range p.Consumers(fe.Out) {
+		switch o := c.(type) {
+		case *model.Concat:
+			for i := range o.In {
+				if o.In[i] == fe.Out {
+					o.In[i] = fe.In
+				}
+			}
+		default:
+			rewireSingleInput(c, fe.In)
+		}
+	}
+	p.RemoveOp(fe.Name)
+	return true
+}
+
+// pushOneExtractor applies one pushdown step of fe through its producer.
+func pushOneExtractor(p *model.Pipeline, fe *model.FeatureExtractor, prod model.Operator,
+	newName func(string) string) (bool, error) {
+	switch o := prod.(type) {
+	case *model.Concat:
+		widths, err := concatWidths(p, o)
+		if err != nil {
+			return false, err
+		}
+		// Split fe.Indices into per-input local index lists.
+		offsets := make([]int, len(o.In)+1)
+		for i, w := range widths {
+			offsets[i+1] = offsets[i] + w
+		}
+		perInput := make([][]int, len(o.In))
+		for _, ix := range fe.Indices {
+			for seg := 0; seg < len(o.In); seg++ {
+				if ix >= offsets[seg] && ix < offsets[seg+1] {
+					perInput[seg] = append(perInput[seg], ix-offsets[seg])
+					break
+				}
+			}
+		}
+		var newIns []string
+		var newFEs []model.Operator
+		for seg, idxs := range perInput {
+			if len(idxs) == 0 {
+				continue // whole segment unused: drop it from the concat
+			}
+			if len(idxs) == widths[seg] && ascending(idxs) {
+				newIns = append(newIns, o.In[seg]) // identity segment
+				continue
+			}
+			nfe := &model.FeatureExtractor{
+				Name: newName("fe"), In: o.In[seg], Out: newName("fev"), Indices: idxs,
+			}
+			newFEs = append(newFEs, nfe)
+			newIns = append(newIns, nfe.Out)
+		}
+		if len(newIns) == 0 {
+			return false, fmt.Errorf("opt: extractor %q keeps no concat segment", fe.Name)
+		}
+		for _, nfe := range newFEs {
+			if err := p.InsertBefore(o.Name, nfe); err != nil {
+				return false, err
+			}
+		}
+		// The concat now produces the extractor's output directly.
+		nc := &model.Concat{Name: o.Name, In: newIns, Out: fe.Out}
+		if err := p.ReplaceOp(o.Name, nc); err != nil {
+			return false, err
+		}
+		p.RemoveOp(fe.Name)
+		return true, nil
+	case *model.StandardScaler:
+		ns := &model.StandardScaler{
+			Name: o.Name, In: newName("fev"), Out: fe.Out,
+			Offset: selectF(o.Offset, fe.Indices),
+			Scale:  selectF(o.Scale, fe.Indices),
+		}
+		nfe := &model.FeatureExtractor{
+			Name: newName("fe"), In: o.In, Out: ns.In, Indices: fe.Indices,
+		}
+		if err := p.InsertBefore(o.Name, nfe); err != nil {
+			return false, err
+		}
+		if err := p.ReplaceOp(o.Name, ns); err != nil {
+			return false, err
+		}
+		p.RemoveOp(fe.Name)
+		return true, nil
+	case *model.OneHotEncoder:
+		// FE ∘ OHE = OHE with the category list restricted (unknown values
+		// already encode to zeros, so dropping categories is exact).
+		if !ascending(fe.Indices) {
+			return false, nil
+		}
+		no := &model.OneHotEncoder{
+			Name: o.Name, In: o.In, Out: fe.Out,
+			Categories: selectS(o.Categories, fe.Indices),
+		}
+		if err := p.ReplaceOp(o.Name, no); err != nil {
+			return false, err
+		}
+		p.RemoveOp(fe.Name)
+		return true, nil
+	case *model.Constant:
+		nc := &model.Constant{Name: o.Name, Out: fe.Out, Values: selectF(o.Values, fe.Indices)}
+		if err := p.ReplaceOp(o.Name, nc); err != nil {
+			return false, err
+		}
+		p.RemoveOp(fe.Name)
+		return true, nil
+	case *model.FeatureExtractor:
+		comp := make([]int, len(fe.Indices))
+		for i, ix := range fe.Indices {
+			comp[i] = o.Indices[ix]
+		}
+		nf := &model.FeatureExtractor{Name: o.Name, In: o.In, Out: fe.Out, Indices: comp}
+		if err := p.ReplaceOp(o.Name, nf); err != nil {
+			return false, err
+		}
+		p.RemoveOp(fe.Name)
+		return true, nil
+	}
+	// Normalizer and others: the extractor cannot move (row norms depend
+	// on all features).
+	return false, nil
+}
+
+func concatWidths(p *model.Pipeline, c *model.Concat) ([]int, error) {
+	widths, err := p.ValueWidths()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(c.In))
+	for i, in := range c.In {
+		vi, ok := widths[in]
+		if !ok {
+			return nil, fmt.Errorf("opt: concat %q input %q undefined", c.Name, in)
+		}
+		out[i] = vi.Width
+	}
+	return out, nil
+}
+
+func ascending(idxs []int) bool {
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] <= idxs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func selectF(vals []float64, idxs []int) []float64 {
+	out := make([]float64, len(idxs))
+	for i, ix := range idxs {
+		out[i] = vals[ix]
+	}
+	return out
+}
+
+func selectS(vals []string, idxs []int) []string {
+	out := make([]string, len(idxs))
+	for i, ix := range idxs {
+		out[i] = vals[ix]
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"raven/internal/ir"
+	"raven/internal/model"
+	"raven/internal/pipefold"
+	"raven/internal/relational"
+)
+
+// conjunct is one simple predicate (column op literal) extracted from a
+// filter expression.
+type conjunct struct {
+	col   string
+	op    relational.BinOpKind
+	num   float64
+	str   string
+	isStr bool
+}
+
+// splitConjuncts flattens an AND tree into simple column-vs-literal
+// predicates; non-conforming subtrees are skipped (they still execute as
+// filters, they just do not inform the optimizer).
+func splitConjuncts(e relational.Expr, out *[]conjunct) {
+	b, ok := e.(*relational.BinOp)
+	if !ok {
+		return
+	}
+	if b.Op == relational.OpAnd {
+		splitConjuncts(b.L, out)
+		splitConjuncts(b.R, out)
+		return
+	}
+	col, okc := b.L.(*relational.ColRef)
+	if !okc {
+		return
+	}
+	switch lit := b.R.(type) {
+	case *relational.LitFloat:
+		*out = append(*out, conjunct{col: col.Name, op: b.Op, num: lit.V})
+	case *relational.LitString:
+		*out = append(*out, conjunct{col: col.Name, op: b.Op, str: lit.V, isStr: true})
+	}
+}
+
+// inputConstraint aggregates the predicates touching one pipeline input.
+type inputConstraint struct {
+	eq    bool
+	eqStr string
+	eqNum float64
+	isStr bool
+	iv    Interval
+	hasIv bool
+}
+
+// collectConstraints turns the filter chain directly below a predict node
+// into per-pipeline-input constraints using the node's input bindings.
+func collectConstraints(pred *ir.Node) map[string]*inputConstraint {
+	var conjs []conjunct
+	for child := pred.Children[0]; child != nil && child.Kind == ir.KindFilter; {
+		splitConjuncts(child.Pred, &conjs)
+		if len(child.Children) == 0 {
+			break
+		}
+		child = child.Children[0]
+	}
+	colToInput := make(map[string]string, len(pred.InputMap))
+	for in, col := range pred.InputMap {
+		colToInput[col] = in
+	}
+	out := make(map[string]*inputConstraint)
+	for _, c := range conjs {
+		in, ok := colToInput[c.col]
+		if !ok {
+			continue
+		}
+		ic := out[in]
+		if ic == nil {
+			ic = &inputConstraint{iv: Unbounded()}
+			out[in] = ic
+		}
+		if c.isStr {
+			if c.op == relational.OpEq {
+				ic.eq, ic.isStr, ic.eqStr = true, true, c.str
+			}
+			continue
+		}
+		switch c.op {
+		case relational.OpEq:
+			ic.eq, ic.eqNum = true, c.num
+			ic.iv = ic.iv.Intersect(Point(c.num))
+			ic.hasIv = true
+		case relational.OpLt:
+			ic.iv = ic.iv.Intersect(Interval{Lo: math.Inf(-1), Hi: c.num, HiStrict: true})
+			ic.hasIv = true
+		case relational.OpLe:
+			ic.iv = ic.iv.Intersect(Interval{Lo: math.Inf(-1), Hi: c.num})
+			ic.hasIv = true
+		case relational.OpGt:
+			ic.iv = ic.iv.Intersect(Interval{Lo: c.num, Hi: math.Inf(1), LoStrict: true})
+			ic.hasIv = true
+		case relational.OpGe:
+			ic.iv = ic.iv.Intersect(Interval{Lo: c.num, Hi: math.Inf(1)})
+			ic.hasIv = true
+		}
+	}
+	return out
+}
+
+// predicateModelPruning is the data-to-model cross-optimization: equality
+// predicates turn pipeline inputs into constants (removing them from the
+// model's input list), and equality/range predicates prune tree branches
+// after being pushed through the featurizers.
+func predicateModelPruning(n *ir.Node, constraints map[string]*inputConstraint, rep *Report) error {
+	if len(constraints) == 0 {
+		return nil
+	}
+	p := n.Pipeline
+	// Step 1: replace equality-constrained inputs with constant nodes.
+	for inName, ic := range constraints {
+		if !ic.eq {
+			continue
+		}
+		if err := constantFoldInput(p, inName, ic); err != nil {
+			return err
+		}
+		delete(n.InputMap, inName)
+		rep.ConstantInputs = append(rep.ConstantInputs, inName)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("opt: predicate pruning broke pipeline: %w", err)
+	}
+	// Step 2: push range constraints through featurizers and prune trees.
+	ivs := map[string]Interval{}
+	for inName, ic := range constraints {
+		if ic.hasIv && !ic.eq {
+			ivs[inName] = ic.iv
+		}
+	}
+	return pruneModelWithInputIntervals(p, ivs, rep)
+}
+
+// pruneModelWithInputIntervals folds the pipeline, derives feature
+// intervals (constants included) and prunes tree models / folds constant
+// linear terms.
+func pruneModelWithInputIntervals(p *model.Pipeline, ivs map[string]Interval, rep *Report) error {
+	final := p.FinalModel()
+	if final == nil {
+		return nil
+	}
+	feats, err := pipefold.Fold(p)
+	if err != nil {
+		// Pipelines with non-foldable operators are executed unoptimized,
+		// matching the paper's "models with unsupported operators are
+		// executed but not optimized".
+		rep.Notes = append(rep.Notes, "predicate pruning skipped: "+err.Error())
+		return nil
+	}
+	fivs := featureIntervals(feats, ivs)
+	switch m := final.(type) {
+	case *model.TreeEnsemble:
+		before := m.TotalNodes()
+		if pruneEnsembleWithIntervals(m, fivs) {
+			rep.fire("predicate-based-model-pruning")
+			rep.TreeNodesPruned += before - m.TotalNodes()
+		}
+	case *model.LinearModel:
+		// Fold constant features into the intercept.
+		folded := 0
+		for i, iv := range fivs {
+			if iv.IsPoint() && m.Coef[i] != 0 {
+				m.Intercept += m.Coef[i] * iv.Lo
+				m.Coef[i] = 0
+				folded++
+			}
+		}
+		if folded > 0 {
+			rep.fire("predicate-based-model-pruning")
+			rep.LinearTermsFolded += folded
+		}
+	}
+	return nil
+}
+
+// constantFoldInput replaces a pipeline input with constants: numeric
+// inputs become a Constant node; categorical inputs fold directly into
+// their encoders (the OHE becomes the encoded constant vector).
+func constantFoldInput(p *model.Pipeline, inName string, ic *inputConstraint) error {
+	in := p.Input(inName)
+	if in == nil {
+		return fmt.Errorf("opt: pipeline %q has no input %q", p.Name, inName)
+	}
+	if !in.Categorical {
+		if ic.isStr {
+			return fmt.Errorf("opt: string equality on numeric input %q", inName)
+		}
+		removeInput(p, inName)
+		// The Constant keeps producing the value under the input's name.
+		p.Ops = append([]model.Operator{&model.Constant{
+			Name: "const_" + inName, Out: inName, Values: []float64{ic.eqNum},
+		}}, p.Ops...)
+		return nil
+	}
+	if !ic.isStr {
+		return fmt.Errorf("opt: numeric equality on categorical input %q", inName)
+	}
+	// Fold the value through each encoder consuming this input.
+	for _, op := range p.Consumers(inName) {
+		switch o := op.(type) {
+		case *model.OneHotEncoder:
+			vals := make([]float64, len(o.Categories))
+			for i, c := range o.Categories {
+				if c == ic.eqStr {
+					vals[i] = 1
+				}
+			}
+			if err := p.ReplaceOp(o.Name, &model.Constant{Name: o.Name, Out: o.Out, Values: vals}); err != nil {
+				return err
+			}
+		case *model.LabelEncoder:
+			idx := -1.0
+			for i, c := range o.Categories {
+				if c == ic.eqStr {
+					idx = float64(i)
+				}
+			}
+			if err := p.ReplaceOp(o.Name, &model.Constant{Name: o.Name, Out: o.Out, Values: []float64{idx}}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("opt: categorical input %q consumed by non-encoder %q", inName, op.OpName())
+		}
+	}
+	removeInput(p, inName)
+	return nil
+}
+
+func removeInput(p *model.Pipeline, name string) {
+	for i := range p.Inputs {
+		if p.Inputs[i].Name == name {
+			p.Inputs = append(p.Inputs[:i], p.Inputs[i+1:]...)
+			return
+		}
+	}
+}
+
+// outputPredicatePruning handles predicates on prediction outputs (e.g.
+// score > 0.5): for single decision trees, subtrees whose leaves all fail
+// collapse into one leaf. The filter above the predict still runs, so
+// results are unchanged.
+func outputPredicatePruning(root, n *ir.Node, rep *Report) {
+	ens, ok := n.Pipeline.FinalModel().(*model.TreeEnsemble)
+	if !ok || ens.Algo != model.DecisionTree || len(ens.Trees) != 1 {
+		return
+	}
+	parent := ir.Parent(root, n)
+	if parent == nil || parent.Kind != ir.KindFilter {
+		return
+	}
+	var conjs []conjunct
+	splitConjuncts(parent.Pred, &conjs)
+	sp := scorePredicate{iv: Unbounded()}
+	seen := false
+	scoreCol := n.OutputMap[ens.OutScore]
+	labelCol := n.OutputMap[ens.OutLabel]
+	for _, c := range conjs {
+		if c.isStr {
+			continue
+		}
+		switch c.col {
+		case scoreCol:
+			switch c.op {
+			case relational.OpGt:
+				sp.iv = sp.iv.Intersect(Interval{Lo: c.num, Hi: math.Inf(1), LoStrict: true})
+			case relational.OpGe:
+				sp.iv = sp.iv.Intersect(Interval{Lo: c.num, Hi: math.Inf(1)})
+			case relational.OpLt:
+				sp.iv = sp.iv.Intersect(Interval{Lo: math.Inf(-1), Hi: c.num, HiStrict: true})
+			case relational.OpLe:
+				sp.iv = sp.iv.Intersect(Interval{Lo: math.Inf(-1), Hi: c.num})
+			case relational.OpEq:
+				sp.iv = sp.iv.Intersect(Point(c.num))
+			default:
+				continue
+			}
+			seen = true
+		case labelCol:
+			if c.op != relational.OpEq || ens.Task != model.Classification {
+				continue
+			}
+			if c.num == 1 {
+				sp.iv = sp.iv.Intersect(Interval{Lo: 0.5, Hi: math.Inf(1), LoStrict: true})
+			} else {
+				sp.iv = sp.iv.Intersect(Interval{Lo: math.Inf(-1), Hi: 0.5})
+			}
+			seen = true
+		}
+	}
+	if !seen || labelCol == "" && scoreCol == "" {
+		return
+	}
+	before := ens.TotalNodes()
+	nt, changed := pruneTreeByOutput(&ens.Trees[0], sp)
+	if changed {
+		ens.Trees[0] = nt
+		rep.fire("output-predicate-pruning")
+		rep.TreeNodesPruned += before - ens.TotalNodes()
+	}
+}

@@ -1,0 +1,327 @@
+package opt
+
+import (
+	"fmt"
+
+	"raven/internal/data"
+	"raven/internal/ir"
+	"raven/internal/relational"
+)
+
+// pushdownRelationalProjections is the "well known optimization triggered
+// by the data engine" of the paper (§2.2): a top-down required-columns
+// analysis that narrows scans to the columns actually consumed, trims
+// projection lists, and — under the foreign-key assumption — eliminates
+// joins whose build side contributes nothing but its key. After
+// model-projection pushdown removed inputs from the pipeline, this pass is
+// what converts them into IO and shuffle savings.
+func pushdownRelationalProjections(g *ir.Graph, cat ir.Catalog, assumeFK bool, rep *Report) error {
+	rootCols, err := ir.OutputColumns(g.Root, cat)
+	if err != nil {
+		return err
+	}
+	needed := make(map[string]bool, len(rootCols))
+	for _, c := range rootCols {
+		needed[c] = true
+	}
+	root, err := pushNeeded(g.Root, needed, cat, assumeFK, rep)
+	if err != nil {
+		return err
+	}
+	g.Root = root
+	return nil
+}
+
+func pushNeeded(n *ir.Node, needed map[string]bool, cat ir.Catalog, assumeFK bool, rep *Report) (*ir.Node, error) {
+	switch n.Kind {
+	case ir.KindProject:
+		// Keep only the expressions someone upstream needs.
+		kept := n.Exprs[:0]
+		for _, e := range n.Exprs {
+			if needed[e.Name] {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			kept = n.Exprs[:1] // preserve row cardinality
+		}
+		n.Exprs = kept
+		childNeeded := map[string]bool{}
+		for _, e := range n.Exprs {
+			relational.Columns(e.E, childNeeded)
+		}
+		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0] = child
+		return n, nil
+	case ir.KindFilter:
+		childNeeded := cloneSet(needed)
+		relational.Columns(n.Pred, childNeeded)
+		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0] = child
+		return n, nil
+	case ir.KindAggregate:
+		childNeeded := map[string]bool{}
+		for _, a := range n.Aggs {
+			if a.Col != "" {
+				childNeeded[a.Col] = true
+			}
+		}
+		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0] = child
+		return n, nil
+	case ir.KindPredict:
+		childNeeded := map[string]bool{}
+		if n.KeepInput {
+			outs := make(map[string]bool, len(n.OutputMap))
+			for _, col := range n.OutputMap {
+				outs[col] = true
+			}
+			for c := range needed {
+				if !outs[c] {
+					childNeeded[c] = true
+				}
+			}
+		}
+		for _, col := range n.InputMap {
+			childNeeded[col] = true
+		}
+		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0] = child
+		return n, nil
+	case ir.KindUnion:
+		for i, c := range n.Children {
+			nc, err := pushNeeded(c, cloneSet(needed), cat, assumeFK, rep)
+			if err != nil {
+				return nil, err
+			}
+			n.Children[i] = nc
+		}
+		return n, nil
+	case ir.KindJoin:
+		needed = cloneSet(needed)
+		needed[n.LeftKey] = true
+		needed[n.RightKey] = true
+		rightCols, err := ir.OutputColumns(n.Children[1], cat)
+		if err != nil {
+			return nil, err
+		}
+		rightSet := make(map[string]bool, len(rightCols))
+		for _, c := range rightCols {
+			rightSet[c] = true
+		}
+		if assumeFK {
+			// If nothing but the key is needed from the build side, the
+			// join is a no-op under FK integrity (each probe row matches
+			// exactly once) — unless the probe key itself comes from the
+			// build side.
+			onlyKey := true
+			for c := range needed {
+				if rightSet[c] && c != n.RightKey {
+					onlyKey = false
+					break
+				}
+			}
+			if onlyKey && rightSet[n.RightKey] && !rightSet[n.LeftKey] {
+				rep.EliminatedJoins++
+				rep.fire("join-elimination")
+				delete(needed, n.RightKey)
+				return pushNeeded(n.Children[0], needed, cat, assumeFK, rep)
+			}
+		}
+		leftNeeded := map[string]bool{}
+		rightNeeded := map[string]bool{}
+		for c := range needed {
+			if rightSet[c] {
+				rightNeeded[c] = true
+			} else {
+				leftNeeded[c] = true
+			}
+		}
+		l, err := pushNeeded(n.Children[0], leftNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushNeeded(n.Children[1], rightNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0], n.Children[1] = l, r
+		return n, nil
+	case ir.KindScan:
+		t, ok := cat.Table(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("opt: unknown table %q", n.Table)
+		}
+		var cols []string
+		for _, f := range t.Schema() {
+			if needed[ir.Qualify(n.Alias, f.Name)] {
+				cols = append(cols, f.Name)
+			}
+		}
+		if len(cols) == 0 {
+			// Preserve cardinality with the narrowest column.
+			cols = []string{t.Schema()[0].Name}
+		}
+		n.Columns = cols
+		if rep.ScanColumns == nil {
+			rep.ScanColumns = map[string][]string{}
+		}
+		rep.ScanColumns[ir.Qualify(n.Alias, n.Table)] = cols
+		return n, nil
+	}
+	return n, nil
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// pushdownZonePredicates copies filter conjuncts onto the scans they
+// constrain as zone predicates, enabling partition skipping from min/max
+// statistics (the engine-side half of data skipping, §4.2).
+func pushdownZonePredicates(g *ir.Graph, rep *Report) {
+	var conjs []conjunct
+	ir.Walk(g.Root, func(n *ir.Node) {
+		if n.Kind == ir.KindFilter {
+			splitConjuncts(n.Pred, &conjs)
+		}
+	})
+	if len(conjs) == 0 {
+		return
+	}
+	scans := ir.FindAll(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindScan })
+	count := 0
+	for _, s := range scans {
+		for _, c := range conjs {
+			base, matches := scanColumn(s, c.col)
+			if !matches {
+				continue
+			}
+			zp := relational.ZonePredicate{Col: base, Op: c.op}
+			if c.isStr {
+				zp.IsStr, zp.StrV = true, c.str
+			} else {
+				zp.Val = c.num
+			}
+			s.Prune = append(s.Prune, zp)
+			count++
+		}
+	}
+	if count > 0 {
+		rep.fire("zone-predicate-pushdown")
+	}
+}
+
+// scanColumn reports whether a qualified filter column refers to this
+// scan, returning the base column name. Columns renamed by intermediate
+// projections (e.g. the CTE rename d.x ← pi.x) still match by base name
+// when only one scan provides it.
+func scanColumn(s *ir.Node, col string) (string, bool) {
+	alias := s.Alias
+	base := ir.BaseName(col)
+	if alias != "" && col == ir.Qualify(alias, base) {
+		return base, true
+	}
+	return base, false
+}
+
+// resolveRenamedPredicates maps filter conjuncts expressed over renamed
+// columns (d.x) back to scan columns (pi.x) by following project
+// expressions, then applies zone predicates. This widens partition
+// skipping to queries using CTE renames.
+func resolveRenamedPredicates(g *ir.Graph, cat ir.Catalog, rep *Report) {
+	// Build rename map: projected name -> source column (only for pure
+	// column references).
+	rename := map[string]string{}
+	ir.Walk(g.Root, func(n *ir.Node) {
+		if n.Kind != ir.KindProject {
+			return
+		}
+		for _, e := range n.Exprs {
+			if cr, ok := e.E.(*relational.ColRef); ok && e.Name != cr.Name {
+				rename[e.Name] = cr.Name
+			}
+		}
+	})
+	if len(rename) == 0 {
+		return
+	}
+	var conjs []conjunct
+	ir.Walk(g.Root, func(n *ir.Node) {
+		if n.Kind == ir.KindFilter {
+			splitConjuncts(n.Pred, &conjs)
+		}
+	})
+	scans := ir.FindAll(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindScan })
+	count := 0
+	for _, c := range conjs {
+		src := c.col
+		for {
+			if next, ok := rename[src]; ok {
+				src = next
+				continue
+			}
+			break
+		}
+		if src == c.col {
+			continue
+		}
+		for _, s := range scans {
+			if _, ok := cat.Table(s.Table); !ok {
+				continue
+			}
+			if src != ir.Qualify(s.Alias, ir.BaseName(src)) {
+				continue
+			}
+			zp := relational.ZonePredicate{Col: ir.BaseName(src), Op: c.op}
+			if c.isStr {
+				zp.IsStr, zp.StrV = true, c.str
+			} else {
+				zp.Val = c.num
+			}
+			s.Prune = append(s.Prune, zp)
+			count++
+		}
+	}
+	if count > 0 {
+		rep.fire("zone-predicate-pushdown")
+	}
+}
+
+// scanStatsFor returns the global column statistics of the (unique) table
+// a predict node reads through the given bound column, or nil.
+func scanStatsFor(root *ir.Node, cat ir.Catalog, col string) *data.ColStats {
+	base := ir.BaseName(col)
+	scans := ir.FindAll(root, func(n *ir.Node) bool { return n.Kind == ir.KindScan })
+	var found *data.ColStats
+	for _, s := range scans {
+		t, ok := cat.Table(s.Table)
+		if !ok {
+			continue
+		}
+		stats := t.GlobalStats()
+		if cs, ok := stats[base]; ok {
+			if found != nil {
+				return nil // ambiguous across tables
+			}
+			found = cs
+		}
+	}
+	return found
+}

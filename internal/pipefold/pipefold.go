@@ -1,0 +1,141 @@
+// Package pipefold symbolically folds a trained pipeline's featurization
+// DAG into one closed-form program per dense model feature. Several Raven
+// components share this analysis: predicate-based model pruning pushes
+// input constraints through it into feature intervals, MLtoSQL renders
+// each feature program as a SQL expression, and the data-induced rule maps
+// column statistics onto features.
+package pipefold
+
+import (
+	"fmt"
+
+	"raven/internal/model"
+)
+
+// Kind enumerates feature program kinds.
+type Kind uint8
+
+// Feature program kinds.
+const (
+	// Num is (input - Offset) * Scale for a numeric input.
+	Num Kind = iota
+	// OneHot is (1[input == Cat] - Offset) * Scale for a categorical.
+	OneHot
+	// Label is (index(input in Categories, else -1) - Offset) * Scale.
+	Label
+	// Const is the fixed value Value.
+	Const
+)
+
+// Feature is the closed-form program for one dense feature.
+type Feature struct {
+	Kind       Kind
+	Input      string // pipeline input name
+	Cat        string
+	Categories []string
+	Offset     float64
+	Scale      float64
+	Value      float64 // Const only
+}
+
+// Affine reports whether offset/scale are non-trivial.
+func (f Feature) Affine() bool { return f.Offset != 0 || f.Scale != 1 }
+
+// Apply evaluates the affine part on a raw value.
+func (f Feature) Apply(raw float64) float64 { return (raw - f.Offset) * f.Scale }
+
+// Fold computes the feature programs for the final model's input value.
+// It fails on operators without a closed form (e.g. Normalizer), which is
+// exactly the coverage boundary of MLtoSQL / MLtoDNN in the paper.
+func Fold(p *model.Pipeline) ([]Feature, error) {
+	final := p.FinalModel()
+	if final == nil {
+		return nil, fmt.Errorf("pipefold: pipeline %q has no model operator", p.Name)
+	}
+	return FoldValue(p, final.Inputs()[0])
+}
+
+// FoldValue computes the feature programs for an arbitrary numeric value
+// in the pipeline.
+func FoldValue(p *model.Pipeline, target string) ([]Feature, error) {
+	memo := make(map[string][]Feature)
+	var eval func(value string) ([]Feature, error)
+	eval = func(value string) ([]Feature, error) {
+		if fs, ok := memo[value]; ok {
+			return fs, nil
+		}
+		if in := p.Input(value); in != nil {
+			if in.Categorical {
+				return nil, fmt.Errorf("pipefold: categorical input %q used as numeric", value)
+			}
+			return []Feature{{Kind: Num, Input: value, Scale: 1}}, nil
+		}
+		op := p.Producer(value)
+		if op == nil {
+			return nil, fmt.Errorf("pipefold: undefined value %q", value)
+		}
+		var out []Feature
+		switch o := op.(type) {
+		case *model.Concat:
+			for _, in := range o.In {
+				fs, err := eval(in)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, fs...)
+			}
+		case *model.StandardScaler:
+			fs, err := eval(o.In)
+			if err != nil {
+				return nil, err
+			}
+			out = make([]Feature, len(fs))
+			for i, f := range fs {
+				nf := f
+				if f.Kind == Const {
+					nf.Value = (f.Value - o.Offset[i]) * o.Scale[i]
+				} else {
+					// ((raw-f.Off)*f.Scale - Off_i) * Scale_i
+					// = (raw - f.Off - Off_i/f.Scale) * f.Scale*Scale_i
+					nf.Offset = f.Offset + o.Offset[i]/f.Scale
+					nf.Scale = f.Scale * o.Scale[i]
+				}
+				out[i] = nf
+			}
+		case *model.OneHotEncoder:
+			if p.Input(o.In) == nil {
+				return nil, fmt.Errorf("pipefold: OHE %q must read a pipeline input", o.Name)
+			}
+			out = make([]Feature, len(o.Categories))
+			for i, cat := range o.Categories {
+				out[i] = Feature{Kind: OneHot, Input: o.In, Cat: cat, Scale: 1}
+			}
+		case *model.LabelEncoder:
+			if p.Input(o.In) == nil {
+				return nil, fmt.Errorf("pipefold: label encoder %q must read a pipeline input", o.Name)
+			}
+			out = []Feature{{Kind: Label, Input: o.In,
+				Categories: append([]string(nil), o.Categories...), Scale: 1}}
+		case *model.FeatureExtractor:
+			fs, err := eval(o.In)
+			if err != nil {
+				return nil, err
+			}
+			out = make([]Feature, len(o.Indices))
+			for i, ix := range o.Indices {
+				out[i] = fs[ix]
+			}
+		case *model.Constant:
+			out = make([]Feature, len(o.Values))
+			for i, v := range o.Values {
+				out[i] = Feature{Kind: Const, Value: v, Scale: 1}
+			}
+		default:
+			return nil, fmt.Errorf("pipefold: operator %q (%s) has no closed form",
+				op.OpName(), op.Kind())
+		}
+		memo[value] = out
+		return out, nil
+	}
+	return eval(target)
+}

@@ -1,0 +1,170 @@
+package pipefold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/model"
+	"raven/internal/testfix"
+)
+
+func TestFoldCovid(t *testing.T) {
+	p := testfix.CovidPipeline()
+	feats, err := Fold(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 6 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	// F0: (age - 50) * 0.01
+	if feats[0].Kind != Num || feats[0].Input != "age" ||
+		feats[0].Offset != 50 || feats[0].Scale != 0.01 {
+		t.Fatalf("F0 = %+v", feats[0])
+	}
+	// F3: asthma one-hot for "yes".
+	if feats[3].Kind != OneHot || feats[3].Input != "asthma" || feats[3].Cat != "yes" {
+		t.Fatalf("F3 = %+v", feats[3])
+	}
+	if feats[3].Affine() {
+		t.Fatal("one-hot without scaler should not be affine")
+	}
+	if feats[0].Apply(60) != 0.1 {
+		t.Fatalf("Apply = %v", feats[0].Apply(60))
+	}
+}
+
+func TestFoldScalerComposition(t *testing.T) {
+	// Two stacked scalers must compose into one affine program.
+	p := &model.Pipeline{
+		Name:   "s2",
+		Inputs: []model.Input{{Name: "x"}},
+		Ops: []model.Operator{
+			&model.Concat{Name: "c", In: []string{"x"}, Out: "v"},
+			&model.StandardScaler{Name: "s1", In: "v", Out: "v1",
+				Offset: []float64{2}, Scale: []float64{3}},
+			&model.StandardScaler{Name: "s2", In: "v1", Out: "F",
+				Offset: []float64{1}, Scale: []float64{0.5}},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "score",
+				Coef: []float64{1}, Task: model.Regression},
+		},
+		Outputs: []string{"score"},
+	}
+	feats, err := Fold(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := feats[0]
+	check := func(x float64) bool {
+		want := ((x-2)*3 - 1) * 0.5
+		return math.Abs(f.Apply(x)-want) < 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e12 {
+			// The composed affine form associates differently; parity is
+			// only meaningful away from overflow.
+			return true
+		}
+		return check(x)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldConstantThroughScaler(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "k",
+		Inputs: []model.Input{{Name: "x"}},
+		Ops: []model.Operator{
+			&model.Constant{Name: "c", Out: "kv", Values: []float64{10}},
+			&model.Concat{Name: "cc", In: []string{"x", "kv"}, Out: "v"},
+			&model.StandardScaler{Name: "s", In: "v", Out: "F",
+				Offset: []float64{0, 4}, Scale: []float64{1, 2}},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "score",
+				Coef: []float64{1, 1}, Task: model.Regression},
+		},
+		Outputs: []string{"score"},
+	}
+	feats, err := Fold(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feats[1].Kind != Const || feats[1].Value != 12 {
+		t.Fatalf("const fold = %+v", feats[1])
+	}
+}
+
+func TestFoldFeatureExtractorSelects(t *testing.T) {
+	p := testfix.CovidPipeline()
+	fe := &model.FeatureExtractor{Name: "fe", In: "F", Out: "G", Indices: []int{5, 0}}
+	if err := p.InsertBefore("tree", fe); err != nil {
+		t.Fatal(err)
+	}
+	feats, err := FoldValue(p, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	if feats[0].Input != "hypertension" || feats[1].Input != "age" {
+		t.Fatalf("reorder failed: %+v", feats)
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	// Normalizer has no closed form.
+	norm := &model.Pipeline{
+		Name:   "n",
+		Inputs: []model.Input{{Name: "x"}},
+		Ops: []model.Operator{
+			&model.Concat{Name: "c", In: []string{"x"}, Out: "v"},
+			&model.Normalizer{Name: "nm", In: "v", Out: "F", Norm: "l2"},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "score",
+				Coef: []float64{1}, Task: model.Regression},
+		},
+		Outputs: []string{"score"},
+	}
+	if _, err := Fold(norm); err == nil {
+		t.Fatal("expected error for normalizer")
+	}
+	// No model operator.
+	noModel := &model.Pipeline{
+		Name:    "nm2",
+		Inputs:  []model.Input{{Name: "x"}},
+		Ops:     []model.Operator{&model.Concat{Name: "c", In: []string{"x"}, Out: "F"}},
+		Outputs: []string{"F"},
+	}
+	if _, err := Fold(noModel); err == nil {
+		t.Fatal("expected error without model")
+	}
+	// Undefined value.
+	if _, err := FoldValue(testfix.CovidPipeline(), "ghost"); err == nil {
+		t.Fatal("expected error for undefined value")
+	}
+	// Categorical used as numeric.
+	if _, err := FoldValue(testfix.CovidPipeline(), "asthma"); err == nil {
+		t.Fatal("expected error for raw categorical")
+	}
+}
+
+func TestFoldLabelEncoder(t *testing.T) {
+	p := &model.Pipeline{
+		Name:   "le",
+		Inputs: []model.Input{{Name: "k", Categorical: true}},
+		Ops: []model.Operator{
+			&model.LabelEncoder{Name: "e", In: "k", Out: "F", Categories: []string{"x", "y"}},
+			&model.LinearModel{Name: "m", In: "F", OutScore: "score",
+				Coef: []float64{1}, Task: model.Regression},
+		},
+		Outputs: []string{"score"},
+	}
+	feats, err := Fold(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feats[0].Kind != Label || len(feats[0].Categories) != 2 {
+		t.Fatalf("label fold = %+v", feats[0])
+	}
+}

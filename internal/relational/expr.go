@@ -1,0 +1,493 @@
+// Package relational implements the data-engine substrate: a vectorized
+// expression evaluator and batch-at-a-time physical operators (scan,
+// filter, project, hash join, aggregate). It is the Spark SQL / SQL Server
+// stand-in that executes the relational part of prediction queries —
+// including ML operators that Raven's MLtoSQL rule translated to
+// expressions.
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"raven/internal/data"
+)
+
+// Expr is a vectorized expression evaluated over a columnar batch.
+type Expr interface {
+	// Eval computes the expression over all rows of the batch.
+	Eval(b *data.Table) (*data.Column, error)
+	// String renders the expression as SQL-ish text.
+	String() string
+}
+
+// ColRef references a column by (qualified) name.
+type ColRef struct{ Name string }
+
+// Col is shorthand for &ColRef{name}.
+func Col(name string) *ColRef { return &ColRef{Name: name} }
+
+// Eval returns the referenced column.
+func (e *ColRef) Eval(b *data.Table) (*data.Column, error) {
+	c := b.Col(e.Name)
+	if c == nil {
+		return nil, fmt.Errorf("relational: unknown column %q", e.Name)
+	}
+	return c, nil
+}
+
+func (e *ColRef) String() string { return e.Name }
+
+// LitFloat is a numeric literal.
+type LitFloat struct{ V float64 }
+
+// Num is shorthand for &LitFloat{v}.
+func Num(v float64) *LitFloat { return &LitFloat{V: v} }
+
+// Eval broadcasts the literal to the batch length.
+func (e *LitFloat) Eval(b *data.Table) (*data.Column, error) {
+	out := make([]float64, b.NumRows())
+	for i := range out {
+		out[i] = e.V
+	}
+	return data.NewFloat("lit", out), nil
+}
+
+func (e *LitFloat) String() string { return trimFloat(e.V) }
+
+// LitString is a string literal.
+type LitString struct{ V string }
+
+// Str is shorthand for &LitString{v}.
+func Str(v string) *LitString { return &LitString{V: v} }
+
+// Eval broadcasts the literal to the batch length.
+func (e *LitString) Eval(b *data.Table) (*data.Column, error) {
+	out := make([]string, b.NumRows())
+	for i := range out {
+		out[i] = e.V
+	}
+	return data.NewString("lit", out), nil
+}
+
+func (e *LitString) String() string { return "'" + e.V + "'" }
+
+// BinOpKind enumerates binary operators.
+type BinOpKind uint8
+
+// Binary operator kinds.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOpKind]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// BinOp applies a binary operator elementwise.
+type BinOp struct {
+	Op   BinOpKind
+	L, R Expr
+}
+
+// NewBinOp builds a binary expression.
+func NewBinOp(op BinOpKind, l, r Expr) *BinOp { return &BinOp{Op: op, L: l, R: r} }
+
+func (e *BinOp) String() string {
+	return "(" + e.L.String() + " " + binOpNames[e.Op] + " " + e.R.String() + ")"
+}
+
+// Eval evaluates both sides and applies the operator. Arithmetic coerces to
+// float64; comparisons support numeric and string operands; AND/OR require
+// boolean operands.
+func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
+	l, err := e.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.NumRows()
+	switch e.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		lf, err := toFloats(l, n)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := toFloats(r, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		switch e.Op {
+		case OpAdd:
+			for i := range out {
+				out[i] = lf[i] + rf[i]
+			}
+		case OpSub:
+			for i := range out {
+				out[i] = lf[i] - rf[i]
+			}
+		case OpMul:
+			for i := range out {
+				out[i] = lf[i] * rf[i]
+			}
+		case OpDiv:
+			for i := range out {
+				out[i] = lf[i] / rf[i]
+			}
+		}
+		return data.NewFloat("expr", out), nil
+	case OpAnd, OpOr:
+		lb, err := toBools(l)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := toBools(r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, n)
+		if e.Op == OpAnd {
+			for i := range out {
+				out[i] = lb[i] && rb[i]
+			}
+		} else {
+			for i := range out {
+				out[i] = lb[i] || rb[i]
+			}
+		}
+		return data.NewBool("expr", out), nil
+	default: // comparisons
+		if l.Type == data.String || r.Type == data.String {
+			if l.Type != data.String || r.Type != data.String {
+				return nil, fmt.Errorf("relational: comparing string with non-string in %s", e)
+			}
+			out := make([]bool, n)
+			for i := range out {
+				out[i] = cmpOK(e.Op, strings.Compare(l.Str[i], r.Str[i]))
+			}
+			return data.NewBool("expr", out), nil
+		}
+		lf, err := toFloats(l, n)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := toFloats(r, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, n)
+		for i := range out {
+			switch {
+			case lf[i] < rf[i]:
+				out[i] = cmpOK(e.Op, -1)
+			case lf[i] > rf[i]:
+				out[i] = cmpOK(e.Op, 1)
+			default:
+				out[i] = cmpOK(e.Op, 0)
+			}
+		}
+		return data.NewBool("expr", out), nil
+	}
+}
+
+func cmpOK(op BinOpKind, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (e *Not) String() string { return "NOT " + e.E.String() }
+
+// Eval evaluates and negates the operand.
+func (e *Not) Eval(b *data.Table) (*data.Column, error) {
+	v, err := e.E.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := toBools(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(bs))
+	for i, x := range bs {
+		out[i] = !x
+	}
+	return data.NewBool("expr", out), nil
+}
+
+// When is one branch of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE WHEN c1 THEN v1 [WHEN ...] ELSE e END. MLtoSQL compiles
+// decision trees and one-hot encoders into nested Case expressions.
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+func (e *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN ")
+		b.WriteString(w.Cond.String())
+		b.WriteString(" THEN ")
+		b.WriteString(w.Then.String())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE ")
+		b.WriteString(e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Eval lazily evaluates branches: each row takes the first matching WHEN.
+// All branches must produce numeric values.
+func (e *Case) Eval(b *data.Table) (*data.Column, error) {
+	n := b.NumRows()
+	out := make([]float64, n)
+	decided := make([]bool, n)
+	remaining := n
+	for _, w := range e.Whens {
+		if remaining == 0 {
+			break
+		}
+		cond, err := w.Cond.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := toBools(cond)
+		if err != nil {
+			return nil, err
+		}
+		val, err := w.Then.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		vf, err := toFloats(val, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if !decided[i] && cb[i] {
+				out[i] = vf[i]
+				decided[i] = true
+				remaining--
+			}
+		}
+	}
+	if e.Else != nil && remaining > 0 {
+		val, err := e.Else.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		vf, err := toFloats(val, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if !decided[i] {
+				out[i] = vf[i]
+			}
+		}
+	}
+	return data.NewFloat("expr", out), nil
+}
+
+// FuncKind enumerates scalar functions.
+type FuncKind uint8
+
+// Scalar function kinds.
+const (
+	FnExp FuncKind = iota
+	FnLn
+	FnSigmoid
+	FnAbs
+	FnSqrt
+)
+
+var funcNames = map[FuncKind]string{
+	FnExp: "EXP", FnLn: "LN", FnSigmoid: "SIGMOID", FnAbs: "ABS", FnSqrt: "SQRT",
+}
+
+// Func applies a scalar math function elementwise. SIGMOID is used by
+// MLtoSQL to translate logistic models and gradient-boosting classifiers.
+type Func struct {
+	Fn  FuncKind
+	Arg Expr
+}
+
+func (e *Func) String() string { return funcNames[e.Fn] + "(" + e.Arg.String() + ")" }
+
+// Eval applies the function to the evaluated argument.
+func (e *Func) Eval(b *data.Table) (*data.Column, error) {
+	v, err := e.Arg.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	f, err := toFloats(v, b.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(f))
+	switch e.Fn {
+	case FnExp:
+		for i, x := range f {
+			out[i] = math.Exp(x)
+		}
+	case FnLn:
+		for i, x := range f {
+			out[i] = math.Log(x)
+		}
+	case FnSigmoid:
+		for i, x := range f {
+			if x >= 0 {
+				out[i] = 1 / (1 + math.Exp(-x))
+			} else {
+				ex := math.Exp(x)
+				out[i] = ex / (1 + ex)
+			}
+		}
+	case FnAbs:
+		for i, x := range f {
+			out[i] = math.Abs(x)
+		}
+	case FnSqrt:
+		for i, x := range f {
+			out[i] = math.Sqrt(x)
+		}
+	}
+	return data.NewFloat("expr", out), nil
+}
+
+func toFloats(c *data.Column, n int) ([]float64, error) {
+	switch c.Type {
+	case data.Float64:
+		return c.F64, nil
+	case data.Int64:
+		out := make([]float64, len(c.I64))
+		for i, v := range c.I64 {
+			out[i] = float64(v)
+		}
+		return out, nil
+	case data.Bool:
+		out := make([]float64, len(c.B))
+		for i, v := range c.B {
+			if v {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("relational: column %q is not numeric", c.Name)
+}
+
+func toBools(c *data.Column) ([]bool, error) {
+	switch c.Type {
+	case data.Bool:
+		return c.B, nil
+	case data.Float64:
+		out := make([]bool, len(c.F64))
+		for i, v := range c.F64 {
+			out[i] = v != 0
+		}
+		return out, nil
+	case data.Int64:
+		out := make([]bool, len(c.I64))
+		for i, v := range c.I64 {
+			out[i] = v != 0
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("relational: column %q is not boolean", c.Name)
+}
+
+// Size returns the node count of the expression tree; the optimizer uses
+// it to gauge the complexity of MLtoSQL translations.
+func Size(e Expr) int {
+	switch x := e.(type) {
+	case *ColRef, *LitFloat, *LitString, nil:
+		return 1
+	case *BinOp:
+		return 1 + Size(x.L) + Size(x.R)
+	case *Not:
+		return 1 + Size(x.E)
+	case *Func:
+		return 1 + Size(x.Arg)
+	case *Case:
+		n := 1
+		for _, w := range x.Whens {
+			n += Size(w.Cond) + Size(w.Then)
+		}
+		if x.Else != nil {
+			n += Size(x.Else)
+		}
+		return n
+	}
+	return 1
+}
+
+// Columns appends the distinct column names referenced by e to dst.
+func Columns(e Expr, dst map[string]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		dst[x.Name] = true
+	case *BinOp:
+		Columns(x.L, dst)
+		Columns(x.R, dst)
+	case *Not:
+		Columns(x.E, dst)
+	case *Func:
+		Columns(x.Arg, dst)
+	case *Case:
+		for _, w := range x.Whens {
+			Columns(w.Cond, dst)
+			Columns(w.Then, dst)
+		}
+		if x.Else != nil {
+			Columns(x.Else, dst)
+		}
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

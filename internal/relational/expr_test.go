@@ -1,0 +1,260 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/data"
+)
+
+func exprBatch() *data.Table {
+	return data.MustNewTable("b",
+		data.NewFloat("x", []float64{1, 2, 3, 4}),
+		data.NewFloat("y", []float64{10, 20, 30, 40}),
+		data.NewInt("i", []int64{5, 6, 7, 8}),
+		data.NewString("s", []string{"a", "b", "a", "c"}),
+		data.NewBool("f", []bool{true, false, true, false}),
+	)
+}
+
+func evalF(t *testing.T, e Expr) []float64 {
+	t.Helper()
+	c, err := e.Eval(exprBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Type != data.Float64 {
+		t.Fatalf("expected float column, got %v", c.Type)
+	}
+	return c.F64
+}
+
+func evalB(t *testing.T, e Expr) []bool {
+	t.Helper()
+	c, err := e.Eval(exprBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Type != data.Bool {
+		t.Fatalf("expected bool column, got %v", c.Type)
+	}
+	return c.B
+}
+
+func TestArithmetic(t *testing.T) {
+	got := evalF(t, NewBinOp(OpAdd, Col("x"), Col("y")))
+	want := []float64{11, 22, 33, 44}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("add[%d] = %v", i, got[i])
+		}
+	}
+	got = evalF(t, NewBinOp(OpMul, Col("x"), Num(2)))
+	if got[3] != 8 {
+		t.Fatalf("mul = %v", got)
+	}
+	got = evalF(t, NewBinOp(OpSub, Col("i"), Num(5)))
+	if got[0] != 0 || got[3] != 3 {
+		t.Fatalf("int sub = %v", got)
+	}
+	got = evalF(t, NewBinOp(OpDiv, Col("y"), Col("x")))
+	if got[1] != 10 {
+		t.Fatalf("div = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	got := evalB(t, NewBinOp(OpGt, Col("x"), Num(2)))
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("gt = %v", got)
+		}
+	}
+	if got := evalB(t, NewBinOp(OpLe, Col("x"), Num(2))); !got[0] || !got[1] || got[2] {
+		t.Fatalf("le = %v", got)
+	}
+	if got := evalB(t, NewBinOp(OpEq, Col("s"), Str("a"))); !got[0] || got[1] || !got[2] {
+		t.Fatalf("str eq = %v", got)
+	}
+	if got := evalB(t, NewBinOp(OpNe, Col("s"), Str("a"))); got[0] || !got[1] {
+		t.Fatalf("str ne = %v", got)
+	}
+	if got := evalB(t, NewBinOp(OpGe, Col("s"), Str("b"))); got[0] || !got[1] || !got[3] {
+		t.Fatalf("str ge = %v", got)
+	}
+	// Bool column compares as 0/1.
+	if got := evalB(t, NewBinOp(OpEq, Col("f"), Num(1))); !got[0] || got[1] {
+		t.Fatalf("bool eq = %v", got)
+	}
+	if _, err := NewBinOp(OpEq, Col("s"), Num(1)).Eval(exprBatch()); err == nil {
+		t.Fatal("expected error comparing string with number")
+	}
+}
+
+func TestLogic(t *testing.T) {
+	e := NewBinOp(OpAnd,
+		NewBinOp(OpGt, Col("x"), Num(1)),
+		NewBinOp(OpLt, Col("x"), Num(4)))
+	got := evalB(t, e)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("and = %v", got)
+		}
+	}
+	e2 := NewBinOp(OpOr, NewBinOp(OpEq, Col("x"), Num(1)), NewBinOp(OpEq, Col("x"), Num(4)))
+	got = evalB(t, e2)
+	if !got[0] || got[1] || !got[3] {
+		t.Fatalf("or = %v", got)
+	}
+	got = evalB(t, &Not{E: NewBinOp(OpGt, Col("x"), Num(2))})
+	if !got[0] || got[2] {
+		t.Fatalf("not = %v", got)
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	// CASE WHEN x <= 2 THEN 100 WHEN x <= 3 THEN 200 ELSE 300 END
+	e := &Case{
+		Whens: []When{
+			{Cond: NewBinOp(OpLe, Col("x"), Num(2)), Then: Num(100)},
+			{Cond: NewBinOp(OpLe, Col("x"), Num(3)), Then: Num(200)},
+		},
+		Else: Num(300),
+	}
+	got := evalF(t, e)
+	want := []float64{100, 100, 200, 300}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("case = %v", got)
+		}
+	}
+	// First matching WHEN wins.
+	e2 := &Case{Whens: []When{
+		{Cond: NewBinOp(OpGt, Col("x"), Num(0)), Then: Num(1)},
+		{Cond: NewBinOp(OpGt, Col("x"), Num(2)), Then: Num(2)},
+	}}
+	got = evalF(t, e2)
+	for i := range got {
+		if got[i] != 1 {
+			t.Fatalf("case precedence = %v", got)
+		}
+	}
+	// No ELSE: unmatched rows are 0.
+	e3 := &Case{Whens: []When{{Cond: NewBinOp(OpGt, Col("x"), Num(3)), Then: Num(7)}}}
+	got = evalF(t, e3)
+	if got[0] != 0 || got[3] != 7 {
+		t.Fatalf("case no-else = %v", got)
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	got := evalF(t, &Func{Fn: FnExp, Arg: Num(0)})
+	if got[0] != 1 {
+		t.Fatalf("exp(0) = %v", got[0])
+	}
+	got = evalF(t, &Func{Fn: FnLn, Arg: Num(math.E)})
+	if math.Abs(got[0]-1) > 1e-12 {
+		t.Fatalf("ln(e) = %v", got[0])
+	}
+	got = evalF(t, &Func{Fn: FnSigmoid, Arg: Num(0)})
+	if got[0] != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", got[0])
+	}
+	got = evalF(t, &Func{Fn: FnAbs, Arg: Num(-3)})
+	if got[0] != 3 {
+		t.Fatalf("abs = %v", got[0])
+	}
+	got = evalF(t, &Func{Fn: FnSqrt, Arg: Num(9)})
+	if got[0] != 3 {
+		t.Fatalf("sqrt = %v", got[0])
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	if _, err := Col("ghost").Eval(exprBatch()); err == nil {
+		t.Fatal("expected unknown column error")
+	}
+	if _, err := NewBinOp(OpAdd, Col("s"), Num(1)).Eval(exprBatch()); err == nil {
+		t.Fatal("expected non-numeric arithmetic error")
+	}
+	if _, err := NewBinOp(OpAnd, Col("s"), Col("f")).Eval(exprBatch()); err == nil {
+		t.Fatal("expected non-boolean AND error")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Case{
+		Whens: []When{{Cond: NewBinOp(OpGt, Col("x"), Num(60)), Then: Num(1)}},
+		Else:  Num(0),
+	}
+	s := e.String()
+	if s != "CASE WHEN (x > 60) THEN 1 ELSE 0 END" {
+		t.Fatalf("Case.String = %q", s)
+	}
+	if got := (&Func{Fn: FnSigmoid, Arg: Col("m")}).String(); got != "SIGMOID(m)" {
+		t.Fatalf("Func.String = %q", got)
+	}
+	if got := (&Not{E: Col("f")}).String(); got != "NOT f" {
+		t.Fatalf("Not.String = %q", got)
+	}
+	if got := Str("hi").String(); got != "'hi'" {
+		t.Fatalf("Str.String = %q", got)
+	}
+}
+
+func TestSizeAndColumns(t *testing.T) {
+	e := NewBinOp(OpAdd, NewBinOp(OpMul, Col("x"), Num(2)), Col("y"))
+	if got := Size(e); got != 5 {
+		t.Fatalf("Size = %d, want 5", got)
+	}
+	cols := map[string]bool{}
+	Columns(e, cols)
+	if !cols["x"] || !cols["y"] || len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	c := &Case{Whens: []When{{Cond: Col("a"), Then: Col("b")}}, Else: &Func{Fn: FnAbs, Arg: Col("c")}}
+	cols = map[string]bool{}
+	Columns(c, cols)
+	if len(cols) != 3 {
+		t.Fatalf("Case Columns = %v", cols)
+	}
+	if Size(c) < 4 {
+		t.Fatalf("Case Size = %d", Size(c))
+	}
+	if Size(&Not{E: Col("a")}) != 2 {
+		t.Fatal("Not Size wrong")
+	}
+}
+
+// Property: arithmetic expression evaluation matches scalar math.
+func TestQuickArithParity(t *testing.T) {
+	f := func(xs []float64, k float64) bool {
+		if len(xs) == 0 || math.IsNaN(k) {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		b := data.MustNewTable("q", data.NewFloat("x", xs))
+		e := NewBinOp(OpAdd, NewBinOp(OpMul, Col("x"), Num(k)), Num(1))
+		c, err := e.Eval(b)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			want := x*k + 1
+			if c.F64[i] != want && !(math.IsNaN(c.F64[i]) && math.IsNaN(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,781 @@
+package relational
+
+import (
+	"fmt"
+	"time"
+
+	"raven/internal/data"
+)
+
+// OpStats accumulates per-operator execution statistics. WallNs is
+// inclusive (contains time spent in children); the engine derives
+// exclusive times by subtracting child inclusive times.
+type OpStats struct {
+	Name      string
+	Rows      int64
+	Batches   int64
+	WallNs    int64
+	BytesRead int64
+	// Parallel marks operators whose work scales out with the engine's
+	// degree of parallelism in the cost model (scans, filters, projects,
+	// predictions — not single-threaded coordinator work).
+	Parallel bool
+}
+
+// Operator is a pull-based physical operator producing columnar batches.
+// Next returns (nil, nil) at end of stream.
+type Operator interface {
+	// Columns returns the output column names.
+	Columns() []string
+	// Open prepares the operator (and its children) for execution.
+	Open() error
+	// Next produces the next batch, or (nil, nil) at end of stream.
+	Next() (*data.Table, error)
+	// Close releases resources.
+	Close() error
+	// Stats returns the operator's accumulated statistics.
+	Stats() *OpStats
+	// Children returns the child operators.
+	Children() []Operator
+}
+
+func startTimer(s *OpStats) func() {
+	t0 := time.Now()
+	return func() { s.WallNs += time.Since(t0).Nanoseconds() }
+}
+
+// Timer adds the elapsed time between the call and the returned func's
+// invocation to s.WallNs. Exposed for operators defined outside this
+// package (e.g. the engine's PredictOp).
+func Timer(s *OpStats) func() { return startTimer(s) }
+
+// ZonePredicate is a simple comparison (col op literal) used for
+// zone-map partition pruning at the scan.
+type ZonePredicate struct {
+	Col   string
+	Op    BinOpKind
+	Val   float64
+	StrV  string
+	IsStr bool
+}
+
+// CanSkip reports whether the partition described by stats cannot contain
+// any row satisfying the predicate. Missing stats are conservative (no
+// skip).
+func (z ZonePredicate) CanSkip(stats data.TableStats) bool {
+	s, ok := stats[z.Col]
+	if !ok {
+		return false
+	}
+	if z.IsStr {
+		if z.Op != OpEq || s.Type != data.String || s.DistinctOverflow {
+			return false
+		}
+		for _, v := range s.Distinct {
+			if v == z.StrV {
+				return false
+			}
+		}
+		return true
+	}
+	if !s.HasRange() {
+		return false
+	}
+	switch z.Op {
+	case OpEq:
+		return z.Val < s.Min || z.Val > s.Max
+	case OpLt:
+		return s.Min >= z.Val
+	case OpLe:
+		return s.Min > z.Val
+	case OpGt:
+		return s.Max <= z.Val
+	case OpGe:
+		return s.Max < z.Val
+	case OpNe:
+		return s.Min == z.Val && s.Max == z.Val
+	}
+	return false
+}
+
+// Scan streams a partitioned table in batches, reading only the requested
+// columns and skipping partitions ruled out by the zone predicates. When
+// Alias is set, output columns are qualified "alias.col".
+type Scan struct {
+	Table     *data.PartitionedTable
+	Cols      []string // nil means all columns
+	Alias     string
+	BatchSize int
+	Prune     []ZonePredicate
+	// PartIndex limits the scan to a single partition (used by
+	// per-partition plans of the data-induced optimization); -1 scans all.
+	PartIndex int
+
+	stats   OpStats
+	part    int
+	offset  int
+	skipped int
+}
+
+// NewScan builds a scan over all partitions with the default batch size.
+func NewScan(t *data.PartitionedTable, alias string, cols []string, batchSize int) *Scan {
+	return &Scan{Table: t, Alias: alias, Cols: cols, BatchSize: batchSize, PartIndex: -1}
+}
+
+// Columns returns the qualified output column names.
+func (s *Scan) Columns() []string {
+	names := s.Cols
+	if names == nil {
+		names = s.Table.Schema().Names()
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = s.qualify(n)
+	}
+	return out
+}
+
+func (s *Scan) qualify(col string) string {
+	if s.Alias == "" {
+		return col
+	}
+	return s.Alias + "." + col
+}
+
+// Open resets the scan position.
+func (s *Scan) Open() error {
+	s.stats = OpStats{Name: "Scan(" + s.Table.Name + ")", Parallel: true}
+	s.part, s.offset, s.skipped = 0, 0, 0
+	if s.BatchSize <= 0 {
+		s.BatchSize = 10000
+	}
+	if s.PartIndex >= 0 {
+		s.part = s.PartIndex
+	}
+	return nil
+}
+
+// SkippedPartitions returns how many partitions were pruned by zone maps.
+func (s *Scan) SkippedPartitions() int { return s.skipped }
+
+// Next returns the next batch.
+func (s *Scan) Next() (*data.Table, error) {
+	defer startTimer(&s.stats)()
+	for {
+		if s.part >= len(s.Table.Parts) || (s.PartIndex >= 0 && s.part > s.PartIndex) {
+			return nil, nil
+		}
+		p := s.Table.Parts[s.part]
+		if s.offset == 0 {
+			skip := false
+			for _, z := range s.Prune {
+				if z.CanSkip(p.Stats) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				s.skipped++
+				s.part++
+				continue
+			}
+		}
+		n := p.Table.NumRows()
+		if s.offset >= n {
+			s.part++
+			s.offset = 0
+			continue
+		}
+		hi := s.offset + s.BatchSize
+		if hi > n {
+			hi = n
+		}
+		src := p.Table
+		if s.Cols != nil {
+			var err error
+			src, err = src.Project(s.Cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+		batch := src.Slice(s.offset, hi)
+		s.offset = hi
+		// Qualify output names.
+		out, err := data.NewTable(s.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range batch.Cols {
+			qc := *c
+			qc.Name = s.qualify(c.Name)
+			if err := out.AddColumn(&qc); err != nil {
+				return nil, err
+			}
+			s.stats.BytesRead += qc.ByteSize()
+		}
+		s.stats.Rows += int64(out.NumRows())
+		s.stats.Batches++
+		return out, nil
+	}
+}
+
+// Close is a no-op.
+func (s *Scan) Close() error { return nil }
+
+// Stats returns the scan statistics.
+func (s *Scan) Stats() *OpStats { return &s.stats }
+
+// Children returns no children (scans are leaves).
+func (s *Scan) Children() []Operator { return nil }
+
+// Filter keeps rows for which Pred evaluates to true.
+type Filter struct {
+	Child Operator
+	Pred  Expr
+
+	stats OpStats
+}
+
+// Columns returns the child's columns.
+func (f *Filter) Columns() []string { return f.Child.Columns() }
+
+// Open opens the child.
+func (f *Filter) Open() error {
+	f.stats = OpStats{Name: "Filter(" + f.Pred.String() + ")", Parallel: true}
+	return f.Child.Open()
+}
+
+// Next filters the next non-empty batch.
+func (f *Filter) Next() (*data.Table, error) {
+	defer startTimer(&f.stats)()
+	for {
+		b, err := f.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		c, err := f.Pred.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type != data.Bool {
+			return nil, fmt.Errorf("relational: filter predicate %s is not boolean", f.Pred)
+		}
+		out := b.Filter(c.B)
+		f.stats.Rows += int64(out.NumRows())
+		f.stats.Batches++
+		if out.NumRows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Stats returns the filter statistics.
+func (f *Filter) Stats() *OpStats { return &f.stats }
+
+// Children returns the single child.
+func (f *Filter) Children() []Operator { return []Operator{f.Child} }
+
+// NamedExpr pairs an output name with the expression computing it.
+type NamedExpr struct {
+	Name string
+	E    Expr
+}
+
+// Project computes one column per expression.
+type Project struct {
+	Child Operator
+	Exprs []NamedExpr
+
+	stats OpStats
+}
+
+// Columns returns the projected names.
+func (p *Project) Columns() []string {
+	out := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Open opens the child.
+func (p *Project) Open() error {
+	p.stats = OpStats{Name: fmt.Sprintf("Project(%d exprs)", len(p.Exprs)), Parallel: true}
+	return p.Child.Open()
+}
+
+// Next projects the next batch.
+func (p *Project) Next() (*data.Table, error) {
+	defer startTimer(&p.stats)()
+	b, err := p.Child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out, err := data.NewTable(b.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, ne := range p.Exprs {
+		c, err := ne.E.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		cc := *c
+		cc.Name = ne.Name
+		if err := out.AddColumn(&cc); err != nil {
+			return nil, err
+		}
+	}
+	p.stats.Rows += int64(out.NumRows())
+	p.stats.Batches++
+	return out, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Stats returns the project statistics.
+func (p *Project) Stats() *OpStats { return &p.stats }
+
+// Children returns the single child.
+func (p *Project) Children() []Operator { return []Operator{p.Child} }
+
+// HashJoin is an inner equi-join. The right (build) side is drained into a
+// hash table at Open; the left (probe) side streams. Join keys may be
+// Int64, String or Float64 columns.
+type HashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey string
+
+	stats      OpStats
+	buildRows  *data.Table
+	buildIndex map[string][]int
+}
+
+// Columns returns left columns followed by right columns.
+func (j *HashJoin) Columns() []string {
+	return append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
+}
+
+// Open drains the build side and indexes it by key.
+func (j *HashJoin) Open() error {
+	j.stats = OpStats{Name: fmt.Sprintf("HashJoin(%s=%s)", j.LeftKey, j.RightKey), Parallel: true}
+	defer startTimer(&j.stats)()
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.buildIndex = make(map[string][]int)
+	j.buildRows = nil
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if j.buildRows == nil {
+			j.buildRows = b.Clone()
+		} else {
+			if err := j.buildRows.AppendFrom(b); err != nil {
+				return err
+			}
+		}
+	}
+	if j.buildRows == nil {
+		empty, err := emptyLike(j.Right.Columns())
+		if err != nil {
+			return err
+		}
+		j.buildRows = empty
+	}
+	kc := j.buildRows.Col(j.RightKey)
+	if kc == nil {
+		return fmt.Errorf("relational: join build side lacks key %q", j.RightKey)
+	}
+	for i := 0; i < j.buildRows.NumRows(); i++ {
+		k := kc.AsString(i)
+		j.buildIndex[k] = append(j.buildIndex[k], i)
+	}
+	return nil
+}
+
+// Next probes the next left batch against the build table.
+func (j *HashJoin) Next() (*data.Table, error) {
+	defer startTimer(&j.stats)()
+	for {
+		b, err := j.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		kc := b.Col(j.LeftKey)
+		if kc == nil {
+			return nil, fmt.Errorf("relational: join probe side lacks key %q", j.LeftKey)
+		}
+		var leftIdx, rightIdx []int
+		for i := 0; i < b.NumRows(); i++ {
+			for _, ri := range j.buildIndex[kc.AsString(i)] {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, ri)
+			}
+		}
+		if len(leftIdx) == 0 {
+			continue
+		}
+		lg := b.Gather(leftIdx)
+		rg := j.buildRows.Gather(rightIdx)
+		out, err := data.NewTable(b.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range lg.Cols {
+			if err := out.AddColumn(c); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range rg.Cols {
+			if err := out.AddColumn(c); err != nil {
+				return nil, err
+			}
+		}
+		j.stats.Rows += int64(out.NumRows())
+		j.stats.Batches++
+		return out, nil
+	}
+}
+
+// Close closes both children.
+func (j *HashJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Stats returns the join statistics.
+func (j *HashJoin) Stats() *OpStats { return &j.stats }
+
+// Children returns probe and build children.
+func (j *HashJoin) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+func emptyLike(cols []string) (*data.Table, error) {
+	t, err := data.NewTable("empty")
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		if err := t.AddColumn(data.NewFloat(c, nil)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AggFn enumerates aggregate functions.
+type AggFn uint8
+
+// Aggregate function kinds.
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Fn  AggFn
+	Col string // ignored for COUNT
+	As  string
+}
+
+// Aggregate computes global aggregates over its input (the SQL Server
+// experiments add an aggregate over prediction results).
+type Aggregate struct {
+	Child Operator
+	Aggs  []AggSpec
+
+	stats OpStats
+	done  bool
+}
+
+// Columns returns the aggregate output names.
+func (a *Aggregate) Columns() []string {
+	out := make([]string, len(a.Aggs))
+	for i, g := range a.Aggs {
+		out[i] = g.As
+	}
+	return out
+}
+
+// Open opens the child.
+func (a *Aggregate) Open() error {
+	a.stats = OpStats{Name: "Aggregate"}
+	a.done = false
+	return a.Child.Open()
+}
+
+// Next drains the child and emits a single-row result.
+func (a *Aggregate) Next() (*data.Table, error) {
+	defer startTimer(&a.stats)()
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+	count := 0.0
+	sums := make([]float64, len(a.Aggs))
+	mins := make([]float64, len(a.Aggs))
+	maxs := make([]float64, len(a.Aggs))
+	for i := range mins {
+		mins[i] = 1e308
+		maxs[i] = -1e308
+	}
+	for {
+		b, err := a.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		count += float64(b.NumRows())
+		for gi, g := range a.Aggs {
+			if g.Fn == AggCount {
+				continue
+			}
+			c := b.Col(g.Col)
+			if c == nil {
+				return nil, fmt.Errorf("relational: aggregate column %q missing", g.Col)
+			}
+			for i := 0; i < c.Len(); i++ {
+				v := c.AsFloat(i)
+				sums[gi] += v
+				if v < mins[gi] {
+					mins[gi] = v
+				}
+				if v > maxs[gi] {
+					maxs[gi] = v
+				}
+			}
+		}
+	}
+	out, err := data.NewTable("agg")
+	if err != nil {
+		return nil, err
+	}
+	for gi, g := range a.Aggs {
+		var v float64
+		switch g.Fn {
+		case AggCount:
+			v = count
+		case AggSum:
+			v = sums[gi]
+		case AggAvg:
+			if count > 0 {
+				v = sums[gi] / count
+			}
+		case AggMin:
+			v = mins[gi]
+		case AggMax:
+			v = maxs[gi]
+		}
+		if err := out.AddColumn(data.NewFloat(g.As, []float64{v})); err != nil {
+			return nil, err
+		}
+	}
+	a.stats.Rows++
+	a.stats.Batches++
+	return out, nil
+}
+
+// Close closes the child.
+func (a *Aggregate) Close() error { return a.Child.Close() }
+
+// Stats returns the aggregate statistics.
+func (a *Aggregate) Stats() *OpStats { return &a.stats }
+
+// Children returns the single child.
+func (a *Aggregate) Children() []Operator { return []Operator{a.Child} }
+
+// Materialize drains its child into memory at Open and then streams the
+// buffered rows. The MADlib profile inserts these between featurization
+// steps, reproducing MADlib's forced materialization.
+type Materialize struct {
+	Child Operator
+
+	stats OpStats
+	buf   *data.Table
+	pos   int
+	batch int
+}
+
+// Columns returns the child's columns.
+func (m *Materialize) Columns() []string { return m.Child.Columns() }
+
+// Open drains the child into the buffer.
+func (m *Materialize) Open() error {
+	m.stats = OpStats{Name: "Materialize"}
+	defer startTimer(&m.stats)()
+	if err := m.Child.Open(); err != nil {
+		return err
+	}
+	m.buf, m.pos, m.batch = nil, 0, 10000
+	for {
+		b, err := m.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if m.batch < b.NumRows() {
+			m.batch = b.NumRows()
+		}
+		if m.buf == nil {
+			m.buf = b.Clone()
+		} else if err := m.buf.AppendFrom(b); err != nil {
+			return err
+		}
+	}
+}
+
+// Next streams the buffered rows.
+func (m *Materialize) Next() (*data.Table, error) {
+	defer startTimer(&m.stats)()
+	if m.buf == nil || m.pos >= m.buf.NumRows() {
+		return nil, nil
+	}
+	hi := m.pos + m.batch
+	if hi > m.buf.NumRows() {
+		hi = m.buf.NumRows()
+	}
+	out := m.buf.Slice(m.pos, hi)
+	m.pos = hi
+	m.stats.Rows += int64(out.NumRows())
+	m.stats.Batches++
+	return out, nil
+}
+
+// Close closes the child.
+func (m *Materialize) Close() error { return m.Child.Close() }
+
+// Stats returns the materialize statistics.
+func (m *Materialize) Stats() *OpStats { return &m.stats }
+
+// Children returns the single child.
+func (m *Materialize) Children() []Operator { return []Operator{m.Child} }
+
+// Union streams its children one after another (used to stitch
+// per-partition plans together).
+type Union struct {
+	Inputs []Operator
+
+	stats OpStats
+	cur   int
+}
+
+// Columns returns the first child's columns.
+func (u *Union) Columns() []string { return u.Inputs[0].Columns() }
+
+// Open opens all children.
+func (u *Union) Open() error {
+	u.stats = OpStats{Name: "Union"}
+	u.cur = 0
+	for _, in := range u.Inputs {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next pulls from the current child, advancing when it is exhausted.
+func (u *Union) Next() (*data.Table, error) {
+	defer startTimer(&u.stats)()
+	for u.cur < len(u.Inputs) {
+		b, err := u.Inputs[u.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			u.stats.Rows += int64(b.NumRows())
+			u.stats.Batches++
+			return b, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+// Close closes all children.
+func (u *Union) Close() error {
+	var first error
+	for _, in := range u.Inputs {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns the union statistics.
+func (u *Union) Stats() *OpStats { return &u.stats }
+
+// Children returns all children.
+func (u *Union) Children() []Operator { return u.Inputs }
+
+// Drain runs an operator tree to completion, concatenating all batches
+// into one table. It is the engine's terminal step.
+func Drain(root Operator) (*data.Table, error) {
+	if err := root.Open(); err != nil {
+		return nil, err
+	}
+	defer root.Close()
+	var out *data.Table
+	for {
+		b, err := root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if out == nil {
+			out = b.Clone()
+		} else if err := out.AppendFrom(b); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		var err error
+		out, err = emptyLike(root.Columns())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CollectStats walks the operator tree and returns every operator's stats
+// in pre-order.
+func CollectStats(root Operator) []*OpStats {
+	var out []*OpStats
+	var rec func(op Operator)
+	rec = func(op Operator) {
+		out = append(out, op.Stats())
+		for _, c := range op.Children() {
+			rec(c)
+		}
+	}
+	rec(root)
+	return out
+}

@@ -1,0 +1,83 @@
+package sqlparse
+
+// ColName is a possibly-qualified column reference.
+type ColName struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+// String renders the qualified name.
+func (c ColName) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Literal is a string or numeric constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64
+}
+
+// Predicate is one WHERE conjunct: column OP literal.
+type Predicate struct {
+	Col ColName
+	Op  string // =, <>, <, <=, >, >=
+	Lit Literal
+}
+
+// SelectItem is one output of the select list.
+type SelectItem struct {
+	// Star is SELECT * (Qualifier selects t.*).
+	Star      bool
+	Qualifier string
+	// Col is a plain column reference.
+	Col ColName
+	// Agg is an aggregate function name (COUNT/SUM/AVG/MIN/MAX); AggCol
+	// is its argument ("" for COUNT(*)).
+	Agg    string
+	AggCol ColName
+	// PredictUDF marks the predict(model, *) UDF sugar.
+	PredictUDF bool
+	Model      string
+	Alias      string
+}
+
+// TableRef is a plain table (or CTE) reference in FROM.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// PredictRef is the PREDICT table-valued function in FROM.
+type PredictRef struct {
+	Model     string
+	Data      TableRef
+	WithCols  []string // declared output column names
+	WithTypes []string
+	Alias     string
+}
+
+// JoinClause is one JOIN … ON l = r.
+type JoinClause struct {
+	Table       TableRef
+	Left, Right ColName
+}
+
+// SelectStmt is a (sub)query.
+type SelectStmt struct {
+	CTEs    []CTE
+	Items   []SelectItem
+	From    *TableRef   // plain FROM (nil when Predict is set)
+	Predict *PredictRef // PREDICT(...) in FROM
+	Joins   []JoinClause
+	Where   []Predicate
+}
+
+// CTE is one WITH name AS (SELECT …) binding.
+type CTE struct {
+	Name  string
+	Query *SelectStmt
+}

@@ -1,0 +1,132 @@
+// Package sqlparse implements the SQL surface of Raven: a lexer and
+// recursive-descent parser for prediction queries — SELECT with joins,
+// WHERE conjunctions, CTEs, the PREDICT(MODEL=…, DATA=…) WITH(…) table-
+// valued function and the predict(model, *) UDF sugar — plus the planner
+// that lowers the AST into the unified IR.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercased for idents? no — original; keyword matching is case-insensitive
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			start := l.pos
+			seenDot := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if d < '0' || d > '9' {
+					if d == 'e' || d == 'E' {
+						// scientific notation
+						l.pos++
+						if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+							l.pos++
+						}
+						continue
+					}
+					break
+				}
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			l.emit(tokString, l.src[start+1:l.pos], start)
+			l.pos++
+		case c == '<':
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+				l.emit(tokSymbol, l.src[l.pos:l.pos+2], l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, "<", l.pos)
+				l.pos++
+			}
+		case c == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokSymbol, ">=", l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, ">", l.pos)
+				l.pos++
+			}
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokSymbol, "<>", l.pos)
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected '!' at offset %d", l.pos)
+			}
+		case strings.ContainsRune("(),.*=", rune(c)):
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: pos})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

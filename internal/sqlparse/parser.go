@@ -1,0 +1,450 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a prediction query into its AST.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return fmt.Errorf("sqlparse: expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlparse: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var reservedAfterFrom = map[string]bool{
+	"JOIN": true, "ON": true, "WHERE": true, "AS": true, "WITH": true,
+	"AND": true, "SELECT": true, "FROM": true,
+}
+
+func (p *parser) parseSelectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	if p.keyword("WITH") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			stmt.CTEs = append(stmt.CTEs, CTE{Name: name, Query: sub})
+			if !p.symbol(",") {
+				break
+			}
+		}
+		// Optional trailing semicolon-free style; the main SELECT follows.
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.keyword("PREDICT") {
+		pr, err := p.parsePredictRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Predict = pr
+	} else {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = &tr
+	}
+	for p.keyword("JOIN") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		l, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		r, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: tr, Left: l, Right: r})
+	}
+	if p.keyword("WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.symbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	t := p.cur()
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("sqlparse: expected select item, got %q", t.text)
+	}
+	upper := strings.ToUpper(t.text)
+	// Aggregate function?
+	if aggFuncs[upper] && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		p.pos += 2 // consume fn name and "("
+		item := SelectItem{Agg: upper}
+		if !p.symbol("*") {
+			col, err := p.parseColName()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.AggCol = col
+		} else if upper != "COUNT" {
+			return SelectItem{}, fmt.Errorf("sqlparse: %s(*) is only valid for COUNT", upper)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = p.optionalAlias(strings.ToLower(upper))
+		return item, nil
+	}
+	// predict(model, *) UDF sugar.
+	if strings.EqualFold(t.text, "predict") && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		p.pos += 2
+		mdl, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		alias := p.optionalAlias("predict")
+		return SelectItem{PredictUDF: true, Model: mdl, Alias: alias}, nil
+	}
+	col, err := p.parseColName()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	// t.* form
+	if col.Name == "*" {
+		return SelectItem{Star: true, Qualifier: col.Qualifier}, nil
+	}
+	alias := p.optionalAlias("")
+	return SelectItem{Col: col, Alias: alias}, nil
+}
+
+func (p *parser) optionalAlias(def string) string {
+	if p.keyword("AS") {
+		name, err := p.ident()
+		if err == nil {
+			return name
+		}
+	}
+	return def
+}
+
+func (p *parser) parseColName() (ColName, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColName{}, err
+	}
+	if p.symbol(".") {
+		if p.symbol("*") {
+			return ColName{Qualifier: first, Name: "*"}, nil
+		}
+		second, err := p.ident()
+		if err != nil {
+			return ColName{}, err
+		}
+		return ColName{Qualifier: first, Name: second}, nil
+	}
+	return ColName{Name: first}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name, Alias: name}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = alias
+	} else if t := p.cur(); t.kind == tokIdent && !reservedAfterFrom[strings.ToUpper(t.text)] {
+		tr.Alias = t.text
+		p.pos++
+	}
+	return tr, nil
+}
+
+// parsePredictRef parses PREDICT(MODEL = m, DATA = d [AS alias])
+// WITH (col type, …) AS alias — WITH and AS may come in either order.
+func (p *parser) parsePredictRef() (*PredictRef, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("MODEL"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	mdl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("DATA"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	dataRef, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	pr := &PredictRef{Model: mdl, Data: dataRef, Alias: "p"}
+	seenWith := false
+	for {
+		if !seenWith && p.keyword("WITH") {
+			seenWith = true
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				typ, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				pr.WithCols = append(pr.WithCols, col)
+				pr.WithTypes = append(pr.WithTypes, typ)
+				if !p.symbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.keyword("AS") {
+			alias, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			pr.Alias = alias
+			continue
+		}
+		break
+	}
+	if len(pr.WithCols) == 0 {
+		return nil, fmt.Errorf("sqlparse: PREDICT requires a WITH (col type, ...) clause")
+	}
+	return pr, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	// Either col OP lit or lit OP col.
+	if t := p.cur(); t.kind == tokNumber || t.kind == tokString {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		op, err := p.parseCmpOp()
+		if err != nil {
+			return Predicate{}, err
+		}
+		col, err := p.parseColName()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Op: flipOp(op), Lit: lit}, nil
+	}
+	col, err := p.parseColName()
+	if err != nil {
+		return Predicate{}, err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return Predicate{}, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Col: col, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseCmpOp() (string, error) {
+	t := p.cur()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			return t.text, nil
+		}
+	}
+	return "", fmt.Errorf("sqlparse: expected comparison operator, got %q", t.text)
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sqlparse: bad number %q: %v", t.text, err)
+		}
+		p.pos++
+		return Literal{Num: v}, nil
+	case tokString:
+		p.pos++
+		return Literal{IsString: true, Str: t.text}, nil
+	case tokIdent:
+		// TRUE/FALSE literals.
+		if strings.EqualFold(t.text, "true") {
+			p.pos++
+			return Literal{Num: 1}, nil
+		}
+		if strings.EqualFold(t.text, "false") {
+			p.pos++
+			return Literal{Num: 0}, nil
+		}
+	}
+	return Literal{}, fmt.Errorf("sqlparse: expected literal, got %q", t.text)
+}

@@ -1,0 +1,477 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"raven/internal/ir"
+	"raven/internal/relational"
+)
+
+// Plan lowers a parsed prediction query into the unified IR, resolving
+// tables and models through the catalog.
+func Plan(stmt *SelectStmt, cat ir.Catalog) (*ir.Graph, error) {
+	g := &ir.Graph{}
+	pl := &planner{g: g, cat: cat, ctes: make(map[string]*SelectStmt)}
+	for _, cte := range stmt.CTEs {
+		if _, dup := pl.ctes[strings.ToLower(cte.Name)]; dup {
+			return nil, fmt.Errorf("sqlparse: duplicate CTE %q", cte.Name)
+		}
+		pl.ctes[strings.ToLower(cte.Name)] = cte.Query
+	}
+	root, err := pl.planSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := ir.NewGraph(root)
+	if err := out.Validate(cat); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseAndPlan parses SQL and lowers it to IR in one call.
+func ParseAndPlan(sql string, cat ir.Catalog) (*ir.Graph, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Plan(stmt, cat)
+}
+
+type planner struct {
+	g    *ir.Graph
+	cat  ir.Catalog
+	ctes map[string]*SelectStmt
+}
+
+func (p *planner) planSelect(stmt *SelectStmt) (*ir.Node, error) {
+	if stmt.Predict != nil {
+		return p.planPredictTVF(stmt)
+	}
+	for _, item := range stmt.Items {
+		if item.PredictUDF {
+			return p.planPredictUDF(stmt)
+		}
+	}
+	return p.planRelational(stmt)
+}
+
+// planRelational plans FROM + JOINs + WHERE + select list with no predict.
+func (p *planner) planRelational(stmt *SelectStmt) (*ir.Node, error) {
+	if stmt.From == nil {
+		return nil, fmt.Errorf("sqlparse: missing FROM clause")
+	}
+	node, err := p.planFromItem(*stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		right, err := p.planFromItem(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		join := p.g.NewNode(ir.KindJoin, node, right)
+		lk, err := p.resolveUnder(node, j.Left)
+		if err != nil {
+			// Key columns may be written in either order in ON.
+			lk2, err2 := p.resolveUnder(right, j.Left)
+			rk2, err3 := p.resolveUnder(node, j.Right)
+			if err2 != nil || err3 != nil {
+				return nil, err
+			}
+			join.LeftKey, join.RightKey = rk2, lk2
+			node = join
+			continue
+		}
+		rk, err := p.resolveUnder(right, j.Right)
+		if err != nil {
+			return nil, err
+		}
+		join.LeftKey, join.RightKey = lk, rk
+		node = join
+	}
+	node, err = p.applyFilters(node, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	return p.applySelectList(node, stmt.Items)
+}
+
+// planFromItem plans a table or CTE reference.
+func (p *planner) planFromItem(tr TableRef) (*ir.Node, error) {
+	if sub, ok := p.ctes[strings.ToLower(tr.Name)]; ok {
+		inner, err := p.planSelect(sub)
+		if err != nil {
+			return nil, err
+		}
+		return p.renameUnder(inner, tr.Alias)
+	}
+	if _, ok := p.cat.Table(tr.Name); !ok {
+		return nil, fmt.Errorf("sqlparse: unknown table or CTE %q", tr.Name)
+	}
+	scan := p.g.NewNode(ir.KindScan)
+	scan.Table = tr.Name
+	scan.Alias = tr.Alias
+	return scan, nil
+}
+
+// renameUnder wraps node with a projection re-qualifying every column
+// under the new alias. Columns whose base name repeats (e.g. the join
+// keys pi.id / pt.id after SELECT *) keep their first occurrence only,
+// matching how the paper's queries reference d.id.
+func (p *planner) renameUnder(node *ir.Node, alias string) (*ir.Node, error) {
+	cols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	proj := p.g.NewNode(ir.KindProject, node)
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		base := ir.BaseName(c)
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		proj.Exprs = append(proj.Exprs, relational.NamedExpr{
+			Name: ir.Qualify(alias, base), E: relational.Col(c)})
+	}
+	return proj, nil
+}
+
+// planPredictTVF plans SELECT … FROM PREDICT(MODEL=…, DATA=…) WITH(…).
+func (p *planner) planPredictTVF(stmt *SelectStmt) (*ir.Node, error) {
+	pr := stmt.Predict
+	pipe, ok := p.cat.Model(pr.Model)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: unknown model %q", pr.Model)
+	}
+	child, err := p.planFromItem(pr.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.Joins) > 0 {
+		return nil, fmt.Errorf("sqlparse: JOIN after PREDICT is not supported; join inside a CTE")
+	}
+
+	// Split WHERE into data-side and prediction-output predicates.
+	childCols, err := ir.OutputColumns(child, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	outputCols := make([]string, 0, len(pr.WithCols))
+	outMap := make(map[string]string, len(pr.WithCols))
+	for _, c := range pr.WithCols {
+		found := false
+		for _, o := range pipe.Outputs {
+			if strings.EqualFold(o, c) {
+				outMap[o] = ir.Qualify(pr.Alias, c)
+				outputCols = append(outputCols, ir.Qualify(pr.Alias, c))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sqlparse: model %q has no output %q (has %v)",
+				pr.Model, c, pipe.Outputs)
+		}
+	}
+
+	var dataPreds, outPreds []Predicate
+	for _, pred := range stmt.Where {
+		if _, err := resolveCol(childCols, pred.Col); err == nil {
+			dataPreds = append(dataPreds, pred)
+		} else if _, err := resolveCol(outputCols, pred.Col); err == nil {
+			outPreds = append(outPreds, pred)
+		} else {
+			return nil, fmt.Errorf("sqlparse: predicate column %s not found", pred.Col)
+		}
+	}
+	child, err = p.applyFilters(child, dataPreds)
+	if err != nil {
+		return nil, err
+	}
+
+	predict, err := p.buildPredictNode(child, pr.Model, outMap)
+	if err != nil {
+		return nil, err
+	}
+	node, err := p.applyFilters(predict, outPreds)
+	if err != nil {
+		return nil, err
+	}
+	return p.applySelectList(node, stmt.Items)
+}
+
+// planPredictUDF plans SELECT …, predict(model, *) AS s FROM … WHERE ….
+func (p *planner) planPredictUDF(stmt *SelectStmt) (*ir.Node, error) {
+	var udf *SelectItem
+	for i := range stmt.Items {
+		if stmt.Items[i].PredictUDF {
+			if udf != nil {
+				return nil, fmt.Errorf("sqlparse: multiple predict() calls are not supported")
+			}
+			udf = &stmt.Items[i]
+		}
+	}
+	pipe, ok := p.cat.Model(udf.Model)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: unknown model %q", udf.Model)
+	}
+	if stmt.From == nil {
+		return nil, fmt.Errorf("sqlparse: missing FROM clause")
+	}
+	node, err := p.planFromItem(*stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		right, err := p.planFromItem(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		join := p.g.NewNode(ir.KindJoin, node, right)
+		lk, err := p.resolveUnder(node, j.Left)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := p.resolveUnder(right, j.Right)
+		if err != nil {
+			return nil, err
+		}
+		join.LeftKey, join.RightKey = lk, rk
+		node = join
+	}
+	// The UDF returns the pipeline's score output.
+	scoreOut := ""
+	for _, o := range pipe.Outputs {
+		if strings.EqualFold(o, "score") {
+			scoreOut = o
+			break
+		}
+	}
+	if scoreOut == "" {
+		scoreOut = pipe.Outputs[len(pipe.Outputs)-1]
+	}
+	childCols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	var dataPreds, outPreds []Predicate
+	for _, pred := range stmt.Where {
+		if _, err := resolveCol(childCols, pred.Col); err == nil {
+			dataPreds = append(dataPreds, pred)
+		} else if pred.Col.Qualifier == "" && pred.Col.Name == udf.Alias {
+			outPreds = append(outPreds, pred)
+		} else {
+			return nil, fmt.Errorf("sqlparse: predicate column %s not found", pred.Col)
+		}
+	}
+	node, err = p.applyFilters(node, dataPreds)
+	if err != nil {
+		return nil, err
+	}
+	predict, err := p.buildPredictNode(node, udf.Model, map[string]string{scoreOut: udf.Alias})
+	if err != nil {
+		return nil, err
+	}
+	node, err = p.applyFilters(predict, outPreds)
+	if err != nil {
+		return nil, err
+	}
+	// Select list: replace the UDF item with its output column.
+	items := make([]SelectItem, len(stmt.Items))
+	copy(items, stmt.Items)
+	for i := range items {
+		if items[i].PredictUDF {
+			items[i] = SelectItem{Col: ColName{Name: items[i].Alias}}
+		}
+	}
+	return p.applySelectList(node, items)
+}
+
+func (p *planner) buildPredictNode(child *ir.Node, modelName string, outMap map[string]string) (*ir.Node, error) {
+	mdl, ok := p.cat.Model(modelName)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: unknown model %q", modelName)
+	}
+	childCols, err := ir.OutputColumns(child, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	node := p.g.NewNode(ir.KindPredict, child)
+	node.Pipeline = mdl.Clone()
+	node.InputMap = make(map[string]string, len(mdl.Inputs))
+	for _, in := range mdl.Inputs {
+		col, err := resolveCol(childCols, ColName{Name: in.Name})
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: model %q input %q: %v", modelName, in.Name, err)
+		}
+		node.InputMap[in.Name] = col
+	}
+	node.OutputMap = outMap
+	node.KeepInput = true
+	return node, nil
+}
+
+func (p *planner) applyFilters(node *ir.Node, preds []Predicate) (*ir.Node, error) {
+	if len(preds) == 0 {
+		return node, nil
+	}
+	cols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	var expr relational.Expr
+	for _, pred := range preds {
+		col, err := resolveCol(cols, pred.Col)
+		if err != nil {
+			return nil, err
+		}
+		e, err := predExpr(col, pred)
+		if err != nil {
+			return nil, err
+		}
+		if expr == nil {
+			expr = e
+		} else {
+			expr = relational.NewBinOp(relational.OpAnd, expr, e)
+		}
+	}
+	f := p.g.NewNode(ir.KindFilter, node)
+	f.Pred = expr
+	return f, nil
+}
+
+func predExpr(col string, pred Predicate) (relational.Expr, error) {
+	op, ok := cmpOps[pred.Op]
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: unsupported operator %q", pred.Op)
+	}
+	var lit relational.Expr
+	if pred.Lit.IsString {
+		lit = relational.Str(pred.Lit.Str)
+	} else {
+		lit = relational.Num(pred.Lit.Num)
+	}
+	return relational.NewBinOp(op, relational.Col(col), lit), nil
+}
+
+var cmpOps = map[string]relational.BinOpKind{
+	"=": relational.OpEq, "<>": relational.OpNe,
+	"<": relational.OpLt, "<=": relational.OpLe,
+	">": relational.OpGt, ">=": relational.OpGe,
+}
+
+func (p *planner) applySelectList(node *ir.Node, items []SelectItem) (*ir.Node, error) {
+	cols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate query?
+	hasAgg := false
+	for _, it := range items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		agg := p.g.NewNode(ir.KindAggregate, node)
+		for _, it := range items {
+			if it.Agg == "" {
+				return nil, fmt.Errorf("sqlparse: mixing aggregates and plain columns is not supported")
+			}
+			spec := relational.AggSpec{As: it.Alias}
+			switch it.Agg {
+			case "COUNT":
+				spec.Fn = relational.AggCount
+			case "SUM":
+				spec.Fn = relational.AggSum
+			case "AVG":
+				spec.Fn = relational.AggAvg
+			case "MIN":
+				spec.Fn = relational.AggMin
+			case "MAX":
+				spec.Fn = relational.AggMax
+			}
+			if it.Agg != "COUNT" {
+				col, err := resolveCol(cols, it.AggCol)
+				if err != nil {
+					return nil, err
+				}
+				spec.Col = col
+			}
+			if spec.As == "" {
+				spec.As = strings.ToLower(it.Agg)
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+		}
+		return agg, nil
+	}
+	// Pure star select: no projection needed.
+	if len(items) == 1 && items[0].Star && items[0].Qualifier == "" {
+		return node, nil
+	}
+	proj := p.g.NewNode(ir.KindProject, node)
+	for _, it := range items {
+		switch {
+		case it.Star:
+			for _, c := range cols {
+				if it.Qualifier != "" && !strings.HasPrefix(c, it.Qualifier+".") {
+					continue
+				}
+				proj.Exprs = append(proj.Exprs, relational.NamedExpr{Name: c, E: relational.Col(c)})
+			}
+		default:
+			col, err := resolveCol(cols, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			name := it.Alias
+			if name == "" {
+				name = col
+			}
+			proj.Exprs = append(proj.Exprs, relational.NamedExpr{Name: name, E: relational.Col(col)})
+		}
+	}
+	if len(proj.Exprs) == 0 {
+		return nil, fmt.Errorf("sqlparse: empty select list after resolution")
+	}
+	return proj, nil
+}
+
+// resolveUnder resolves a column name against a node's output columns.
+func (p *planner) resolveUnder(node *ir.Node, col ColName) (string, error) {
+	cols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return "", err
+	}
+	return resolveCol(cols, col)
+}
+
+// resolveCol matches a possibly-qualified AST column against available
+// qualified column names: exact match first, then unique base-name match.
+func resolveCol(available []string, col ColName) (string, error) {
+	want := col.String()
+	for _, c := range available {
+		if c == want {
+			return c, nil
+		}
+	}
+	if col.Qualifier == "" {
+		var matches []string
+		for _, c := range available {
+			if ir.BaseName(c) == col.Name {
+				matches = append(matches, c)
+			}
+		}
+		switch len(matches) {
+		case 1:
+			return matches[0], nil
+		case 0:
+		default:
+			return "", fmt.Errorf("sqlparse: column %q is ambiguous (%v)", col.Name, matches)
+		}
+	}
+	return "", fmt.Errorf("sqlparse: column %q not found", want)
+}

@@ -1,0 +1,322 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"raven/internal/engine"
+	"raven/internal/ir"
+	"raven/internal/testfix"
+)
+
+func covidCatalog(t *testing.T) *engine.Catalog {
+	t.Helper()
+	cat := engine.NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(pi)
+	cat.RegisterTable(pt)
+	cat.RegisterTable(bt)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'str' <= 3.5 <> -- comment\n()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokIdent, tokSymbol, tokIdent, tokSymbol,
+		tokString, tokSymbol, tokNumber, tokSymbol, tokSymbol, tokSymbol, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d kind = %v, want %v (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("expected unterminated string error")
+	}
+	if _, err := lex("a ; b"); err == nil {
+		t.Fatal("expected unexpected character error")
+	}
+	if _, err := lex("a != b"); err != nil {
+		t.Fatalf("!= should lex as <>: %v", err)
+	}
+	if _, err := lex("a ! b"); err == nil {
+		t.Fatal("lone ! should error")
+	}
+}
+
+func TestParseCovidQuery(t *testing.T) {
+	stmt, err := Parse(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.CTEs) != 1 || stmt.CTEs[0].Name != "d" {
+		t.Fatalf("CTEs = %+v", stmt.CTEs)
+	}
+	inner := stmt.CTEs[0].Query
+	if inner.From.Alias != "pi" || len(inner.Joins) != 2 {
+		t.Fatalf("inner from = %+v joins = %d", inner.From, len(inner.Joins))
+	}
+	if stmt.Predict == nil || stmt.Predict.Model != "covid_risk" || stmt.Predict.Alias != "p" {
+		t.Fatalf("predict = %+v", stmt.Predict)
+	}
+	if len(stmt.Predict.WithCols) != 1 || stmt.Predict.WithCols[0] != "score" {
+		t.Fatalf("with cols = %v", stmt.Predict.WithCols)
+	}
+	if len(stmt.Where) != 2 {
+		t.Fatalf("where = %+v", stmt.Where)
+	}
+	if stmt.Where[0].Col.String() != "d.asthma" || !stmt.Where[0].Lit.IsString {
+		t.Fatalf("pred 0 = %+v", stmt.Where[0])
+	}
+	if stmt.Where[1].Col.String() != "p.score" || stmt.Where[1].Op != ">" {
+		t.Fatalf("pred 1 = %+v", stmt.Where[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a >",
+		"SELECT * FROM t extra garbage (",
+		"WITH x AS SELECT * FROM t) SELECT * FROM x",
+		"SELECT * FROM PREDICT(MODEL m, DATA = d) WITH (s FLOAT) AS p",
+		"SELECT * FROM PREDICT(MODEL = m, DATA = d) AS p", // missing WITH
+		"SELECT AVG(*) FROM t",
+		"SELECT * FROM t JOIN u ON a.b",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("expected parse error for %q", sql)
+		}
+	}
+}
+
+func TestParseFlippedPredicate(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE 30 < age AND 'x' = k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Where[0].Col.Name != "age" || stmt.Where[0].Op != ">" {
+		t.Fatalf("flip: %+v", stmt.Where[0])
+	}
+	if stmt.Where[1].Col.Name != "k" || stmt.Where[1].Op != "=" {
+		t.Fatalf("flip eq: %+v", stmt.Where[1])
+	}
+}
+
+func TestParseBooleanLiterals(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE flag = TRUE AND other = false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Where[0].Lit.Num != 1 || stmt.Where[1].Lit.Num != 0 {
+		t.Fatalf("bool literals: %+v", stmt.Where)
+	}
+}
+
+func TestPlanCovidQueryShape(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(testfix.CovidQuery, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	// Expect: Project > Filter(p.score) > Predict > Filter(asthma) >
+	// Project(rename d.*) > Join > Join > Scans.
+	if g.Root.Kind != ir.KindProject {
+		t.Fatalf("root = %v", g.Root.Kind)
+	}
+	pr := ir.Find(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindPredict })
+	if pr == nil {
+		t.Fatal("no predict node")
+	}
+	if pr.InputMap["age"] != "d.age" || pr.InputMap["bpm"] != "d.bpm" {
+		t.Fatalf("input map = %v", pr.InputMap)
+	}
+	if pr.OutputMap["score"] != "p.score" {
+		t.Fatalf("output map = %v", pr.OutputMap)
+	}
+	// The data predicate must sit below predict, the score one above.
+	below := ir.Find(pr, func(n *ir.Node) bool { return n.Kind == ir.KindFilter })
+	if below == nil || !strings.Contains(below.Pred.String(), "asthma") {
+		t.Fatalf("data filter below predict missing, got %v", below)
+	}
+	above := ir.Parent(g.Root, pr)
+	if above.Kind != ir.KindFilter || !strings.Contains(above.Pred.String(), "p.score") {
+		t.Fatalf("score filter above predict missing, got %v", above.Kind)
+	}
+	joins := ir.FindAll(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindJoin })
+	if len(joins) != 2 {
+		t.Fatalf("joins = %d", len(joins))
+	}
+}
+
+func TestPlanAndExecuteCovid(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(testfix.CovidQuery, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asthma patients: ids 1, 3, 4. Scores: id1 (age30, hyper no) → 0.3;
+	// id3 (age45, hyper yes) → 0.9; id4 (age80, hyper no) → 0.3.
+	// Score > 0.5 keeps only id 3.
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("rows = %d:\n%v", res.Table.NumRows(), res.Table)
+	}
+	if res.Table.Col("d.id").I64[0] != 3 {
+		t.Fatalf("id = %v", res.Table.Col("d.id").I64)
+	}
+	if got := res.Table.Col("p.score").F64[0]; got != 0.9 {
+		t.Fatalf("score = %v", got)
+	}
+}
+
+func TestPlanPredictOverBaseTable(t *testing.T) {
+	cat := covidCatalog(t)
+	// Register a joined table so predict can read it directly.
+	pi, pt, _ := testfix.CovidTables()
+	joined := pi.Clone()
+	if err := joined.AddColumn(pt.Col("bpm").Clone()); err != nil {
+		t.Fatal(err)
+	}
+	joined2 := joined.Rename("patients")
+	cat.RegisterTable(joined2)
+	g, err := ParseAndPlan(`
+SELECT d.id, p.score, p.label
+FROM PREDICT(MODEL = covid_risk, DATA = patients AS d) WITH (score FLOAT, label FLOAT) AS p
+WHERE p.label = 1`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are score > 0.5: ids 2 (0.8) and 3 (0.9).
+	if res.Table.NumRows() != 2 {
+		t.Fatalf("rows = %d\n%v", res.Table.NumRows(), res.Table)
+	}
+	if res.Table.Col("p.label") == nil || res.Table.Col("p.score") == nil {
+		t.Fatalf("cols = %v", res.Table.Schema().Names())
+	}
+}
+
+func TestPlanPredictUDF(t *testing.T) {
+	cat := covidCatalog(t)
+	pi, pt, _ := testfix.CovidTables()
+	joined := pi.Clone()
+	if err := joined.AddColumn(pt.Col("bpm").Clone()); err != nil {
+		t.Fatal(err)
+	}
+	cat.RegisterTable(joined.Rename("patients"))
+	g, err := ParseAndPlan(
+		"SELECT id, predict(covid_risk, *) AS s FROM patients WHERE asthma = 'yes' AND s > 0.5", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("rows = %d\n%v", res.Table.NumRows(), res.Table)
+	}
+	if res.Table.Col("s").F64[0] != 0.9 {
+		t.Fatalf("score = %v", res.Table.Col("s").F64)
+	}
+}
+
+func TestPlanAggregateOverPredictions(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(`
+WITH d AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+  JOIN blood_test AS bt ON pt.id = bt.id
+)
+SELECT COUNT(*) AS n, AVG(p.score) AS avg_score
+FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindAggregate {
+		t.Fatalf("root = %v", g.Root.Kind)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Col("n").F64[0] != 6 {
+		t.Fatalf("count = %v", res.Table.Col("n").F64)
+	}
+	avg := res.Table.Col("avg_score").F64[0]
+	if avg <= 0 || avg >= 1 {
+		t.Fatalf("avg = %v", avg)
+	}
+}
+
+func TestPlanErrorCases(t *testing.T) {
+	cat := covidCatalog(t)
+	bad := []string{
+		"SELECT * FROM ghost_table",
+		"SELECT ghost FROM patient_info",
+		"SELECT * FROM PREDICT(MODEL = ghost, DATA = patient_info) WITH (score FLOAT) AS p",
+		"SELECT * FROM PREDICT(MODEL = covid_risk, DATA = patient_info) WITH (ghost FLOAT) AS p",
+		// patient_info lacks bpm, so input binding must fail.
+		"SELECT * FROM PREDICT(MODEL = covid_risk, DATA = patient_info) WITH (score FLOAT) AS p",
+		"SELECT pi.id, COUNT(*) FROM patient_info AS pi",
+		"SELECT * FROM patient_info WHERE ghost = 1",
+	}
+	for _, sql := range bad {
+		if _, err := ParseAndPlan(sql, cat); err == nil {
+			t.Errorf("expected plan error for %q", sql)
+		}
+	}
+}
+
+func TestPlanAmbiguousColumn(t *testing.T) {
+	cat := covidCatalog(t)
+	// id is ambiguous across joined tables.
+	_, err := ParseAndPlan(
+		"SELECT id FROM patient_info AS pi JOIN blood_test AS bt ON pi.id = bt.id", cat)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestPlanQualifiedStar(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(
+		"SELECT pi.* FROM patient_info AS pi JOIN blood_test AS bt ON pi.id = bt.id", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ir.OutputColumns(g.Root, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cols {
+		if !strings.HasPrefix(c, "pi.") {
+			t.Fatalf("qualified star leaked %q", c)
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("cols = %v", cols)
+	}
+}

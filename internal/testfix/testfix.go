@@ -1,0 +1,124 @@
+// Package testfix provides shared fixtures used by tests across packages:
+// the paper's running example (the COVID-risk prediction query of Fig. 2/3)
+// as a trained pipeline, its source tables, and its prediction query.
+package testfix
+
+import (
+	"raven/internal/data"
+	"raven/internal/model"
+)
+
+// Feature layout of the COVID pipeline after featurization:
+//
+//	F[0] = scaled age
+//	F[1] = scaled bpm
+//	F[2] = asthma == "no"
+//	F[3] = asthma == "yes"
+//	F[4] = hypertension == "no"
+//	F[5] = hypertension == "yes"
+const (
+	FAge = iota
+	FBPM
+	FAsthmaNo
+	FAsthmaYes
+	FHyperNo
+	FHyperYes
+)
+
+// CovidPipeline builds the running-example trained pipeline: scaler over
+// (age, bpm), one-hot encoders over asthma and hypertension, concat, and a
+// decision-tree classifier shaped like Fig. 3 — the root tests the
+// asthma_yes feature, so the predicate asthma='yes' prunes half the tree
+// and leaves bpm and hyper_no unused.
+func CovidPipeline() *model.Pipeline {
+	tree := model.Tree{Nodes: []model.TreeNode{
+		// 0: root on asthma_yes; <=0.5 means "not asthma".
+		{Feature: FAsthmaYes, Threshold: 0.5, Left: 1, Right: 2},
+		// 1: not-asthma branch: test scaled bpm.
+		{Feature: FBPM, Threshold: 0.3, Left: 3, Right: 4},
+		// 2: asthma branch: test scaled age.
+		{Feature: FAge, Threshold: 0.6, Left: 5, Right: 6},
+		// 3: leaf
+		{Feature: -1, Value: 0.2},
+		// 4: test hyper_no
+		{Feature: FHyperNo, Threshold: 0.5, Left: 7, Right: 8},
+		// 5: test hyper_yes
+		{Feature: FHyperYes, Threshold: 0.5, Left: 9, Right: 10},
+		// 6: leaf
+		{Feature: -1, Value: 0.7},
+		// 7: leaf
+		{Feature: -1, Value: 0.8},
+		// 8: leaf
+		{Feature: -1, Value: 0.1},
+		// 9: leaf
+		{Feature: -1, Value: 0.3},
+		// 10: leaf
+		{Feature: -1, Value: 0.9},
+	}}
+	return &model.Pipeline{
+		Name: "covid_risk",
+		Inputs: []model.Input{
+			{Name: "age"},
+			{Name: "bpm"},
+			{Name: "asthma", Categorical: true},
+			{Name: "hypertension", Categorical: true},
+		},
+		Ops: []model.Operator{
+			&model.Concat{Name: "num", In: []string{"age", "bpm"}, Out: "numv"},
+			&model.StandardScaler{
+				Name: "scaler", In: "numv", Out: "scaled",
+				Offset: []float64{50, 80}, Scale: []float64{0.01, 0.0125},
+			},
+			&model.OneHotEncoder{
+				Name: "ohe_asthma", In: "asthma", Out: "asthma_oh",
+				Categories: []string{"no", "yes"},
+			},
+			&model.OneHotEncoder{
+				Name: "ohe_hyper", In: "hypertension", Out: "hyper_oh",
+				Categories: []string{"no", "yes"},
+			},
+			&model.Concat{Name: "feat", In: []string{"scaled", "asthma_oh", "hyper_oh"}, Out: "F"},
+			&model.TreeEnsemble{
+				Name: "tree", In: "F", OutLabel: "label", OutScore: "score",
+				Trees: []model.Tree{tree}, Task: model.Classification,
+				Algo: model.DecisionTree, Features: 6,
+			},
+		},
+		Outputs: []string{"label", "score"},
+	}
+}
+
+// CovidTables returns the three joined source tables of the running
+// example: patient_info (id, age, asthma, hypertension), pulmonary_test
+// (id, bpm) and blood_test (id, wbc — unused by the model). Foreign keys
+// are 1:1 on id, so eliminating the blood_test join is safe.
+func CovidTables() (patientInfo, pulmonaryTest, bloodTest *data.Table) {
+	patientInfo = data.MustNewTable("patient_info",
+		data.NewInt("id", []int64{1, 2, 3, 4, 5, 6}),
+		data.NewFloat("age", []float64{30, 72, 45, 80, 65, 25}),
+		data.NewString("asthma", []string{"yes", "no", "yes", "yes", "no", "no"}),
+		data.NewString("hypertension", []string{"no", "yes", "yes", "no", "yes", "no"}),
+	)
+	pulmonaryTest = data.MustNewTable("pulmonary_test",
+		data.NewInt("id", []int64{1, 2, 3, 4, 5, 6}),
+		data.NewFloat("bpm", []float64{75, 110, 95, 120, 88, 70}),
+	)
+	bloodTest = data.MustNewTable("blood_test",
+		data.NewInt("id", []int64{1, 2, 3, 4, 5, 6}),
+		data.NewFloat("wbc", []float64{4.5, 11.2, 6.7, 9.8, 5.1, 7.3}),
+	)
+	return patientInfo, pulmonaryTest, bloodTest
+}
+
+// CovidQuery is the running example's prediction query: join the three
+// tables, restrict to asthma patients, invoke the model, and keep
+// high-risk predictions.
+const CovidQuery = `
+WITH d AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+  JOIN blood_test AS bt ON pt.id = bt.id
+)
+SELECT d.id, p.score
+FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p
+WHERE d.asthma = 'yes' AND p.score > 0.5`

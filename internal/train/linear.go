@@ -1,0 +1,186 @@
+package train
+
+import (
+	"math"
+
+	"raven/internal/model"
+)
+
+// LogisticOptions configures logistic-regression training.
+type LogisticOptions struct {
+	// Alpha is the inverse regularization strength knob in the paper's
+	// convention: *lower* alpha means *stronger* L1 regularization (more
+	// zero weights). Internally the L1 penalty weight is 1/(alpha*n).
+	Alpha float64
+	// LearningRate for proximal gradient descent (default 0.5).
+	LearningRate float64
+	// Epochs of full-batch descent (default 200).
+	Epochs int
+}
+
+func (o LogisticOptions) withDefaults() LogisticOptions {
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.5
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 200
+	}
+	return o
+}
+
+// FitLogistic trains an L1-regularized logistic regressor with proximal
+// (ISTA) full-batch gradient descent. Strong regularization (small Alpha)
+// drives weights exactly to zero — the sparsity Raven's model-projection
+// pushdown exploits (§2.1, Fig. 9 of the paper).
+func FitLogistic(x *Matrix, y []float64, opt LogisticOptions) (coef []float64, intercept float64, err error) {
+	if err := checkXY(x, y); err != nil {
+		return nil, 0, err
+	}
+	opt = opt.withDefaults()
+	n, d := x.Rows, x.Cols
+	w := make([]float64, d)
+	b := 0.0
+	lambda := 1 / (opt.Alpha * float64(n))
+	lr := opt.LearningRate
+	grad := make([]float64, d)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gb := 0.0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			z := b
+			for j, v := range row {
+				z += w[j] * v
+			}
+			e := model.Sigmoid(z) - y[i]
+			for j, v := range row {
+				grad[j] += e * v
+			}
+			gb += e
+		}
+		inv := 1 / float64(n)
+		for j := range w {
+			w[j] -= lr * grad[j] * inv
+			// Proximal soft-threshold step for the L1 penalty.
+			th := lr * lambda
+			switch {
+			case w[j] > th:
+				w[j] -= th
+			case w[j] < -th:
+				w[j] += th
+			default:
+				w[j] = 0
+			}
+		}
+		b -= lr * gb * inv
+	}
+	return w, b, nil
+}
+
+// LinearOptions configures linear-regression training.
+type LinearOptions struct {
+	// L2 ridge penalty added to the normal equations (default 1e-8
+	// relative, for numerical stability).
+	L2 float64
+}
+
+// FitLinearRegression solves ordinary least squares exactly via the
+// normal equations (X'X + λI)w = X'y with Gaussian elimination, including
+// an intercept column.
+func FitLinearRegression(x *Matrix, y []float64, opt LinearOptions) (coef []float64, intercept float64, err error) {
+	if err := checkXY(x, y); err != nil {
+		return nil, 0, err
+	}
+	if opt.L2 == 0 {
+		opt.L2 = 1e-8
+	}
+	n, d := x.Rows, x.Cols
+	// Augmented design: d features + intercept.
+	m := d + 1
+	ata := make([]float64, m*m)
+	aty := make([]float64, m)
+	row := make([]float64, m)
+	for i := 0; i < n; i++ {
+		copy(row, x.Row(i))
+		row[d] = 1
+		for a := 0; a < m; a++ {
+			aty[a] += row[a] * y[i]
+			for b := 0; b < m; b++ {
+				ata[a*m+b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < m; a++ {
+		ata[a*m+a] += opt.L2 * float64(n)
+	}
+	w, err := solveLinearSystem(ata, aty, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return w[:d], w[d], nil
+}
+
+// solveLinearSystem solves the m×m system A·w = b with partial-pivot
+// Gaussian elimination (A given row-major, modified in place).
+func solveLinearSystem(a, b []float64, m int) ([]float64, error) {
+	for col := 0; col < m; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r*m+col]) > math.Abs(a[p*m+col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p*m+col]) < 1e-12 {
+			return nil, errSingular
+		}
+		if p != col {
+			for c := 0; c < m; c++ {
+				a[p*m+c], a[col*m+c] = a[col*m+c], a[p*m+c]
+			}
+			b[p], b[col] = b[col], b[p]
+		}
+		inv := 1 / a[col*m+col]
+		for r := col + 1; r < m; r++ {
+			f := a[r*m+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < m; c++ {
+				a[r*m+c] -= f * a[col*m+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < m; c++ {
+			s -= a[r*m+c] * w[c]
+		}
+		w[r] = s / a[r*m+r]
+	}
+	return w, nil
+}
+
+type linearError string
+
+func (e linearError) Error() string { return string(e) }
+
+const errSingular = linearError("train: singular normal equations")
+
+// CountZeroWeights returns the number of exactly-zero coefficients.
+func CountZeroWeights(coef []float64) int {
+	n := 0
+	for _, w := range coef {
+		if w == 0 {
+			n++
+		}
+	}
+	return n
+}

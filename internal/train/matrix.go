@@ -1,0 +1,148 @@
+// Package train implements the training substrate (the scikit-learn
+// stand-in): featurizer fitting, logistic/linear regression with an L1
+// proximal step (producing genuinely sparse weights), CART decision trees,
+// random forests and gradient boosting, plus accuracy/AUC metrics and a
+// pipeline assembler that emits trained model.Pipeline values.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Matrix is a dense row-major feature matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns the r-th row slice.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// GatherRows returns a matrix with the selected rows.
+func (m *Matrix) GatherRows(idx []int) *Matrix {
+	out := NewMatrix(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// TrainTestSplit shuffles indices with the given seed and splits them
+// into train/test with the given train fraction.
+func TrainTestSplit(n int, trainFrac float64, seed int64) (train, test []int) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return idx[:cut], idx[cut:]
+}
+
+// Gather selects elements of v at the given indices.
+func Gather(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// Accuracy returns the fraction of predictions whose thresholded label
+// (score > 0.5) matches y (0/1).
+func Accuracy(scores, y []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, s := range scores {
+		lbl := 0.0
+		if s > 0.5 {
+			lbl = 1
+		}
+		if lbl == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(scores))
+}
+
+// AUC computes the area under the ROC curve for binary labels.
+func AUC(scores, y []float64) float64 {
+	type pair struct {
+		s float64
+		y float64
+	}
+	ps := make([]pair, len(scores))
+	for i := range scores {
+		ps[i] = pair{scores[i], y[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Rank-sum (Mann-Whitney) with tie handling via average ranks.
+	var sumRanksPos float64
+	var nPos, nNeg float64
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if ps[k].y > 0.5 {
+				sumRanksPos += avgRank
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (sumRanksPos - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, y []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - y[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+func checkXY(x *Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("train: X has %d rows, y has %d", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return fmt.Errorf("train: empty training set")
+	}
+	return nil
+}

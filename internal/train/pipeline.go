@@ -1,0 +1,278 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"raven/internal/data"
+	"raven/internal/model"
+)
+
+// ModelKind enumerates the trainable model families (the four the paper
+// evaluates: LR, DT, GB, RF).
+type ModelKind uint8
+
+// Trainable model kinds.
+const (
+	KindLogistic ModelKind = iota
+	KindDecisionTree
+	KindRandomForest
+	KindGradientBoosting
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case KindLogistic:
+		return "LR"
+	case KindDecisionTree:
+		return "DT"
+	case KindRandomForest:
+		return "RF"
+	case KindGradientBoosting:
+		return "GB"
+	}
+	return fmt.Sprintf("ModelKind(%d)", uint8(k))
+}
+
+// Spec describes a trained pipeline to fit: which columns are numeric vs
+// categorical inputs, the label column, the model family and its
+// hyperparameters.
+type Spec struct {
+	Name        string
+	Numeric     []string
+	Categorical []string
+	Label       string
+	Kind        ModelKind
+
+	// Alpha is the L1 strength knob for logistic regression (paper
+	// convention: smaller alpha → stronger regularization).
+	Alpha float64
+	// MaxDepth for tree models.
+	MaxDepth int
+	// NEstimators for RF/GB.
+	NEstimators int
+	// LearningRate for GB.
+	LearningRate float64
+	Seed         int64
+}
+
+// FitScaler returns per-feature offset (mean) and scale (1/std) for a
+// column of values.
+func FitScaler(vals []float64) (offset, scale float64) {
+	n := float64(len(vals))
+	if n == 0 {
+		return 0, 1
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= n
+	varsum := 0.0
+	for _, v := range vals {
+		d := v - mean
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / n)
+	if std == 0 {
+		return mean, 1
+	}
+	return mean, 1 / std
+}
+
+// FitOneHot returns the sorted distinct categories of a string column.
+func FitOneHot(vals []string) []string {
+	seen := make(map[string]bool)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Featurization holds fitted featurizers and the resulting design matrix
+// layout for a Spec.
+type Featurization struct {
+	Offsets, Scales []float64           // per numeric input
+	Categories      map[string][]string // per categorical input
+	// Width is the encoded feature count (numeric + Σ|categories|).
+	Width int
+}
+
+// FitFeaturizers fits the scaler and encoders of spec on the table.
+func FitFeaturizers(t *data.Table, spec Spec) (*Featurization, error) {
+	f := &Featurization{Categories: make(map[string][]string)}
+	for _, name := range spec.Numeric {
+		c := t.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("train: table lacks numeric column %q", name)
+		}
+		vals := colFloats(c)
+		off, sc := FitScaler(vals)
+		f.Offsets = append(f.Offsets, off)
+		f.Scales = append(f.Scales, sc)
+	}
+	f.Width = len(spec.Numeric)
+	for _, name := range spec.Categorical {
+		c := t.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("train: table lacks categorical column %q", name)
+		}
+		cats := FitOneHot(colStrings(c))
+		f.Categories[name] = cats
+		f.Width += len(cats)
+	}
+	return f, nil
+}
+
+// Transform builds the design matrix for the table under the fitted
+// featurization: scaled numerics first (in spec order), then one-hot
+// blocks per categorical input — exactly the layout the emitted pipeline
+// produces at inference time.
+func (f *Featurization) Transform(t *data.Table, spec Spec) (*Matrix, error) {
+	n := t.NumRows()
+	x := NewMatrix(n, f.Width)
+	for j, name := range spec.Numeric {
+		c := t.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("train: table lacks numeric column %q", name)
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, j, (c.AsFloat(i)-f.Offsets[j])*f.Scales[j])
+		}
+	}
+	col := len(spec.Numeric)
+	for _, name := range spec.Categorical {
+		c := t.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("train: table lacks categorical column %q", name)
+		}
+		cats := f.Categories[name]
+		idx := make(map[string]int, len(cats))
+		for k, cat := range cats {
+			idx[cat] = k
+		}
+		for i := 0; i < n; i++ {
+			if k, ok := idx[c.AsString(i)]; ok {
+				x.Set(i, col+k, 1)
+			}
+		}
+		col += len(cats)
+	}
+	return x, nil
+}
+
+// FitPipeline trains the model described by spec on the table and emits
+// the trained pipeline (featurizers + model) in the model format.
+func FitPipeline(t *data.Table, spec Spec) (*model.Pipeline, error) {
+	lc := t.Col(spec.Label)
+	if lc == nil {
+		return nil, fmt.Errorf("train: table lacks label column %q", spec.Label)
+	}
+	y := colFloats(lc)
+	feat, err := FitFeaturizers(t, spec)
+	if err != nil {
+		return nil, err
+	}
+	x, err := feat.Transform(t, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &model.Pipeline{Name: spec.Name, Outputs: []string{"label", "score"}}
+	for _, nm := range spec.Numeric {
+		p.Inputs = append(p.Inputs, model.Input{Name: nm})
+	}
+	for _, nm := range spec.Categorical {
+		p.Inputs = append(p.Inputs, model.Input{Name: nm, Categorical: true})
+	}
+	featureInputs := make([]string, 0, 1+len(spec.Categorical))
+	if len(spec.Numeric) > 0 {
+		// Scales holds 1/std, which is exactly the scaler op's multiplier.
+		p.Ops = append(p.Ops,
+			&model.Concat{Name: "num_concat", In: spec.Numeric, Out: "num"},
+			&model.StandardScaler{Name: "scaler", In: "num", Out: "num_scaled",
+				Offset: feat.Offsets, Scale: feat.Scales})
+		featureInputs = append(featureInputs, "num_scaled")
+	}
+	for _, nm := range spec.Categorical {
+		out := nm + "_oh"
+		p.Ops = append(p.Ops, &model.OneHotEncoder{
+			Name: "ohe_" + nm, In: nm, Out: out, Categories: feat.Categories[nm]})
+		featureInputs = append(featureInputs, out)
+	}
+	p.Ops = append(p.Ops, &model.Concat{Name: "features", In: featureInputs, Out: "F"})
+
+	switch spec.Kind {
+	case KindLogistic:
+		coef, intercept, err := FitLogistic(x, y, LogisticOptions{Alpha: spec.Alpha})
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, &model.LinearModel{
+			Name: "model", In: "F", OutLabel: "label", OutScore: "score",
+			Coef: coef, Intercept: intercept, Task: model.Classification})
+	case KindDecisionTree:
+		tree, err := FitTree(x, y, nil, TreeOptions{
+			MaxDepth: spec.MaxDepth, Task: model.Classification, Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, &model.TreeEnsemble{
+			Name: "model", In: "F", OutLabel: "label", OutScore: "score",
+			Trees: []model.Tree{tree}, Task: model.Classification,
+			Algo: model.DecisionTree, Features: feat.Width})
+	case KindRandomForest:
+		trees, err := FitForest(x, y, ForestOptions{
+			NTrees: spec.NEstimators,
+			Tree:   TreeOptions{MaxDepth: spec.MaxDepth, Task: model.Classification},
+			Seed:   spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, &model.TreeEnsemble{
+			Name: "model", In: "F", OutLabel: "label", OutScore: "score",
+			Trees: trees, Task: model.Classification,
+			Algo: model.RandomForest, Features: feat.Width})
+	case KindGradientBoosting:
+		trees, base, err := FitGradientBoosting(x, y, GBOptions{
+			NEstimators: spec.NEstimators, MaxDepth: spec.MaxDepth,
+			LearningRate: spec.LearningRate, Task: model.Classification,
+			Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, &model.TreeEnsemble{
+			Name: "model", In: "F", OutLabel: "label", OutScore: "score",
+			Trees: trees, Task: model.Classification,
+			Algo: model.GradientBoosting, BaseScore: base, Features: feat.Width,
+			LearningRate: spec.LearningRate})
+	default:
+		return nil, fmt.Errorf("train: unknown model kind %v", spec.Kind)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("train: assembled pipeline invalid: %w", err)
+	}
+	return p, nil
+}
+
+func colFloats(c *data.Column) []float64 {
+	out := make([]float64, c.Len())
+	for i := range out {
+		out[i] = c.AsFloat(i)
+	}
+	return out
+}
+
+func colStrings(c *data.Column) []string {
+	out := make([]string, c.Len())
+	for i := range out {
+		out[i] = c.AsString(i)
+	}
+	return out
+}

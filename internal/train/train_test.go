@@ -1,0 +1,450 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/data"
+	"raven/internal/mlruntime"
+	"raven/internal/model"
+)
+
+// synthBinary builds a linearly-separable-ish binary dataset where only
+// the first `informative` features matter.
+func synthBinary(n, d, informative int, seed int64) (*Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := 0.0
+		for j := 0; j < d; j++ {
+			v := rng.NormFloat64()
+			x.Set(i, j, v)
+			if j < informative {
+				z += v * float64(informative-j)
+			}
+		}
+		if z+0.3*rng.NormFloat64() > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestFitLogisticLearns(t *testing.T) {
+	x, y := synthBinary(600, 6, 3, 1)
+	coef, b, err := FitLogistic(x, y, LogisticOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		z := b
+		for j, w := range coef {
+			z += w * x.At(i, j)
+		}
+		scores[i] = model.Sigmoid(z)
+	}
+	if acc := Accuracy(scores, y); acc < 0.85 {
+		t.Fatalf("logistic train accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestFitLogisticL1Sparsity(t *testing.T) {
+	x, y := synthBinary(500, 10, 2, 2)
+	weak, _, err := FitLogistic(x, y, LogisticOptions{Alpha: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, _, err := FitLogistic(x, y, LogisticOptions{Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw, zs := CountZeroWeights(weak), CountZeroWeights(strong)
+	if zs <= zw {
+		t.Fatalf("stronger L1 should zero more weights: weak=%d strong=%d", zw, zs)
+	}
+	if zs == 0 {
+		t.Fatal("strong L1 produced no zero weights")
+	}
+}
+
+func TestFitLinearRegression(t *testing.T) {
+	// y = 3*x0 - 2*x1 + 1
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = 3*a - 2*b + 1
+	}
+	coef, b, err := FitLinearRegression(x, y, LinearOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-3) > 0.1 || math.Abs(coef[1]+2) > 0.1 || math.Abs(b-1) > 0.1 {
+		t.Fatalf("linear fit: coef=%v intercept=%v", coef, b)
+	}
+}
+
+func TestFitTreeClassification(t *testing.T) {
+	x, y := synthBinary(400, 5, 2, 4)
+	tree, err := FitTree(x, y, nil, TreeOptions{MaxDepth: 6, Task: model.Classification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		scores[i] = tree.Eval(x.Row(i))
+	}
+	if acc := Accuracy(scores, y); acc < 0.85 {
+		t.Fatalf("tree train accuracy = %v", acc)
+	}
+	if d := tree.Depth(); d > 6 {
+		t.Fatalf("tree depth %d exceeds max 6", d)
+	}
+}
+
+func TestFitTreeRespectsMaxDepthAndPurity(t *testing.T) {
+	// Constant labels → single leaf.
+	x := NewMatrix(10, 2)
+	y := make([]float64, 10)
+	tree, err := FitTree(x, y, nil, TreeOptions{MaxDepth: 4, Task: model.Classification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 1 || !tree.Nodes[0].IsLeaf() {
+		t.Fatalf("pure data should give a single leaf, got %d nodes", len(tree.Nodes))
+	}
+	if tree.Nodes[0].Value != 0 {
+		t.Fatalf("leaf value = %v", tree.Nodes[0].Value)
+	}
+}
+
+func TestFitTreeLeavesUnusedFeatures(t *testing.T) {
+	// Only feature 0 is informative; a shallow tree should not touch all
+	// of the 12 noise features — the sparsity ModelProj exploits.
+	rng := rand.New(rand.NewSource(9))
+	n, d := 500, 13
+	x := NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	tree, err := FitTree(x, y, nil, TreeOptions{MaxDepth: 3, Task: model.Classification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := tree.UsedFeatures()
+	if len(used) >= d {
+		t.Fatalf("depth-3 tree used all %d features", len(used))
+	}
+	if used[0] != 0 {
+		t.Fatalf("tree should split on the informative feature first, used=%v", used)
+	}
+}
+
+func TestFitForest(t *testing.T) {
+	x, y := synthBinary(400, 6, 3, 5)
+	trees, err := FitForest(x, y, ForestOptions{NTrees: 7, Tree: TreeOptions{MaxDepth: 5, Task: model.Classification}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 7 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	ens := &model.TreeEnsemble{Trees: trees, Algo: model.RandomForest,
+		Task: model.Classification, Features: 6}
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		scores[i] = ens.Score(x.Row(i))
+	}
+	if acc := Accuracy(scores, y); acc < 0.85 {
+		t.Fatalf("forest accuracy = %v", acc)
+	}
+}
+
+func TestFitGradientBoosting(t *testing.T) {
+	x, y := synthBinary(400, 6, 3, 6)
+	trees, base, err := FitGradientBoosting(x, y, GBOptions{
+		NEstimators: 25, MaxDepth: 3, LearningRate: 0.2, Task: model.Classification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 25 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	ens := &model.TreeEnsemble{Trees: trees, Algo: model.GradientBoosting,
+		Task: model.Classification, BaseScore: base, Features: 6}
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		scores[i] = ens.Score(x.Row(i))
+	}
+	if acc := Accuracy(scores, y); acc < 0.88 {
+		t.Fatalf("GB accuracy = %v", acc)
+	}
+	if auc := AUC(scores, y); auc < 0.9 {
+		t.Fatalf("GB AUC = %v", auc)
+	}
+}
+
+func TestGradientBoostingRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 300
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = 2*a + b
+	}
+	trees, base, err := FitGradientBoosting(x, y, GBOptions{
+		NEstimators: 40, MaxDepth: 3, LearningRate: 0.3, Task: model.Regression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := &model.TreeEnsemble{Trees: trees, Algo: model.GradientBoosting,
+		Task: model.Regression, BaseScore: base, Features: 2}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = ens.Score(x.Row(i))
+	}
+	if mse := MSE(pred, y); mse > 0.02 {
+		t.Fatalf("GB regression MSE = %v", mse)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	if a := Accuracy([]float64{0.9, 0.1, 0.8}, []float64{1, 0, 0}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", a)
+	}
+	if a := AUC([]float64{0.1, 0.4, 0.35, 0.8}, []float64{0, 0, 1, 1}); math.Abs(a-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v", a)
+	}
+	if a := AUC([]float64{0.5, 0.5}, []float64{0, 1}); a != 0.5 {
+		t.Fatalf("tied AUC = %v", a)
+	}
+	if a := AUC([]float64{0.5}, []float64{1}); a != 0.5 {
+		t.Fatalf("degenerate AUC = %v", a)
+	}
+	if m := MSE([]float64{1, 2}, []float64{1, 4}); m != 2 {
+		t.Fatalf("MSE = %v", m)
+	}
+	if m := MSE(nil, nil); m != 0 {
+		t.Fatalf("empty MSE = %v", m)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("empty Accuracy = %v", a)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	tr, te := TrainTestSplit(10, 0.8, 42)
+	if len(tr) != 8 || len(te) != 2 {
+		t.Fatalf("split sizes = %d/%d", len(tr), len(te))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, tr...), te...) {
+		if seen[i] {
+			t.Fatal("index appears twice")
+		}
+		seen[i] = true
+	}
+	// Deterministic for a fixed seed.
+	tr2, _ := TrainTestSplit(10, 0.8, 42)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestFitScalerAndOneHot(t *testing.T) {
+	off, sc := FitScaler([]float64{2, 4, 6})
+	if off != 4 {
+		t.Fatalf("offset = %v", off)
+	}
+	std := math.Sqrt((4.0 + 0 + 4) / 3)
+	if math.Abs(sc-1/std) > 1e-12 {
+		t.Fatalf("scale = %v", sc)
+	}
+	off, sc = FitScaler([]float64{5, 5})
+	if off != 5 || sc != 1 {
+		t.Fatalf("constant scaler = %v/%v", off, sc)
+	}
+	off, sc = FitScaler(nil)
+	if off != 0 || sc != 1 {
+		t.Fatalf("empty scaler = %v/%v", off, sc)
+	}
+	cats := FitOneHot([]string{"b", "a", "b", "c"})
+	if len(cats) != 3 || cats[0] != "a" || cats[2] != "c" {
+		t.Fatalf("cats = %v", cats)
+	}
+}
+
+func trainTable() *data.Table {
+	rng := rand.New(rand.NewSource(21))
+	n := 500
+	age := make([]float64, n)
+	bpm := make([]float64, n)
+	flag := make([]string, n)
+	label := make([]float64, n)
+	for i := 0; i < n; i++ {
+		age[i] = 20 + 60*rng.Float64()
+		bpm[i] = 60 + 60*rng.Float64()
+		if rng.Intn(2) == 0 {
+			flag[i] = "yes"
+		} else {
+			flag[i] = "no"
+		}
+		z := 0.05*(age[i]-50) + 0.02*(bpm[i]-90)
+		if flag[i] == "yes" {
+			z += 1
+		}
+		if z+0.3*rng.NormFloat64() > 0 {
+			label[i] = 1
+		}
+	}
+	return data.MustNewTable("t",
+		data.NewFloat("age", age),
+		data.NewFloat("bpm", bpm),
+		data.NewString("flag", flag),
+		data.NewFloat("label", label),
+	)
+}
+
+func TestFitPipelineAllKinds(t *testing.T) {
+	tb := trainTable()
+	for _, kind := range []ModelKind{KindLogistic, KindDecisionTree, KindRandomForest, KindGradientBoosting} {
+		spec := Spec{
+			Name: "m_" + kind.String(), Numeric: []string{"age", "bpm"},
+			Categorical: []string{"flag"}, Label: "label", Kind: kind,
+			MaxDepth: 4, NEstimators: 5, LearningRate: 0.2, Alpha: 1,
+		}
+		p, err := FitPipeline(tb, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: invalid pipeline: %v", kind, err)
+		}
+		sess, err := mlruntime.NewSession(p)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		out, err := sess.RunTable(tb)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		scores := out["score"].Block.Data
+		acc := Accuracy(scores, colFloats(tb.Col("label")))
+		if acc < 0.75 {
+			t.Fatalf("%v: pipeline train accuracy = %v", kind, acc)
+		}
+	}
+}
+
+// Property: the design matrix built by Featurization.Transform matches
+// what the emitted pipeline computes at runtime.
+func TestQuickFeaturizationMatchesPipeline(t *testing.T) {
+	tb := trainTable()
+	spec := Spec{Name: "m", Numeric: []string{"age", "bpm"},
+		Categorical: []string{"flag"}, Label: "label", Kind: KindDecisionTree, MaxDepth: 3}
+	p, err := FitPipeline(tb, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, err := FitFeaturizers(tb, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expose F by making it a pipeline output.
+	p2 := p.Clone()
+	p2.Outputs = append(p2.Outputs, "F")
+	sess, err := mlruntime.NewSession(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rowSeed int64) bool {
+		rng := rand.New(rand.NewSource(rowSeed))
+		i := rng.Intn(tb.NumRows())
+		one := tb.Slice(i, i+1)
+		out, err := sess.RunTable(one)
+		if err != nil {
+			return false
+		}
+		x, err := feat.Transform(one, spec)
+		if err != nil {
+			return false
+		}
+		got := out["F"].Block.Row(0)
+		want := x.Row(0)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPipelineErrors(t *testing.T) {
+	tb := trainTable()
+	if _, err := FitPipeline(tb, Spec{Label: "ghost", Kind: KindLogistic}); err == nil {
+		t.Fatal("expected missing label error")
+	}
+	if _, err := FitPipeline(tb, Spec{Label: "label", Numeric: []string{"ghost"}, Kind: KindLogistic}); err == nil {
+		t.Fatal("expected missing numeric column error")
+	}
+	if _, err := FitPipeline(tb, Spec{Label: "label", Categorical: []string{"ghost"}, Kind: KindDecisionTree}); err == nil {
+		t.Fatal("expected missing categorical column error")
+	}
+	if _, err := FitPipeline(tb, Spec{Label: "label", Numeric: []string{"age"}, Kind: ModelKind(99)}); err == nil {
+		t.Fatal("expected unknown kind error")
+	}
+}
+
+func TestCheckXY(t *testing.T) {
+	if err := checkXY(NewMatrix(2, 1), []float64{1}); err == nil {
+		t.Fatal("expected row mismatch error")
+	}
+	if err := checkXY(NewMatrix(0, 1), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, _, err := FitLogistic(NewMatrix(0, 1), nil, LogisticOptions{}); err == nil {
+		t.Fatal("expected FitLogistic empty error")
+	}
+	if _, err := FitTree(NewMatrix(0, 1), nil, nil, TreeOptions{}); err == nil {
+		t.Fatal("expected FitTree empty error")
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.Row(1)[2] != 5 {
+		t.Fatal("Set/At/Row broken")
+	}
+	g := m.GatherRows([]int{1, 1})
+	if g.Rows != 2 || g.At(0, 2) != 5 || g.At(1, 2) != 5 {
+		t.Fatal("GatherRows broken")
+	}
+	v := Gather([]float64{10, 20, 30}, []int{2, 0})
+	if v[0] != 30 || v[1] != 10 {
+		t.Fatal("Gather broken")
+	}
+}

@@ -1,0 +1,329 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"raven/internal/model"
+)
+
+// TreeOptions configures CART training.
+type TreeOptions struct {
+	// MaxDepth limits tree depth (default 8).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures limits the features considered per split (0 = all);
+	// random forests set it to sqrt(d).
+	MaxFeatures int
+	// Task selects gini (classification) or variance (regression) splits.
+	Task model.Task
+	// Seed drives the per-split feature subsampling.
+	Seed int64
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinSamplesLeaf == 0 {
+		o.MinSamplesLeaf = 1
+	}
+	return o
+}
+
+type treeBuilder struct {
+	x     *Matrix
+	y     []float64
+	opt   TreeOptions
+	rng   *rand.Rand
+	nodes []model.TreeNode
+}
+
+// FitTree grows a CART decision tree on the rows listed in idx (nil means
+// all rows). Leaf values are the mean label (class-1 probability for
+// classification, prediction for regression).
+func FitTree(x *Matrix, y []float64, idx []int, opt TreeOptions) (model.Tree, error) {
+	if err := checkXY(x, y); err != nil {
+		return model.Tree{}, err
+	}
+	opt = opt.withDefaults()
+	if idx == nil {
+		idx = make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	b := &treeBuilder{x: x, y: y, opt: opt, rng: rand.New(rand.NewSource(opt.Seed + 1))}
+	b.grow(idx, 0)
+	return model.Tree{Nodes: b.nodes}, nil
+}
+
+func (b *treeBuilder) grow(idx []int, depth int) int {
+	mean := 0.0
+	for _, i := range idx {
+		mean += b.y[i]
+	}
+	mean /= float64(len(idx))
+	pure := true
+	for _, i := range idx {
+		if b.y[i] != b.y[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if depth >= b.opt.MaxDepth || len(idx) < 2*b.opt.MinSamplesLeaf || pure {
+		return b.leaf(mean)
+	}
+	feat, thresh, ok := b.bestSplit(idx)
+	if !ok {
+		return b.leaf(mean)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x.At(i, feat) <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.opt.MinSamplesLeaf || len(right) < b.opt.MinSamplesLeaf {
+		return b.leaf(mean)
+	}
+	// Reserve this node's slot before growing children.
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, model.TreeNode{Feature: feat, Threshold: thresh})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[id].Left = l
+	b.nodes[id].Right = r
+	return id
+}
+
+func (b *treeBuilder) leaf(value float64) int {
+	b.nodes = append(b.nodes, model.TreeNode{Feature: -1, Value: value})
+	return len(b.nodes) - 1
+}
+
+// bestSplit scans candidate features for the split minimizing weighted
+// impurity (gini for classification, variance for regression).
+func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	d := b.x.Cols
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if b.opt.MaxFeatures > 0 && b.opt.MaxFeatures < d {
+		b.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:b.opt.MaxFeatures]
+	}
+	bestScore := math.Inf(1)
+	type pair struct{ v, y float64 }
+	pairs := make([]pair, 0, len(idx))
+	for _, f := range features {
+		pairs = pairs[:0]
+		for _, i := range idx {
+			pairs = append(pairs, pair{b.x.At(i, f), b.y[i]})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		n := float64(len(pairs))
+		// Prefix sums over the sorted order.
+		var sumL, sumSqL, cntL float64
+		sumR, sumSqR := 0.0, 0.0
+		for _, p := range pairs {
+			sumR += p.y
+			sumSqR += p.y * p.y
+		}
+		for k := 0; k < len(pairs)-1; k++ {
+			p := pairs[k]
+			sumL += p.y
+			sumSqL += p.y * p.y
+			sumR -= p.y
+			sumSqR -= p.y * p.y
+			cntL++
+			if pairs[k+1].v == p.v {
+				continue // cannot split between equal values
+			}
+			cntR := n - cntL
+			if cntL < float64(b.opt.MinSamplesLeaf) || cntR < float64(b.opt.MinSamplesLeaf) {
+				continue
+			}
+			var score float64
+			if b.opt.Task == model.Classification {
+				// Gini: 2p(1-p) per side, weighted.
+				pL := sumL / cntL
+				pR := sumR / cntR
+				score = cntL*pL*(1-pL) + cntR*pR*(1-pR)
+			} else {
+				// Variance: E[y²] - E[y]² per side, weighted.
+				vL := sumSqL/cntL - (sumL/cntL)*(sumL/cntL)
+				vR := sumSqR/cntR - (sumR/cntR)*(sumR/cntR)
+				score = cntL*vL + cntR*vR
+			}
+			if score < bestScore-1e-12 {
+				bestScore = score
+				feature = f
+				threshold = (p.v + pairs[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// ForestOptions configures random-forest training.
+type ForestOptions struct {
+	NTrees int
+	Tree   TreeOptions
+	Seed   int64
+}
+
+// FitForest trains a random forest: NTrees CART trees on bootstrap samples
+// with sqrt(d) feature subsampling per split.
+func FitForest(x *Matrix, y []float64, opt ForestOptions) ([]model.Tree, error) {
+	if err := checkXY(x, y); err != nil {
+		return nil, err
+	}
+	if opt.NTrees == 0 {
+		opt.NTrees = 10
+	}
+	topt := opt.Tree.withDefaults()
+	if topt.MaxFeatures == 0 {
+		topt.MaxFeatures = int(math.Sqrt(float64(x.Cols)))
+		if topt.MaxFeatures < 1 {
+			topt.MaxFeatures = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	trees := make([]model.Tree, opt.NTrees)
+	for t := 0; t < opt.NTrees; t++ {
+		idx := make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = rng.Intn(x.Rows)
+		}
+		topt.Seed = opt.Seed + int64(t)*131
+		tree, err := FitTree(x, y, idx, topt)
+		if err != nil {
+			return nil, err
+		}
+		trees[t] = tree
+	}
+	return trees, nil
+}
+
+// GBOptions configures gradient-boosting training.
+type GBOptions struct {
+	NEstimators  int
+	MaxDepth     int
+	LearningRate float64
+	Task         model.Task
+	Seed         int64
+}
+
+// FitGradientBoosting trains a gradient-boosted ensemble with logistic
+// loss (classification) or squared loss (regression). Leaf values carry
+// the Newton step scaled by the learning rate, so inference only sums
+// leaves and (for classification) applies a sigmoid.
+func FitGradientBoosting(x *Matrix, y []float64, opt GBOptions) (trees []model.Tree, baseScore float64, err error) {
+	if err := checkXY(x, y); err != nil {
+		return nil, 0, err
+	}
+	if opt.NEstimators == 0 {
+		opt.NEstimators = 20
+	}
+	if opt.MaxDepth == 0 {
+		opt.MaxDepth = 3
+	}
+	if opt.LearningRate == 0 {
+		opt.LearningRate = 0.1
+	}
+	n := x.Rows
+	f := make([]float64, n) // current margin per sample
+	if opt.Task == model.Classification {
+		// Prior log-odds.
+		pos := 0.0
+		for _, v := range y {
+			pos += v
+		}
+		p := (pos + 1) / (float64(n) + 2)
+		baseScore = math.Log(p / (1 - p))
+	} else {
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		baseScore = s / float64(n)
+	}
+	for i := range f {
+		f[i] = baseScore
+	}
+	resid := make([]float64, n)
+	topt := TreeOptions{MaxDepth: opt.MaxDepth, MinSamplesLeaf: 1, Task: model.Regression}
+	for t := 0; t < opt.NEstimators; t++ {
+		for i := 0; i < n; i++ {
+			if opt.Task == model.Classification {
+				resid[i] = y[i] - model.Sigmoid(f[i])
+			} else {
+				resid[i] = y[i] - f[i]
+			}
+		}
+		topt.Seed = opt.Seed + int64(t)*17
+		tree, err := FitTree(x, resid, nil, topt)
+		if err != nil {
+			return nil, 0, err
+		}
+		if opt.Task == model.Classification {
+			newtonLeafValues(&tree, x, y, f)
+		}
+		// Scale leaves by the learning rate and update margins.
+		for i := range tree.Nodes {
+			if tree.Nodes[i].IsLeaf() {
+				tree.Nodes[i].Value *= opt.LearningRate
+			}
+		}
+		for i := 0; i < n; i++ {
+			f[i] += tree.Eval(x.Row(i))
+		}
+		trees = append(trees, tree)
+	}
+	return trees, baseScore, nil
+}
+
+// newtonLeafValues replaces each leaf's value with the Newton step
+// sum(residual)/sum(p(1-p)) over the samples routed to that leaf.
+func newtonLeafValues(tree *model.Tree, x *Matrix, y, f []float64) {
+	num := make(map[int]float64)
+	den := make(map[int]float64)
+	for i := 0; i < x.Rows; i++ {
+		leaf := routeToLeaf(tree, x.Row(i))
+		p := model.Sigmoid(f[i])
+		num[leaf] += y[i] - p
+		den[leaf] += p * (1 - p)
+	}
+	for li := range tree.Nodes {
+		if !tree.Nodes[li].IsLeaf() {
+			continue
+		}
+		d := den[li]
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		tree.Nodes[li].Value = num[li] / d
+	}
+}
+
+func routeToLeaf(t *model.Tree, x []float64) int {
+	i := 0
+	for {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return i
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}

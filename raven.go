@@ -1,0 +1,266 @@
+// Package raven is an end-to-end optimizer and execution engine for
+// machine-learning prediction queries, reproducing "End-to-end
+// Optimization of Machine Learning Prediction Queries" (SIGMOD 2022).
+//
+// A prediction query joins, filters and featurizes relational data and
+// invokes a trained pipeline through a PREDICT table-valued function:
+//
+//	WITH d AS (
+//	  SELECT * FROM patient_info AS pi
+//	  JOIN pulmonary_test AS pt ON pi.id = pt.id)
+//	SELECT d.id, p.score
+//	FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p
+//	WHERE d.asthma = 'yes' AND p.score > 0.5
+//
+// Raven builds a unified intermediate representation holding both the
+// relational and the ML operators, applies logical cross-optimizations
+// (predicate-based model pruning, model-projection pushdown, data-induced
+// optimizations) and then picks the best runtime for the ML part (the ML
+// runtime, a SQL translation, or a Hummingbird-style tensor compilation on
+// CPU/GPU) via a data-driven strategy.
+//
+// Usage:
+//
+//	s := raven.NewSession()
+//	s.RegisterTable(patients)
+//	s.RegisterModel(pipe)
+//	res, err := s.Query(`SELECT p.score FROM PREDICT(MODEL = m, DATA = patients AS d) WITH (score FLOAT) AS p`)
+package raven
+
+import (
+	"fmt"
+	"time"
+
+	"raven/internal/data"
+	"raven/internal/engine"
+	"raven/internal/ir"
+	"raven/internal/model"
+	"raven/internal/opt"
+	"raven/internal/sqlparse"
+	"raven/internal/strategy"
+	"raven/internal/train"
+)
+
+// Re-exported data types so API consumers outside this module can build
+// tables and models without reaching into internal packages.
+type (
+	// Table is an in-memory columnar table.
+	Table = data.Table
+	// Column is one typed column of a table.
+	Column = data.Column
+	// Pipeline is a trained pipeline (featurizers + model).
+	Pipeline = model.Pipeline
+	// Profile describes the execution environment cost model.
+	Profile = engine.Profile
+	// OptimizerOptions selects the optimizer rules.
+	OptimizerOptions = opt.Options
+	// OptimizerReport records what the optimizer did.
+	OptimizerReport = opt.Report
+	// RuntimeStrategy picks MLtoSQL / MLtoDNN / none per query.
+	RuntimeStrategy = opt.RuntimeStrategy
+	// TrainSpec describes a pipeline to train.
+	TrainSpec = train.Spec
+	// ModelKind selects the model family of a TrainSpec.
+	ModelKind = train.ModelKind
+)
+
+// Model families for TrainSpec.Kind (re-exports).
+const (
+	// ModelLogistic trains L1-regularized logistic regression.
+	ModelLogistic = train.KindLogistic
+	// ModelDecisionTree trains a CART decision tree.
+	ModelDecisionTree = train.KindDecisionTree
+	// ModelRandomForest trains a random forest.
+	ModelRandomForest = train.KindRandomForest
+	// ModelGradientBoosting trains a gradient-boosted ensemble.
+	ModelGradientBoosting = train.KindGradientBoosting
+)
+
+// Column constructors (re-exports).
+var (
+	// NewFloatColumn builds a FLOAT column.
+	NewFloatColumn = data.NewFloat
+	// NewIntColumn builds a BIGINT column.
+	NewIntColumn = data.NewInt
+	// NewStringColumn builds a VARCHAR column.
+	NewStringColumn = data.NewString
+	// NewBoolColumn builds a BOOLEAN column.
+	NewBoolColumn = data.NewBool
+	// NewTable builds a table from columns.
+	NewTable = data.NewTable
+	// LoadModel reads a pipeline from a JSON model file.
+	LoadModel = model.Load
+	// TrainPipeline fits a pipeline on a labeled table.
+	TrainPipeline = train.FitPipeline
+)
+
+// Engine profiles (re-exports). All computation runs on the host; the
+// profile converts measured operator work into reported times (DESIGN.md
+// §4 documents the cost model).
+var (
+	// ProfileLocal is an overhead-free single-threaded profile.
+	ProfileLocal = engine.Local
+	// ProfileSpark models the paper's 4×8-core Spark cluster.
+	ProfileSpark = engine.Spark
+	// ProfileSQLServerDOP1 models single-threaded SQL Server.
+	ProfileSQLServerDOP1 = engine.SQLServerDOP1
+	// ProfileSQLServerDOP16 models SQL Server at DOP 16.
+	ProfileSQLServerDOP16 = engine.SQLServerDOP16
+	// ProfileMADlib models PostgreSQL+MADlib.
+	ProfileMADlib = engine.MADlib
+)
+
+// Session is the entry point: a catalog of tables and models plus an
+// optimizer configuration (the paper's RavenSession).
+type Session struct {
+	cat     *engine.Catalog
+	profile engine.Profile
+	opts    opt.Options
+}
+
+// Option configures a session.
+type Option func(*Session)
+
+// WithProfile selects the engine profile (default: ProfileLocal).
+func WithProfile(p Profile) Option {
+	return func(s *Session) { s.profile = p }
+}
+
+// WithOptimizerOptions overrides the full rule configuration.
+func WithOptimizerOptions(o OptimizerOptions) Option {
+	return func(s *Session) { s.opts = o }
+}
+
+// WithStrategy sets the runtime-selection strategy (default: the paper's
+// §5.2 rule). Pass nil to disable logical-to-physical transformations.
+func WithStrategy(st RuntimeStrategy) Option {
+	return func(s *Session) { s.opts.Strategy = st }
+}
+
+// WithGPU declares GPU availability to the strategy.
+func WithGPU(available bool) Option {
+	return func(s *Session) { s.opts.GPUAvailable = available }
+}
+
+// WithoutOptimizations disables all Raven rules (the "Raven (no-opt)"
+// baseline; the engine's own projection/zone pushdowns still run).
+func WithoutOptimizations() Option {
+	return func(s *Session) { s.opts = opt.NoOpt() }
+}
+
+// NewSession creates a session with all logical optimizations enabled and
+// the calibrated rule-based strategy for runtime selection (the paper's
+// §5.2 rule re-derived for this system's cost structure).
+func NewSession(options ...Option) *Session {
+	s := &Session{
+		cat:     engine.NewCatalog(),
+		profile: engine.Local,
+		opts:    opt.DefaultOptions(),
+	}
+	s.opts.Strategy = strategy.CalibratedRule{}
+	for _, o := range options {
+		o(s)
+	}
+	return s
+}
+
+// RegisterTable adds a table (as one partition with statistics).
+func (s *Session) RegisterTable(t *Table) { s.cat.RegisterTable(t) }
+
+// RegisterTableCSV loads a CSV file and registers it.
+func (s *Session) RegisterTableCSV(path string) (*Table, error) {
+	t, err := data.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.cat.RegisterTable(t)
+	return t, nil
+}
+
+// RegisterPartitionedTable partitions t by the given column (computing
+// per-partition statistics) and registers it; the data-induced rule can
+// then compile one model per partition.
+func (s *Session) RegisterPartitionedTable(t *Table, column string) error {
+	pt, err := data.PartitionBy(t, column)
+	if err != nil {
+		return err
+	}
+	s.cat.RegisterPartitioned(pt)
+	return nil
+}
+
+// RegisterModel adds a trained pipeline to the catalog.
+func (s *Session) RegisterModel(p *Pipeline) error { return s.cat.RegisterModel(p) }
+
+// RegisterModelFile loads a JSON model file and registers it.
+func (s *Session) RegisterModelFile(path string) (*Pipeline, error) {
+	p, err := model.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cat.RegisterModel(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Result is a query's outcome.
+type Result struct {
+	// Table holds the result rows.
+	Table *Table
+	// Wall is the measured single-thread execution time.
+	Wall time.Duration
+	// Reported is the profile's cost-model time (see DESIGN.md §4).
+	Reported time.Duration
+	// Report describes the optimizations applied.
+	Report *OptimizerReport
+	// Plan is the optimized plan rendered as text.
+	Plan string
+}
+
+// Query parses, optimizes and executes a prediction query.
+func (s *Session) Query(sql string) (*Result, error) {
+	g, rep, err := s.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(g, s.cat, s.profile)
+	if err != nil {
+		return nil, fmt.Errorf("raven: executing query: %w", err)
+	}
+	return &Result{
+		Table:    res.Table,
+		Wall:     res.Wall,
+		Reported: res.Reported,
+		Report:   rep,
+		Plan:     g.Explain(),
+	}, nil
+}
+
+// Explain optimizes the query and returns the plan text and the optimizer
+// report without executing.
+func (s *Session) Explain(sql string) (string, *OptimizerReport, error) {
+	g, rep, err := s.prepare(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	return g.Explain(), rep, nil
+}
+
+func (s *Session) prepare(sql string) (*ir.Graph, *opt.Report, error) {
+	g, err := sqlparse.ParseAndPlan(sql, s.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	og, rep, err := opt.New(s.cat, s.opts).Optimize(g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("raven: optimizing query: %w", err)
+	}
+	return og, rep, nil
+}
+
+// Tables lists registered table names.
+func (s *Session) Tables() []string { return s.cat.TableNames() }
+
+// Models lists registered model names.
+func (s *Session) Models() []string { return s.cat.ModelNames() }

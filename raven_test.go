@@ -1,0 +1,209 @@
+package raven
+
+import (
+	"strings"
+	"testing"
+
+	"raven/internal/testfix"
+)
+
+func covidSession(t *testing.T, options ...Option) *Session {
+	t.Helper()
+	s := NewSession(options...)
+	pi, pt, bt := testfix.CovidTables()
+	s.RegisterTable(pi)
+	s.RegisterTable(pt)
+	s.RegisterTable(bt)
+	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionQueryEndToEnd(t *testing.T) {
+	s := covidSession(t)
+	res, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 || res.Table.Col("d.id").I64[0] != 3 {
+		t.Fatalf("result:\n%v", res.Table)
+	}
+	if res.Report == nil || len(res.Report.Fired) == 0 {
+		t.Fatal("no optimizer report")
+	}
+	if !res.Report.DidFire("predicate-based-model-pruning") {
+		t.Fatalf("rules fired: %v", res.Report.Fired)
+	}
+	if res.Plan == "" || !strings.Contains(res.Plan, "Predict") {
+		t.Fatalf("plan: %s", res.Plan)
+	}
+	if res.Wall <= 0 || res.Reported <= 0 {
+		t.Fatal("missing timings")
+	}
+}
+
+func TestSessionWithoutOptimizations(t *testing.T) {
+	s := covidSession(t, WithoutOptimizations())
+	res, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.DidFire("model-projection-pushdown") {
+		t.Fatal("no-opt session applied Raven rules")
+	}
+	// Results identical to the optimized session.
+	opt := covidSession(t)
+	res2, err := opt.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != res2.Table.NumRows() {
+		t.Fatal("optimization changed results")
+	}
+}
+
+func TestSessionExplain(t *testing.T) {
+	s := covidSession(t)
+	plan, rep, err := s.Explain(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Scan patient_info") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	if rep.Choice.String() == "" {
+		t.Fatal("no choice in report")
+	}
+}
+
+func TestSessionProfileOption(t *testing.T) {
+	s := covidSession(t, WithProfile(ProfileSpark))
+	res, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spark profile reports at least the session-init overhead... unless
+	// MLtoSQL removed the ML runtime entirely, which is legitimate. Check
+	// reported time is positive and plan exists.
+	if res.Reported <= 0 {
+		t.Fatal("no reported time")
+	}
+}
+
+func TestSessionCatalogIntrospection(t *testing.T) {
+	s := covidSession(t)
+	if got := s.Tables(); len(got) != 3 {
+		t.Fatalf("Tables = %v", got)
+	}
+	if got := s.Models(); len(got) != 1 || got[0] != "covid_risk" {
+		t.Fatalf("Models = %v", got)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := covidSession(t)
+	if _, err := s.Query("SELECT broken FROM"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := s.Query("SELECT x FROM ghost"); err == nil {
+		t.Fatal("expected unknown table error")
+	}
+	if _, _, err := s.Explain("SELECT"); err == nil {
+		t.Fatal("expected explain error")
+	}
+}
+
+func TestColumnConstructorsAndCSV(t *testing.T) {
+	tb, err := NewTable("t",
+		NewIntColumn("id", []int64{1, 2}),
+		NewFloatColumn("x", []float64{0.5, 1.5}),
+		NewStringColumn("k", []string{"a", "b"}),
+		NewBoolColumn("f", []bool{true, false}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	s.RegisterTable(tb)
+	if len(s.Tables()) != 1 {
+		t.Fatal("RegisterTable failed")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/covid.onnx.json"
+	if err := testfix.CovidPipeline().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	p, err := s.RegisterModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "covid_risk" {
+		t.Fatalf("loaded %q", p.Name)
+	}
+	if _, err := s.RegisterModelFile(dir + "/missing.json"); err == nil {
+		t.Fatal("expected error for missing model file")
+	}
+}
+
+func TestPartitionedRegistration(t *testing.T) {
+	s := NewSession()
+	pi, _, _ := testfix.CovidTables()
+	if err := s.RegisterPartitionedTable(pi, "asthma"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterPartitionedTable(pi, "ghost"); err == nil {
+		t.Fatal("expected error for missing partition column")
+	}
+	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	// Querying the partitioned table exercises the per-partition path.
+	pt, bt := func() (*Table, *Table) { _, a, b := testfix.CovidTables(); return a, b }()
+	s.RegisterTable(pt)
+	s.RegisterTable(bt)
+	res, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestTrainPipelineReexport(t *testing.T) {
+	pi, _, _ := testfix.CovidTables()
+	tb := pi.Clone()
+	label := make([]float64, tb.NumRows())
+	for i := range label {
+		if tb.Col("age").F64[i] > 50 {
+			label[i] = 1
+		}
+	}
+	if err := tb.AddColumn(NewFloatColumn("label", label)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := TrainPipeline(tb, TrainSpec{
+		Name: "m", Numeric: []string{"age"}, Categorical: []string{"asthma"},
+		Label: "label", MaxDepth: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	s.RegisterTable(pi.Rename("patients"))
+	if err := s.RegisterModel(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("SELECT d.id, p.score FROM PREDICT(MODEL = m, DATA = patients AS d) WITH (score FLOAT) AS p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 6 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
