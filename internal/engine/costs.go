@@ -31,6 +31,14 @@ type Profile struct {
 	// DOP is the degree of parallelism the cost model divides
 	// data-parallel operator time by (Spark: workers × cores).
 	DOP int
+	// ExecDOP is the real degree of parallelism: when > 1 the engine
+	// rewrites partition-parallel plan segments into morsel-driven
+	// Exchange operators running that many worker goroutines, and the
+	// cost model charges their measured parallel wall time instead of
+	// dividing modeled serial time. 0 or 1 executes serially. Unlike DOP
+	// (which models a hypothetical cluster), ExecDOP actually spawns
+	// workers on the host.
+	ExecDOP int
 	// BatchSize is the rows-per-batch the engine feeds operators
 	// (the paper's UDF batch default is 10k).
 	BatchSize int
@@ -58,6 +66,13 @@ type Profile struct {
 	// ONNX Runtime on traditional models, and SparkML's row-oriented
 	// JVM pipelines are slower still. 0 means 1 (no penalty).
 	PredictPenalty float64
+	// PredictRowOverhead is the modeled fixed per-row cost of a
+	// row-oriented prediction pipeline (SparkML drives each row through
+	// the JVM Row API, commonly measured at microsecond scale). Unlike
+	// PredictPenalty it does not shrink as the vectorized interpreter
+	// gets faster, so it keeps row stores slower than batch runtimes on
+	// small inputs too. Vectorized runtimes leave it 0.
+	PredictRowOverhead time.Duration
 }
 
 // SparkSKL is the paper's "Spark+SKL" baseline: the Spark cluster invoking
@@ -75,12 +90,13 @@ var SparkSKL = Profile{
 // SparkML is the paper's SparkML baseline: JVM-native (no Python bridge)
 // but row-oriented pipeline execution.
 var SparkML = Profile{
-	Name:              "sparkml",
-	DOP:               32,
-	BatchSize:         10000,
-	SessionInit:       100 * time.Millisecond,
-	PartitionOverhead: 2 * time.Millisecond,
-	PredictPenalty:    8,
+	Name:               "sparkml",
+	DOP:                32,
+	BatchSize:          10000,
+	SessionInit:        100 * time.Millisecond,
+	PartitionOverhead:  2 * time.Millisecond,
+	PredictPenalty:     8,
+	PredictRowOverhead: time.Microsecond,
 }
 
 // MaxMaterializedColumns mirrors PostgreSQL's 1600-column-per-table limit

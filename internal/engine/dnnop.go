@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"raven/internal/data"
@@ -11,6 +12,15 @@ import (
 	"raven/internal/model"
 	"raven/internal/relational"
 )
+
+// dnnShared holds the compiled tensor program shared between the worker
+// clones of one DNNOp: compilation happens once (under the mutex) and the
+// immutable program is then run concurrently by all workers.
+type dnnShared struct {
+	mu                 sync.Mutex
+	prog               *hummingbird.Program
+	labelVal, scoreVal string
+}
 
 // DNNOp executes a Hummingbird-compiled tensor program for a predict node
 // (the MLtoDNN physical operator). Computation always happens on the host;
@@ -26,8 +36,9 @@ type DNNOp struct {
 	Device    *device.Device
 	Strategy  hummingbird.Strategy
 
-	prog  *hummingbird.Program
-	stats relational.OpStats
+	prog   *hummingbird.Program
+	shared *dnnShared // set on worker clones (and their template)
+	stats  relational.OpStats
 	// ModeledNs is the device-modeled execution time (0 on CPU).
 	ModeledNs int64
 	// ComputeNs is the real host time spent inside program execution;
@@ -64,6 +75,26 @@ func (d *DNNOp) Open() error {
 	if err := d.Child.Open(); err != nil {
 		return err
 	}
+	if d.shared != nil {
+		// Worker clone (or its template): compile once, share the
+		// immutable program across the exchange workers.
+		d.shared.mu.Lock()
+		defer d.shared.mu.Unlock()
+		if d.shared.prog == nil {
+			if err := d.compile(); err != nil {
+				return err
+			}
+			d.shared.prog, d.shared.labelVal, d.shared.scoreVal = d.prog, d.labelVal, d.scoreVal
+			return nil
+		}
+		d.prog, d.labelVal, d.scoreVal = d.shared.prog, d.shared.labelVal, d.shared.scoreVal
+		return nil
+	}
+	return d.compile()
+}
+
+// compile lowers the pipeline to a tensor program.
+func (d *DNNOp) compile() error {
 	bound := d.Pipeline.Clone()
 	if err := renamePipelineInputs(bound, d.InputMap); err != nil {
 		return err
@@ -84,6 +115,36 @@ func (d *DNNOp) Open() error {
 	}
 	d.prog = prog
 	return nil
+}
+
+// CloneWorker implements relational.ParallelOp: clones share the compiled
+// program (compilation is deduplicated via dnnShared) and the device
+// model, each accumulating private counters.
+func (d *DNNOp) CloneWorker(child Operator) (Operator, error) {
+	if d.shared == nil {
+		// Seed with the template's program when it already compiled
+		// (Exchange opens the template before cloning workers).
+		d.shared = &dnnShared{prog: d.prog, labelVal: d.labelVal, scoreVal: d.scoreVal}
+	}
+	return &DNNOp{
+		Child:     child,
+		Pipeline:  d.Pipeline,
+		InputMap:  d.InputMap,
+		OutputMap: d.OutputMap,
+		KeepInput: d.KeepInput,
+		Device:    d.Device,
+		Strategy:  d.Strategy,
+		shared:    d.shared,
+	}, nil
+}
+
+// AbsorbWorker folds a worker clone's counters back into the template.
+func (d *DNNOp) AbsorbWorker(clone Operator) {
+	c := clone.(*DNNOp)
+	d.ModeledNs += c.ModeledNs
+	d.ComputeNs += c.ComputeNs
+	d.BytesConverted += c.BytesConverted
+	d.stats.Absorb(&c.stats)
 }
 
 // Next runs the tensor program over the next batch.

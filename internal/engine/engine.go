@@ -55,54 +55,103 @@ func Execute(root Operator, prof Profile) (*Result, error) {
 }
 
 // reportedTime converts measured per-operator times into the modeled
-// end-to-end time: exclusive times of data-parallel operators are divided
-// by the profile's DOP, serial operators are charged fully, and boundary
-// overheads (session init, per-batch UDF bridge, per-partition scheduling)
-// are added from the profile constants.
+// end-to-end time. Segments executed in real parallel (Exchange subtrees,
+// present when Profile.ExecDOP > 1) are charged their measured parallel
+// wall time directly; outside them, exclusive times of data-parallel
+// operators are divided by the profile's modeled DOP and serial operators
+// are charged fully. Boundary overheads (session init, per-batch UDF
+// bridge, per-partition scheduling) are added from the profile constants
+// in both regimes, divided by the parallelism that actually overlaps them
+// (ExecDOP inside an Exchange, the modeled DOP elsewhere).
 func reportedTime(root Operator, prof Profile, res *Result) time.Duration {
 	dop := float64(prof.DOP)
 	if dop < 1 {
 		dop = 1
 	}
+	execDOP := float64(prof.ExecDOP)
+	if execDOP < 1 {
+		execDOP = 1
+	}
 	var totalNs float64
-	var walk func(op Operator)
-	walk = func(op Operator) {
+	var walk func(op Operator, inExchange bool)
+	walk = func(op Operator, inExchange bool) {
 		s := op.Stats()
-		excl := s.WallNs
-		for _, c := range op.Children() {
-			excl -= c.Stats().WallNs
+		if ex, ok := op.(*relational.Exchange); ok {
+			// Real morsel-driven execution: the exchange's wall time is
+			// the measured parallel elapsed time of the whole segment.
+			// The operators inside carry aggregate across-worker CPU time,
+			// so they are walked for boundary accounting only. Simulated-GPU
+			// DNN ops inside the exchange stand in for the device with host
+			// compute: remove its elapsed share (aggregate worker compute
+			// spread over the workers) so only the modeled device time —
+			// added by the boundary walk below — is charged.
+			wall := float64(ex.Stats().WallNs)
+			var gpuWalk func(op Operator)
+			gpuWalk = func(op Operator) {
+				if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
+					wall -= float64(gpu.ComputeNs) / execDOP
+				}
+				for _, c := range op.Children() {
+					gpuWalk(c)
+				}
+			}
+			gpuWalk(ex)
+			if wall < 0 {
+				wall = 0
+			}
+			totalNs += wall
+			for _, c := range op.Children() {
+				walk(c, true)
+			}
+			return
 		}
-		if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
-			// Simulated GPU: the host compute stands in for the device;
-			// charge the modeled device time instead of the measured one.
-			excl -= gpu.ComputeNs
+		if !inExchange {
+			excl := s.WallNs
+			for _, c := range op.Children() {
+				excl -= c.Stats().WallNs
+			}
+			if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
+				// Simulated GPU: the host compute stands in for the device;
+				// charge the modeled device time instead of the measured one.
+				excl -= gpu.ComputeNs
+			}
+			if excl < 0 {
+				excl = 0
+			}
+			work := float64(excl)
+			if _, isPredict := op.(*PredictOp); isPredict && prof.PredictPenalty > 1 {
+				work *= prof.PredictPenalty
+			}
+			if s.Parallel {
+				totalNs += work / dop
+			} else {
+				totalNs += work
+			}
 		}
-		if excl < 0 {
-			excl = 0
-		}
-		work := float64(excl)
-		if _, isPredict := op.(*PredictOp); isPredict && prof.PredictPenalty > 1 {
-			work *= prof.PredictPenalty
-		}
-		if s.Parallel {
-			totalNs += work / dop
-		} else {
-			totalNs += work
+		bdop := dop
+		if inExchange {
+			bdop = execDOP
 		}
 		switch o := op.(type) {
 		case *PredictOp:
 			res.Sessions += o.Sessions
 			res.PredictBatches += s.Batches
 			res.BytesConverted += o.BytesConverted
-			totalNs += float64(o.Sessions) * float64(prof.SessionInit.Nanoseconds())
-			totalNs += float64(s.Batches) * float64(prof.UDFBatchOverhead.Nanoseconds()) / dop
+			initDiv := 1.0
+			if inExchange {
+				// Worker sessions initialize concurrently.
+				initDiv = execDOP
+			}
+			totalNs += float64(o.Sessions) * float64(prof.SessionInit.Nanoseconds()) / initDiv
+			totalNs += float64(s.Batches) * float64(prof.UDFBatchOverhead.Nanoseconds()) / bdop
+			totalNs += float64(s.Rows) * float64(prof.PredictRowOverhead.Nanoseconds()) / bdop
 		case *relational.Scan:
 			parts := len(o.Table.Parts) - o.SkippedPartitions()
 			if o.PartIndex >= 0 {
 				parts = 1
 			}
 			res.PartitionsScanned += parts
-			totalNs += float64(parts) * float64(prof.PartitionOverhead.Nanoseconds()) / dop
+			totalNs += float64(parts) * float64(prof.PartitionOverhead.Nanoseconds()) / bdop
 		case *DNNOp:
 			res.Sessions++
 			res.PredictBatches += s.Batches
@@ -111,9 +160,9 @@ func reportedTime(root Operator, prof Profile, res *Result) time.Duration {
 			totalNs += float64(prof.SessionInit.Nanoseconds())
 		}
 		for _, c := range op.Children() {
-			walk(c)
+			walk(c, inExchange)
 		}
 	}
-	walk(root)
+	walk(root, false)
 	return time.Duration(totalNs)
 }

@@ -326,3 +326,153 @@ func TestRenamePipelineInputsErrors(t *testing.T) {
 		t.Fatal("expected unbound-input error")
 	}
 }
+
+// parallelFixture builds a single-table predict plan big enough to split
+// into many morsels: Predict(Filter(Scan)) over a replicated patients
+// table carrying all four pipeline inputs.
+func parallelFixture(t *testing.T, rows int) (*Catalog, *ir.Graph) {
+	t.Helper()
+	n := rows
+	ids := make([]int64, n)
+	age := make([]float64, n)
+	bpm := make([]float64, n)
+	asthma := make([]string, n)
+	hyper := make([]string, n)
+	yn := []string{"no", "yes"}
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		age[i] = float64(20 + (i*7)%60)
+		bpm[i] = float64(60 + (i*13)%70)
+		asthma[i] = yn[(i/3)%2]
+		hyper[i] = yn[(i/5)%2]
+	}
+	tbl := data.MustNewTable("patients",
+		data.NewInt("id", ids), data.NewFloat("age", age), data.NewFloat("bpm", bpm),
+		data.NewString("asthma", asthma), data.NewString("hypertension", hyper))
+	cat := NewCatalog()
+	cat.RegisterTable(tbl)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	g := &ir.Graph{}
+	s := g.NewNode(ir.KindScan)
+	s.Table, s.Alias = "patients", "d"
+	f := g.NewNode(ir.KindFilter, s)
+	f.Pred = relational.NewBinOp(relational.OpGt, relational.Col("d.age"), relational.Num(25))
+	pr := g.NewNode(ir.KindPredict, f)
+	pr.Pipeline = testfix.CovidPipeline()
+	pr.InputMap = map[string]string{
+		"age": "d.age", "bpm": "d.bpm",
+		"asthma": "d.asthma", "hypertension": "d.hypertension",
+	}
+	pr.OutputMap = map[string]string{"score": "p.score"}
+	pr.KeepInput = true
+	out := ir.NewGraph(pr)
+	if err := out.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat, out
+}
+
+func assertResultsIdentical(t *testing.T, want, got *data.Table, label string) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label,
+			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for _, wc := range want.Cols {
+		gc := got.Col(wc.Name)
+		if gc == nil {
+			t.Fatalf("%s: missing column %q", label, wc.Name)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			// AsString round-trips float64 exactly, so this is a
+			// byte-identity check for every column type.
+			if wc.AsString(i) != gc.AsString(i) {
+				t.Fatalf("%s: column %q row %d: %s != %s",
+					label, wc.Name, i, gc.AsString(i), wc.AsString(i))
+			}
+		}
+	}
+}
+
+func TestParallelPredictMatchesSerial(t *testing.T) {
+	cat, g := parallelFixture(t, 8000)
+	serial, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Sessions != 1 {
+		t.Fatalf("serial sessions = %d", serial.Sessions)
+	}
+	for _, dop := range []int{1, 2, 8} {
+		prof := Local
+		prof.ExecDOP = dop
+		res, err := Run(g, cat, prof)
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		assertResultsIdentical(t, serial.Table, res.Table, "predict")
+		if res.PredictBatches != serial.PredictBatches {
+			t.Errorf("dop=%d: batches=%d, serial=%d", dop, res.PredictBatches, serial.PredictBatches)
+		}
+		if res.BytesConverted != serial.BytesConverted {
+			t.Errorf("dop=%d: bytes=%d, serial=%d", dop, res.BytesConverted, serial.BytesConverted)
+		}
+		wantSessions := dop
+		if dop == 1 {
+			wantSessions = 1
+		}
+		if res.Sessions != wantSessions {
+			t.Errorf("dop=%d: sessions=%d, want %d (one per worker)", dop, res.Sessions, wantSessions)
+		}
+	}
+}
+
+func TestParallelDNNMatchesSerial(t *testing.T) {
+	cat, g := parallelFixture(t, 6000)
+	g.Root.Target = ir.TargetDNNCPU
+	serial, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Local
+	prof.ExecDOP = 4
+	res, err := Run(g, cat, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, serial.Table, res.Table, "dnn")
+	if res.Sessions != serial.Sessions {
+		t.Errorf("sessions=%d, serial=%d (program is compiled once and shared)",
+			res.Sessions, serial.Sessions)
+	}
+}
+
+func TestParallelJoinPlanMatchesSerial(t *testing.T) {
+	cat := NewCatalog()
+	pi, pt, bt := testfix.CovidTables()
+	cat.RegisterTable(data.Replicate(pi, 1200, "id"))
+	cat.RegisterTable(data.Replicate(pt, 1200, "id"))
+	cat.RegisterTable(bt)
+	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	g := covidIR(t, cat)
+	serial, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Local
+	prof.ExecDOP = 4
+	res, err := Run(g, cat, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join is a pipeline breaker: both scan segments run under
+	// exchanges, the join and the predict above it stay serial.
+	assertResultsIdentical(t, serial.Table, res.Table, "join plan")
+	if res.Sessions != 1 {
+		t.Errorf("sessions = %d, want 1 (predict above the join is serial)", res.Sessions)
+	}
+}

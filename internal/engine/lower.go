@@ -8,10 +8,22 @@ import (
 )
 
 // Lower converts a unified-IR plan into a physical operator tree under the
-// given profile.
+// given profile. When the profile requests real parallelism (ExecDOP > 1)
+// partition-parallel segments are rewritten into morsel-driven Exchange
+// operators.
 func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
 	l := &lowerer{cat: cat, prof: prof}
-	return l.lower(g.Root)
+	root, err := l.lower(g.Root)
+	if err != nil {
+		return nil, err
+	}
+	if prof.ExecDOP > 1 {
+		root, err = relational.Parallelize(root, prof.ExecDOP, prof.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
 }
 
 type lowerer struct {

@@ -2,12 +2,56 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"raven/internal/data"
 	"raven/internal/mlruntime"
 	"raven/internal/model"
 	"raven/internal/relational"
 )
+
+// sessionPool shares ML runtime sessions between the worker clones of one
+// PredictOp: the first acquire binds and validates the pipeline once, and
+// further acquires either pop a released session or clone the prototype
+// (sharing the immutable validated pipeline, owning private scratch
+// buffers). Exchange workers therefore never race on session state and
+// repeated Opens reuse sessions instead of re-initializing.
+type sessionPool struct {
+	mu    sync.Mutex
+	proto *mlruntime.Session
+	free  []*mlruntime.Session
+}
+
+// acquire returns a ready session and whether it was newly initialized
+// (counted as a session in the boundary accounting).
+func (sp *sessionPool) acquire(build func() (*model.Pipeline, error)) (*mlruntime.Session, bool, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if n := len(sp.free); n > 0 {
+		s := sp.free[n-1]
+		sp.free = sp.free[:n-1]
+		return s, false, nil
+	}
+	if sp.proto == nil {
+		p, err := build()
+		if err != nil {
+			return nil, false, err
+		}
+		s, err := mlruntime.NewSession(p)
+		if err != nil {
+			return nil, false, err
+		}
+		sp.proto = s
+		return s, true, nil
+	}
+	return sp.proto.Clone(), true, nil
+}
+
+func (sp *sessionPool) release(s *mlruntime.Session) {
+	sp.mu.Lock()
+	sp.free = append(sp.free, s)
+	sp.mu.Unlock()
+}
 
 // PredictOp is the physical operator bridging the data engine and the ML
 // runtime: for each input batch it converts the bound columns to the ML
@@ -26,9 +70,12 @@ type PredictOp struct {
 	MaterializeFeatures bool
 
 	stats    relational.OpStats
+	pool     *sessionPool // shared with worker clones
 	sess     *mlruntime.Session
 	featSess *mlruntime.Session // featurization-only session (MADlib mode)
 	mdlSess  *mlruntime.Session // model-only session (MADlib mode)
+	matBuf   []float64          // reused transpose buffer (MADlib mode)
+	matNames []string           // cached materialized column names
 	// Boundary accounting, charged by the profile cost model.
 	Sessions       int
 	BytesConverted int64
@@ -63,8 +110,24 @@ func (p *PredictOp) Open() error {
 	if p.MaterializeFeatures {
 		return p.openMaterialized()
 	}
-	// The session pipeline reads child column names directly: rename the
-	// pipeline inputs to the bound columns so BindTable finds them.
+	if p.pool == nil {
+		p.pool = &sessionPool{}
+	}
+	sess, created, err := p.pool.acquire(p.boundPipeline)
+	if err != nil {
+		return err
+	}
+	p.sess = sess
+	if created {
+		p.Sessions = 1
+	}
+	return nil
+}
+
+// boundPipeline builds the session pipeline: outputs restricted to the
+// mapped ones, dead operators pruned, and inputs renamed to the bound
+// child columns so binding finds them directly.
+func (p *PredictOp) boundPipeline() (*model.Pipeline, error) {
 	bound := p.Pipeline.Clone()
 	keep := make(map[string]bool, len(p.OutputMap))
 	for v := range p.OutputMap {
@@ -79,16 +142,44 @@ func (p *PredictOp) Open() error {
 	bound.Outputs = outs
 	bound.Prune()
 	if err := renamePipelineInputs(bound, p.InputMap); err != nil {
-		return err
+		return nil, err
 	}
-	sess, err := mlruntime.NewSession(bound)
-	if err != nil {
-		return err
-	}
-	p.sess = sess
-	p.Sessions = 1
-	return nil
+	return bound, nil
 }
+
+// CloneWorker implements relational.ParallelOp: the clone shares the
+// immutable pipeline and the session pool, so each exchange worker runs
+// its own session concurrently without shared mutable state.
+func (p *PredictOp) CloneWorker(child Operator) (Operator, error) {
+	if p.pool == nil {
+		p.pool = &sessionPool{}
+	}
+	return &PredictOp{
+		Child:     child,
+		Pipeline:  p.Pipeline,
+		InputMap:  p.InputMap,
+		OutputMap: p.OutputMap,
+		KeepInput: p.KeepInput,
+		// CanParallelize keeps MADlib-mode ops out of exchanges, but the
+		// plan rewrite also uses CloneWorker to rebuild an op over a
+		// rewritten child — the mode must survive that.
+		MaterializeFeatures: p.MaterializeFeatures,
+		pool:                p.pool,
+	}, nil
+}
+
+// AbsorbWorker folds a finished worker clone's boundary accounting and
+// statistics back into the template (called after all workers join).
+func (p *PredictOp) AbsorbWorker(clone Operator) {
+	c := clone.(*PredictOp)
+	p.Sessions += c.Sessions
+	p.BytesConverted += c.BytesConverted
+	p.stats.Absorb(&c.stats)
+}
+
+// CanParallelize vetoes parallel execution for the MADlib materialized
+// mode, which deliberately models a serial engine.
+func (p *PredictOp) CanParallelize() bool { return !p.MaterializeFeatures }
 
 // openMaterialized splits the pipeline into featurization and model halves
 // with a materialized wide table between them (MADlib execution style).
@@ -152,7 +243,7 @@ func (p *PredictOp) Next() (*data.Table, error) {
 	if p.MaterializeFeatures {
 		outs, err = p.runMaterialized(b)
 	} else {
-		in, berr := mlruntime.BindTable(p.sess.Pipeline, b)
+		in, berr := p.sess.Bind(b)
 		if berr != nil {
 			return nil, berr
 		}
@@ -192,7 +283,7 @@ func (p *PredictOp) Next() (*data.Table, error) {
 }
 
 func (p *PredictOp) runMaterialized(b *data.Table) (map[string]mlruntime.Value, error) {
-	in, err := mlruntime.BindTable(p.featSess.Pipeline, b)
+	in, err := p.featSess.Bind(b)
 	if err != nil {
 		return nil, err
 	}
@@ -206,30 +297,57 @@ func (p *PredictOp) runMaterialized(b *data.Table) (map[string]mlruntime.Value, 
 		block = v.Block
 	}
 	// Materialize: one real column copy per feature (the MADlib table).
+	// The row-major featurization block is transposed into one flat
+	// column-major buffer (reused across batches) with a tiled loop, so
+	// both the reads and the writes stay within cache lines instead of
+	// striding the whole block per element.
 	n := b.NumRows()
+	cols := block.Cols
 	wide, err := data.NewTable("featurized")
 	if err != nil {
 		return nil, err
 	}
-	for c := 0; c < block.Cols; c++ {
-		col := make([]float64, n)
-		for r := 0; r < n; r++ {
-			col[r] = block.Data[r*block.Cols+c]
+	if need := n * cols; cap(p.matBuf) < need {
+		p.matBuf = make([]float64, need)
+	}
+	buf := p.matBuf[: n*cols : n*cols]
+	const tile = 128
+	for r0 := 0; r0 < n; r0 += tile {
+		rMax := min(r0+tile, n)
+		for c0 := 0; c0 < cols; c0 += tile {
+			cMax := min(c0+tile, cols)
+			for r := r0; r < rMax; r++ {
+				row := block.Data[r*cols+c0 : r*cols+cMax]
+				for ci, v := range row {
+					buf[(c0+ci)*n+r] = v
+				}
+			}
 		}
-		if err := wide.AddColumn(data.NewFloat(fmt.Sprintf("f%d", c), col)); err != nil {
+	}
+	for len(p.matNames) < cols {
+		p.matNames = append(p.matNames, fmt.Sprintf("f%d", len(p.matNames)))
+	}
+	for c := 0; c < cols; c++ {
+		if err := wide.AddColumn(data.NewFloat(p.matNames[c], buf[c*n:(c+1)*n])); err != nil {
 			return nil, err
 		}
 	}
 	p.BytesConverted += wide.ByteSize()
-	min, err := mlruntime.BindTable(p.mdlSess.Pipeline, wide)
+	bound, err := p.mdlSess.Bind(wide)
 	if err != nil {
 		return nil, err
 	}
-	return p.mdlSess.Run(min, n)
+	return p.mdlSess.Run(bound, n)
 }
 
-// Close closes the child.
-func (p *PredictOp) Close() error { return p.Child.Close() }
+// Close returns the session to the shared pool and closes the child.
+func (p *PredictOp) Close() error {
+	if p.sess != nil && p.pool != nil {
+		p.pool.release(p.sess)
+		p.sess = nil
+	}
+	return p.Child.Close()
+}
 
 // Stats returns the operator statistics.
 func (p *PredictOp) Stats() *relational.OpStats { return &p.stats }

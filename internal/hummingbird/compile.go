@@ -10,6 +10,7 @@ package hummingbird
 
 import (
 	"fmt"
+	"sync"
 
 	"raven/internal/model"
 	"raven/internal/pipefold"
@@ -84,6 +85,12 @@ type Program struct {
 	nTrees    int
 	// InputCols lists the distinct bound input columns (transfer volume).
 	InputCols []string
+	// labelIdx holds the per-feature label-encoder lookup tables,
+	// precomputed at compile time so Run never rebuilds them per batch.
+	labelIdx []map[string]int
+	// curPool recycles the tree-traversal cursor buffers across batches;
+	// sync.Pool keeps concurrent workers from sharing a buffer.
+	curPool sync.Pool
 }
 
 // gemmSizeLimit bounds the block-diagonal GEMM tensors; larger ensembles
@@ -111,6 +118,19 @@ func Compile(p *model.Pipeline, strategy Strategy) (*Program, error) {
 		if f.Kind != pipefold.Const && !seen[f.Input] {
 			seen[f.Input] = true
 			prog.InputCols = append(prog.InputCols, f.Input)
+		}
+	}
+	// Pre-index label-encoder categories once: buildX runs per batch (and
+	// concurrently under parallel execution), so the lookup tables must be
+	// immutable by then.
+	prog.labelIdx = make([]map[string]int, len(feats))
+	for j, f := range feats {
+		if f.Kind == pipefold.Label {
+			idx := make(map[string]int, len(f.Categories))
+			for k, cat := range f.Categories {
+				idx[cat] = k
+			}
+			prog.labelIdx[j] = idx
 		}
 	}
 	switch m := final.(type) {

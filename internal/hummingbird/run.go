@@ -110,10 +110,7 @@ func (p *Program) buildX(batch *data.Table, log *device.CostLog) (*tensor.Mat, e
 				x.Set(r, j, float32(f.Apply(raw)))
 			}
 		case pipefold.Label:
-			idx := make(map[string]int, len(f.Categories))
-			for k, cat := range f.Categories {
-				idx[cat] = k
-			}
+			idx := p.labelIdx[j]
 			for r := 0; r < n; r++ {
 				raw := -1.0
 				if ix, ok := idx[c.AsString(r)]; ok {
@@ -183,7 +180,13 @@ func (p *Program) runTT(x *tensor.Mat, log *device.CostLog) *tensor.Mat {
 	tt := p.tt
 	n := x.Rows
 	nt := len(tt.roots)
-	cur := make([]int32, n*nt)
+	var cur []int32
+	if buf, ok := p.curPool.Get().(*[]int32); ok && cap(*buf) >= n*nt {
+		cur = (*buf)[:n*nt]
+	} else {
+		cur = make([]int32, n*nt)
+	}
+	defer p.curPool.Put(&cur)
 	for r := 0; r < n; r++ {
 		copy(cur[r*nt:(r+1)*nt], tt.roots)
 	}

@@ -43,10 +43,27 @@ func (v Value) Rows() int {
 	return len(v.Str)
 }
 
-// Session is a validated, ready-to-run pipeline.
+// Session is a validated, ready-to-run pipeline. Sessions own scratch
+// buffers that are reused across Run calls, so a session must not be
+// shared between goroutines; Clone cheaply derives per-worker sessions
+// that share the validated pipeline.
 type Session struct {
 	Pipeline *model.Pipeline
 	widths   map[string]model.ValueInfo
+	// isOut marks declared outputs: their blocks escape to the caller and
+	// are always freshly allocated, never drawn from scratch.
+	isOut map[string]bool
+	// scratch holds reusable intermediate blocks keyed by value name.
+	scratch map[string]*Block
+	// strs holds reusable rendered-categorical buffers for Bind.
+	strs map[string][]string
+	// catIdx holds per-encoder category->index tables, precomputed at
+	// session init (shared immutably by clones) so exec never rebuilds
+	// them per batch.
+	catIdx map[string]map[string]int
+	// bindVals and runVals are the reused per-batch value maps.
+	bindVals map[string]Value
+	runVals  map[string]Value
 }
 
 // NewSession validates the pipeline and prepares it for execution.
@@ -55,7 +72,61 @@ func NewSession(p *model.Pipeline) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{Pipeline: p, widths: w}, nil
+	isOut := make(map[string]bool, len(p.Outputs))
+	for _, o := range p.Outputs {
+		isOut[o] = true
+	}
+	catIdx := make(map[string]map[string]int)
+	for _, op := range p.Ops {
+		var cats []string
+		switch o := op.(type) {
+		case *model.OneHotEncoder:
+			cats = o.Categories
+		case *model.LabelEncoder:
+			cats = o.Categories
+		default:
+			continue
+		}
+		idx := make(map[string]int, len(cats))
+		for i, c := range cats {
+			idx[c] = i
+		}
+		catIdx[op.OpName()] = idx
+	}
+	return &Session{Pipeline: p, widths: w, isOut: isOut, catIdx: catIdx}, nil
+}
+
+// Clone returns a session sharing the validated pipeline and width
+// metadata (both immutable) while owning private scratch buffers, so
+// parallel workers can each run their own clone concurrently without
+// paying session initialization again.
+func (s *Session) Clone() *Session {
+	return &Session{Pipeline: s.Pipeline, widths: s.widths, isOut: s.isOut, catIdx: s.catIdx}
+}
+
+// block returns a rows×cols block for the named value: declared outputs
+// get fresh allocations (they escape the session), intermediates reuse the
+// session scratch buffer when its capacity suffices. zero requests cleared
+// contents for operators that only write selectively.
+func (s *Session) block(name string, rows, cols int, zero bool) *Block {
+	if s.isOut[name] {
+		return NewBlock(rows, cols)
+	}
+	need := rows * cols
+	b := s.scratch[name]
+	if b == nil || cap(b.Data) < need {
+		b = &Block{Rows: rows, Cols: cols, Data: make([]float64, need)}
+		if s.scratch == nil {
+			s.scratch = make(map[string]*Block)
+		}
+		s.scratch[name] = b
+		return b
+	}
+	b.Rows, b.Cols, b.Data = rows, cols, b.Data[:need]
+	if zero {
+		clear(b.Data)
+	}
+	return b
 }
 
 // BindTable converts the columns a pipeline needs from a columnar batch
@@ -97,10 +168,67 @@ func BindTable(p *model.Pipeline, t *data.Table) (map[string]Value, error) {
 	return vals, nil
 }
 
+// Bind converts the pipeline's input columns from a columnar batch like
+// BindTable, but reuses session-owned buffers (the value map, numeric
+// blocks and rendered-categorical slices) across calls, eliminating the
+// per-batch allocations on the PredictOp hot path. The returned map is
+// invalidated by the next Bind on the same session.
+func (s *Session) Bind(t *data.Table) (map[string]Value, error) {
+	if s.bindVals == nil {
+		s.bindVals = make(map[string]Value, len(s.Pipeline.Inputs))
+	} else {
+		clear(s.bindVals)
+	}
+	n := t.NumRows()
+	for _, in := range s.Pipeline.Inputs {
+		c := t.Col(in.Name)
+		if c == nil {
+			return nil, fmt.Errorf("mlruntime: batch lacks input column %q", in.Name)
+		}
+		if in.Categorical {
+			if c.Type != data.String {
+				// Render non-string categoricals (e.g. int codes) to strings.
+				strs := s.strs[in.Name]
+				if cap(strs) < n {
+					strs = make([]string, n)
+					if s.strs == nil {
+						s.strs = make(map[string][]string)
+					}
+					s.strs[in.Name] = strs
+				}
+				strs = strs[:n]
+				for i := 0; i < n; i++ {
+					strs[i] = c.AsString(i)
+				}
+				s.bindVals[in.Name] = Value{Str: strs}
+			} else {
+				s.bindVals[in.Name] = Value{Str: c.Str}
+			}
+			continue
+		}
+		b := s.block(in.Name, n, 1, false)
+		switch c.Type {
+		case data.Float64:
+			copy(b.Data, c.F64)
+		default:
+			for i := 0; i < n; i++ {
+				b.Data[i] = c.AsFloat(i)
+			}
+		}
+		s.bindVals[in.Name] = Value{Block: b}
+	}
+	return s.bindVals, nil
+}
+
 // Run executes the pipeline over the bound inputs and returns all declared
 // outputs. n is the batch row count (allowed to be 0).
 func (s *Session) Run(inputs map[string]Value, n int) (map[string]Value, error) {
-	vals := make(map[string]Value, len(inputs)+len(s.Pipeline.Ops))
+	if s.runVals == nil {
+		s.runVals = make(map[string]Value, len(inputs)+len(s.Pipeline.Ops))
+	} else {
+		clear(s.runVals)
+	}
+	vals := s.runVals
 	for _, in := range s.Pipeline.Inputs {
 		v, ok := inputs[in.Name]
 		if !ok {
@@ -127,9 +255,10 @@ func (s *Session) Run(inputs map[string]Value, n int) (map[string]Value, error) 
 	return out, nil
 }
 
-// RunTable binds a columnar batch and runs the pipeline in one call.
+// RunTable binds a columnar batch and runs the pipeline in one call,
+// reusing the session's bind buffers.
 func (s *Session) RunTable(t *data.Table) (map[string]Value, error) {
-	in, err := BindTable(s.Pipeline, t)
+	in, err := s.Bind(t)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +279,7 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		out := NewBlock(n, in.Block.Cols)
+		out := s.block(o.Out, n, in.Block.Cols, false)
 		w := in.Block.Cols
 		for r := 0; r < n; r++ {
 			src := in.Block.Row(r)
@@ -165,11 +294,8 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		idx := make(map[string]int, len(o.Categories))
-		for i, c := range o.Categories {
-			idx[c] = i
-		}
-		out := NewBlock(n, len(o.Categories))
+		idx := s.catIdx[o.OpName()]
+		out := s.block(o.Out, n, len(o.Categories), true)
 		for r := 0; r < n; r++ {
 			if j, ok := idx[in.Str[r]]; ok {
 				out.Data[r*out.Cols+j] = 1
@@ -181,11 +307,8 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		idx := make(map[string]int, len(o.Categories))
-		for i, c := range o.Categories {
-			idx[c] = i
-		}
-		out := NewBlock(n, 1)
+		idx := s.catIdx[o.OpName()]
+		out := s.block(o.Out, n, 1, false)
 		for r := 0; r < n; r++ {
 			if j, ok := idx[in.Str[r]]; ok {
 				out.Data[r] = float64(j)
@@ -199,7 +322,7 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		out := NewBlock(n, in.Block.Cols)
+		out := s.block(o.Out, n, in.Block.Cols, false)
 		for r := 0; r < n; r++ {
 			src := in.Block.Row(r)
 			dst := out.Row(r)
@@ -243,7 +366,7 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 			ins[i] = v.Block
 			width += v.Block.Cols
 		}
-		out := NewBlock(n, width)
+		out := s.block(o.Out, n, width, false)
 		for r := 0; r < n; r++ {
 			dst := out.Row(r)
 			off := 0
@@ -258,7 +381,7 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		out := NewBlock(n, len(o.Indices))
+		out := s.block(o.Out, n, len(o.Indices), false)
 		for r := 0; r < n; r++ {
 			src := in.Block.Row(r)
 			dst := out.Row(r)
@@ -268,7 +391,7 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		}
 		vals[o.Out] = Value{Block: out}
 	case *model.Constant:
-		out := NewBlock(n, len(o.Values))
+		out := s.block(o.Out, n, len(o.Values), false)
 		for r := 0; r < n; r++ {
 			copy(out.Row(r), o.Values)
 		}
@@ -278,24 +401,26 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		score := NewBlock(n, 1)
+		score := s.block(o.OutScore, n, 1, false)
 		for r := 0; r < n; r++ {
 			src := in.Block.Row(r)
-			s := o.Intercept
+			sum := o.Intercept
 			for c, w := range o.Coef {
-				s += w * src[c]
+				sum += w * src[c]
 			}
 			if o.Task == model.Classification {
-				s = model.Sigmoid(s)
+				sum = model.Sigmoid(sum)
 			}
-			score.Data[r] = s
+			score.Data[r] = sum
 		}
 		vals[o.OutScore] = Value{Block: score}
 		if o.OutLabel != "" {
-			label := NewBlock(n, 1)
+			label := s.block(o.OutLabel, n, 1, false)
 			for r := 0; r < n; r++ {
 				if score.Data[r] > 0.5 {
 					label.Data[r] = 1
+				} else {
+					label.Data[r] = 0
 				}
 			}
 			vals[o.OutLabel] = Value{Block: label}
@@ -305,20 +430,21 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		score := NewBlock(n, 1)
+		score := s.block(o.OutScore, n, 1, false)
 		for r := 0; r < n; r++ {
 			score.Data[r] = o.Score(in.Block.Row(r))
 		}
 		vals[o.OutScore] = Value{Block: score}
 		if o.OutLabel != "" {
-			label := NewBlock(n, 1)
+			label := s.block(o.OutLabel, n, 1, false)
 			for r := 0; r < n; r++ {
-				if o.Task == model.Classification {
-					if score.Data[r] > 0.5 {
-						label.Data[r] = 1
-					}
-				} else {
+				switch {
+				case o.Task != model.Classification:
 					label.Data[r] = score.Data[r]
+				case score.Data[r] > 0.5:
+					label.Data[r] = 1
+				default:
+					label.Data[r] = 0
 				}
 			}
 			vals[o.OutLabel] = Value{Block: label}

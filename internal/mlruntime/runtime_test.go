@@ -326,3 +326,132 @@ func TestEmptyBatch(t *testing.T) {
 		t.Fatal("empty batch should yield empty output")
 	}
 }
+
+func TestSessionCloneRunsIndependently(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	want, err := s.RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clones share only immutable pipeline state: run them concurrently
+	// and check every result against the original.
+	const workers = 8
+	results := make([]map[string]Value, workers)
+	errs := make([]error, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			c := s.Clone()
+			for i := 0; i < 50; i++ {
+				results[w], errs[w] = c.RunTable(d)
+				if errs[w] != nil {
+					break
+				}
+			}
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		got := results[w]["score"].Block
+		for i, v := range want["score"].Block.Data {
+			if got.Data[i] != v {
+				t.Fatalf("worker %d row %d: %v != %v", w, i, got.Data[i], v)
+			}
+		}
+	}
+}
+
+func TestBindMatchesBindTable(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	fresh, err := BindTable(s.Pipeline, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := s.Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(reused) {
+		t.Fatalf("len %d != %d", len(reused), len(fresh))
+	}
+	for name, fv := range fresh {
+		rv, ok := reused[name]
+		if !ok {
+			t.Fatalf("missing value %q", name)
+		}
+		if fv.Block != nil {
+			for i, v := range fv.Block.Data {
+				if rv.Block.Data[i] != v {
+					t.Fatalf("%s[%d]: %v != %v", name, i, rv.Block.Data[i], v)
+				}
+			}
+		} else {
+			for i, v := range fv.Str {
+				if rv.Str[i] != v {
+					t.Fatalf("%s[%d]: %q != %q", name, i, rv.Str[i], v)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchReuseKeepsResultsStable runs shrinking batches through one
+// session: reused intermediate buffers larger than the live batch must not
+// leak stale rows into outputs (labels are rewritten fully, one-hot blocks
+// recleared).
+func TestScratchReuseKeepsResultsStable(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	want, err := s.RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{6, 3, 1, 6} {
+		out, err := s.RunTable(d.Slice(0, rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"score", "label"} {
+			got := out[name].Block
+			if got.Rows != rows {
+				t.Fatalf("%s rows = %d, want %d", name, got.Rows, rows)
+			}
+			for i := 0; i < rows; i++ {
+				if got.Data[i] != want[name].Block.Data[i] {
+					t.Fatalf("%s[%d] (batch %d): %v != %v",
+						name, i, rows, got.Data[i], want[name].Block.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOutputsSurviveNextRun guards the escape rule: declared outputs must
+// be freshly allocated per Run, never recycled scratch.
+func TestOutputsSurviveNextRun(t *testing.T) {
+	s := covidSession(t)
+	d := covidJoined(t)
+	first, err := s.RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), first["score"].Block.Data...)
+	// Run a different slice; the first result must be untouched.
+	if _, err := s.RunTable(d.Slice(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range snapshot {
+		if first["score"].Block.Data[i] != v {
+			t.Fatalf("output aliased scratch: row %d changed %v -> %v",
+				i, v, first["score"].Block.Data[i])
+		}
+	}
+}

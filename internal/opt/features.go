@@ -44,6 +44,17 @@ type RuntimeStrategy interface {
 	Choose(f *Features, gpuAvailable bool) Choice
 }
 
+// ParallelAwareStrategy is an optional refinement: strategies that
+// condition their choice on the engine's real execution parallelism
+// implement it, and the optimizer prefers ChooseParallel whenever
+// Options.ExecDOP > 1.
+type ParallelAwareStrategy interface {
+	RuntimeStrategy
+	// ChooseParallel picks a transformation knowing execDOP worker
+	// goroutines will drive the physical predict operator.
+	ChooseParallel(f *Features, gpuAvailable bool, execDOP int) Choice
+}
+
 // NumFeatures is the dimensionality of the statistics vector (§5.2: "we
 // gathered 22 statistics").
 const NumFeatures = 22

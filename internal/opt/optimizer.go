@@ -34,6 +34,11 @@ type Options struct {
 	Strategy RuntimeStrategy
 	// GPUAvailable lets strategies pick MLtoDNN-on-GPU.
 	GPUAvailable bool
+	// ExecDOP is the real execution parallelism of the engine profile;
+	// strategies implementing ParallelAwareStrategy can use it to shift
+	// their runtime-selection thresholds (a parallel ML runtime amortizes
+	// differently than a serial one). 0 or 1 means serial execution.
+	ExecDOP int
 }
 
 // DefaultOptions enables all logical optimizations with no
@@ -215,7 +220,12 @@ func (o *Optimizer) Optimize(g *ir.Graph) (*ir.Graph, *Report, error) {
 func (o *Optimizer) selectRuntime(n *ir.Node, rep *Report) error {
 	f := ExtractFeatures(n.Pipeline)
 	rep.Features = f
-	choice := o.Opts.Strategy.Choose(f, o.Opts.GPUAvailable)
+	var choice Choice
+	if ps, ok := o.Opts.Strategy.(ParallelAwareStrategy); ok && o.Opts.ExecDOP > 1 {
+		choice = ps.ChooseParallel(f, o.Opts.GPUAvailable, o.Opts.ExecDOP)
+	} else {
+		choice = o.Opts.Strategy.Choose(f, o.Opts.GPUAvailable)
+	}
 	rep.ChoiceBy = o.Opts.Strategy.Name()
 	switch choice {
 	case ChoiceSQL:

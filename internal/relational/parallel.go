@@ -1,0 +1,528 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"raven/internal/data"
+)
+
+// This file implements morsel-driven parallel execution: partitioned scans
+// are split into fixed-size morsels (partition, row-range) that a pool of
+// worker goroutines pulls from a shared queue, each worker driving its own
+// clone of the partition-parallel operator chain (Filter/Project/Predict).
+// Results are merged back in morsel order at the Exchange, so parallel
+// plans produce byte-identical output to serial ones and the operators
+// above the Exchange (joins, aggregates) stay oblivious.
+
+// Morsel is one unit of parallel work: a row range of one partition.
+type Morsel struct {
+	Part   int
+	Lo, Hi int
+}
+
+// ParallelOp is implemented by operators that can replicate across
+// exchange workers. CloneWorker returns a fresh instance reading from the
+// given child, sharing only immutable state (predicates, pipelines,
+// compiled programs) with the original; AbsorbWorker folds a finished
+// clone's statistics back into the template. AbsorbWorker is only called
+// after all workers have joined, so it needs no synchronization.
+type ParallelOp interface {
+	Operator
+	CloneWorker(child Operator) (Operator, error)
+	AbsorbWorker(clone Operator)
+}
+
+// serialOnly is an optional refinement: a ParallelOp can veto
+// parallelization for configurations with serial semantics (e.g. the
+// MADlib materialized-featurization mode).
+type serialOnly interface {
+	CanParallelize() bool
+}
+
+// Absorb adds the clone's counters into s (single-threaded merge after the
+// exchange workers join). WallNs becomes aggregate across-worker CPU time,
+// which exceeds elapsed wall time for parallel segments; the engine charges
+// the Exchange's own measured wall time instead of summing worker time.
+func (s *OpStats) Absorb(o *OpStats) {
+	s.Rows += o.Rows
+	s.Batches += o.Batches
+	s.WallNs += o.WallNs
+	s.BytesRead += o.BytesRead
+}
+
+// CloneWorker returns a filter clone sharing the (immutable) predicate.
+func (f *Filter) CloneWorker(child Operator) (Operator, error) {
+	return &Filter{Child: child, Pred: f.Pred}, nil
+}
+
+// AbsorbWorker merges a worker filter's stats.
+func (f *Filter) AbsorbWorker(clone Operator) { f.stats.Absorb(clone.Stats()) }
+
+// CloneWorker returns a project clone sharing the (immutable) expressions.
+func (p *Project) CloneWorker(child Operator) (Operator, error) {
+	return &Project{Child: child, Exprs: p.Exprs}, nil
+}
+
+// AbsorbWorker merges a worker project's stats.
+func (p *Project) AbsorbWorker(clone Operator) { p.stats.Absorb(clone.Stats()) }
+
+// Morsels splits the scan into row-range morsels of at most size rows,
+// applying zone-map pruning and the PartIndex restriction exactly like the
+// serial scan, and records pruned partitions in the scan's skip counter.
+func (s *Scan) Morsels(size int) []Morsel {
+	if size <= 0 {
+		size = 10000
+	}
+	var out []Morsel
+	for pi, p := range s.Table.Parts {
+		if s.PartIndex >= 0 && pi != s.PartIndex {
+			continue
+		}
+		skip := false
+		for _, z := range s.Prune {
+			if z.CanSkip(p.Stats) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			s.skipped++
+			continue
+		}
+		n := p.Table.NumRows()
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			out = append(out, Morsel{Part: pi, Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// MorselBatch produces the batch for one morsel, accumulating statistics
+// into st (each worker owns a private OpStats, absorbed after the join).
+func (s *Scan) MorselBatch(m Morsel, st *OpStats) (*data.Table, error) {
+	defer startTimer(st)()
+	src := s.Table.Parts[m.Part].Table
+	if s.Cols != nil {
+		var err error
+		src, err = src.Project(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	batch := src.Slice(m.Lo, m.Hi)
+	out, err := data.NewTable(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range batch.Cols {
+		qc := *c
+		qc.Name = s.qualify(c.Name)
+		if err := out.AddColumn(&qc); err != nil {
+			return nil, err
+		}
+		st.BytesRead += qc.ByteSize()
+	}
+	st.Rows += int64(out.NumRows())
+	st.Batches++
+	return out, nil
+}
+
+// batchSource is the leaf of a worker chain: it yields exactly the batch
+// the worker loaded for the current morsel, then reports end-of-stream so
+// the chain drains per morsel.
+type batchSource struct {
+	cols  []string
+	batch *data.Table
+	stats OpStats
+}
+
+func (b *batchSource) Columns() []string          { return b.cols }
+func (b *batchSource) Open() error                { return nil }
+func (b *batchSource) Close() error               { return nil }
+func (b *batchSource) Stats() *OpStats            { return &b.stats }
+func (b *batchSource) Children() []Operator       { return nil }
+func (b *batchSource) reset(t *data.Table)        { b.batch = t }
+func (b *batchSource) Next() (*data.Table, error) {
+	t := b.batch
+	b.batch = nil
+	return t, nil
+}
+
+// seqBatch is a worker result tagged with its morsel sequence number; nil
+// tables mark morsels the chain filtered out entirely.
+type seqBatch struct {
+	seq int64
+	t   *data.Table
+	err error
+}
+
+// worker is one exchange worker: a private clone of the operator chain
+// plus private scan statistics.
+type worker struct {
+	root      Operator
+	src       *batchSource
+	clones    []Operator // aligned with Exchange.chain (root-first)
+	scanStats OpStats
+}
+
+// Exchange executes a partition-parallel operator segment — a chain of
+// ParallelOp operators over a partitioned Scan — across DOP worker
+// goroutines pulling morsels from a shared queue. Batches are re-emitted
+// in morsel order, so downstream operators observe exactly the serial
+// batch stream. The Template chain is never executed directly; it is
+// cloned per worker and kept as the merge target for statistics (its
+// post-run WallNs is aggregate worker CPU time, while the Exchange's own
+// stats carry the measured parallel wall time the cost model charges).
+type Exchange struct {
+	Template   Operator
+	DOP        int
+	MorselSize int
+
+	stats   OpStats
+	scan    *Scan
+	chain   []ParallelOp // template ops root-first, excluding the scan
+	morsels []Morsel
+	cursor  atomic.Int64
+	out     chan seqBatch
+	// tickets bounds the reorder window: a worker takes a ticket before
+	// claiming a morsel and Next returns it once the morsel's sequence
+	// slot has been consumed, so under skew at most cap(tickets) result
+	// batches are buffered (in the channel plus the pending map) instead
+	// of materializing the whole segment output.
+	tickets chan struct{}
+	cancel  chan struct{}
+	cancelO sync.Once
+	absorbO sync.Once
+	wg      sync.WaitGroup
+	workers []*worker
+	// started marks the worker pool as launched. Workers start lazily on
+	// the first Next so that a failure while Opening a sibling operator
+	// (e.g. a hash-join build side erroring after this exchange opened)
+	// cannot leak running goroutines — an opened-but-never-pulled
+	// exchange holds no resources beyond memory.
+	started bool
+	pending map[int64]*data.Table
+	nextSeq int64
+	failed  error
+}
+
+// NewExchange wraps a parallelizable segment. The caller must have
+// verified the segment with Parallelizable.
+func NewExchange(segment Operator, dop, morselSize int) *Exchange {
+	return &Exchange{Template: segment, DOP: dop, MorselSize: morselSize}
+}
+
+// Columns returns the segment's output columns.
+func (e *Exchange) Columns() []string { return e.Template.Columns() }
+
+// Children returns the template segment so plan walks (statistics
+// collection, boundary accounting) see the logical operators inside.
+func (e *Exchange) Children() []Operator { return []Operator{e.Template} }
+
+// Stats returns the exchange statistics; WallNs is the measured parallel
+// wall time of the whole segment.
+func (e *Exchange) Stats() *OpStats { return &e.stats }
+
+// Open builds the morsel queue, clones the chain per worker and starts the
+// worker pool.
+func (e *Exchange) Open() error {
+	e.stats = OpStats{Name: fmt.Sprintf("Exchange(dop=%d)", e.DOP)}
+	defer startTimer(&e.stats)()
+	if err := e.Template.Open(); err != nil {
+		return err
+	}
+	e.chain, e.scan = nil, nil
+	for op := e.Template; ; {
+		if s, ok := op.(*Scan); ok {
+			e.scan = s
+			break
+		}
+		p, ok := op.(ParallelOp)
+		if !ok || len(op.Children()) != 1 {
+			return fmt.Errorf("relational: exchange segment has non-parallel operator %T", op)
+		}
+		e.chain = append(e.chain, p)
+		op = op.Children()[0]
+	}
+	// Release template-held resources (e.g. the ML session it initialized)
+	// back to shared pools so the first worker clone reuses them.
+	if err := e.Template.Close(); err != nil {
+		return err
+	}
+	e.morsels = e.scan.Morsels(e.MorselSize)
+	e.cursor.Store(0)
+	e.pending = make(map[int64]*data.Table)
+	e.nextSeq = 0
+	e.failed = nil
+	e.cancel = make(chan struct{})
+	e.cancelO = sync.Once{}
+	e.absorbO = sync.Once{}
+	e.out = make(chan seqBatch, e.DOP*2)
+	window := e.DOP * 4
+	e.tickets = make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		e.tickets <- struct{}{}
+	}
+	e.workers = e.workers[:0]
+	for i := 0; i < e.DOP; i++ {
+		w := &worker{src: &batchSource{cols: e.scan.Columns()}}
+		w.scanStats = OpStats{Name: e.scan.stats.Name, Parallel: true}
+		var op Operator = w.src
+		w.clones = make([]Operator, len(e.chain))
+		for j := len(e.chain) - 1; j >= 0; j-- {
+			var err error
+			op, err = e.chain[j].CloneWorker(op)
+			if err != nil {
+				return err
+			}
+			w.clones[j] = op
+		}
+		w.root = op
+		if err := w.root.Open(); err != nil {
+			return err
+		}
+		e.workers = append(e.workers, w)
+	}
+	e.started = false
+	return nil
+}
+
+// start launches the worker pool (first Next call).
+func (e *Exchange) start() {
+	e.started = true
+	e.wg.Add(len(e.workers))
+	for _, w := range e.workers {
+		go e.runWorker(w)
+	}
+}
+
+func (e *Exchange) runWorker(w *worker) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.tickets:
+		case <-e.cancel:
+			return
+		}
+		i := e.cursor.Add(1) - 1
+		if i >= int64(len(e.morsels)) {
+			return
+		}
+		t, err := e.execMorsel(w, e.morsels[i])
+		select {
+		case e.out <- seqBatch{seq: i, t: t, err: err}:
+		case <-e.cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// execMorsel drives the worker's chain over one morsel and returns the
+// (possibly nil) result batch.
+func (e *Exchange) execMorsel(w *worker, m Morsel) (*data.Table, error) {
+	batch, err := e.scan.MorselBatch(m, &w.scanStats)
+	if err != nil {
+		return nil, err
+	}
+	w.src.reset(batch)
+	var first *data.Table
+	var merged *data.Table
+	for {
+		b, err := w.root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		switch {
+		case first == nil:
+			first = b
+		case merged == nil:
+			// Rare multi-batch morsel: clone before appending, because the
+			// first batch's columns may be zero-copy views of shared data.
+			merged = first.Clone()
+			fallthrough
+		default:
+			if err := merged.AppendFrom(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if merged != nil {
+		return merged, nil
+	}
+	return first, nil
+}
+
+// Next returns the next non-empty batch in morsel order.
+func (e *Exchange) Next() (*data.Table, error) {
+	defer startTimer(&e.stats)()
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	if !e.started {
+		e.start()
+	}
+	for {
+		if t, ok := e.pending[e.nextSeq]; ok {
+			delete(e.pending, e.nextSeq)
+			e.nextSeq++
+			// Return the consumed slot's ticket (cannot block: tickets
+			// outstanding never exceed the channel capacity).
+			select {
+			case e.tickets <- struct{}{}:
+			default:
+			}
+			if t != nil && t.NumRows() > 0 {
+				e.stats.Rows += int64(t.NumRows())
+				e.stats.Batches++
+				return t, nil
+			}
+			continue
+		}
+		if e.nextSeq >= int64(len(e.morsels)) {
+			e.finish()
+			return nil, nil
+		}
+		sb := <-e.out
+		if sb.err != nil {
+			e.failed = sb.err
+			e.stop()
+			return nil, sb.err
+		}
+		e.pending[sb.seq] = sb.t
+	}
+}
+
+func (e *Exchange) stop() {
+	e.cancelO.Do(func() { close(e.cancel) })
+}
+
+// finish joins the workers and merges their statistics into the template
+// chain exactly once.
+func (e *Exchange) finish() {
+	e.wg.Wait()
+	e.absorbO.Do(func() {
+		for _, w := range e.workers {
+			e.scan.stats.Absorb(&w.scanStats)
+			for i, p := range e.chain {
+				p.AbsorbWorker(w.clones[i])
+			}
+		}
+	})
+}
+
+// Close stops the workers, merges statistics and closes the worker chains.
+func (e *Exchange) Close() error {
+	e.stop()
+	e.finish()
+	var first error
+	for _, w := range e.workers {
+		if err := w.root.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Parallelizable reports whether op roots a partition-parallel segment: a
+// chain of single-child ParallelOp operators ending at a Scan.
+func Parallelizable(op Operator) bool {
+	if _, ok := op.(*Scan); ok {
+		return true
+	}
+	p, ok := op.(ParallelOp)
+	if !ok {
+		return false
+	}
+	if so, ok := op.(serialOnly); ok && !so.CanParallelize() {
+		return false
+	}
+	ch := p.Children()
+	if len(ch) != 1 {
+		return false
+	}
+	return Parallelizable(ch[0])
+}
+
+// Parallelize rewrites a physical plan for real data-parallel execution at
+// the given DOP: every maximal partition-parallel segment big enough to
+// split (more rows than one morsel) is wrapped in an Exchange; pipeline
+// breakers (joins, aggregates, unions, materializations) stay serial but
+// pull from parallel children. dop <= 1 returns the plan unchanged.
+func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
+	if dop <= 1 {
+		return root, nil
+	}
+	if morselSize <= 0 {
+		morselSize = 10000
+	}
+	return rewrite(root, dop, morselSize)
+}
+
+func rewrite(op Operator, dop, morselSize int) (Operator, error) {
+	if Parallelizable(op) {
+		if scanOf(op).Table.NumRows() > morselSize {
+			return NewExchange(op, dop, morselSize), nil
+		}
+		return op, nil
+	}
+	var err error
+	switch o := op.(type) {
+	case *Filter:
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *Project:
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *HashJoin:
+		if o.Left, err = rewrite(o.Left, dop, morselSize); err != nil {
+			return nil, err
+		}
+		o.Right, err = rewrite(o.Right, dop, morselSize)
+	case *Aggregate:
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *Materialize:
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *Union:
+		for i, in := range o.Inputs {
+			if o.Inputs[i], err = rewrite(in, dop, morselSize); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		// Operators from other packages (PredictOp, DNNOp) sit above a
+		// non-parallelizable child: rebuild them over the rewritten child
+		// via their worker-clone hook.
+		if p, ok := op.(ParallelOp); ok && len(p.Children()) == 1 {
+			child, err := rewrite(p.Children()[0], dop, morselSize)
+			if err != nil {
+				return nil, err
+			}
+			if child != p.Children()[0] {
+				return p.CloneWorker(child)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func scanOf(op Operator) *Scan {
+	for {
+		if s, ok := op.(*Scan); ok {
+			return s
+		}
+		op = op.Children()[0]
+	}
+}

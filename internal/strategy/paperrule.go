@@ -54,17 +54,32 @@ func (CalibratedRule) Name() string { return "calibrated-rule" }
 // DT" (§7.1.2) — ensembles translate to overly large CASE expressions
 // whose evaluation stops amortizing at scale, so they stay on the ML
 // runtime unless a GPU (or an enormous ensemble) makes MLtoDNN pay.
-func (CalibratedRule) Choose(f *opt.Features, gpu bool) opt.Choice {
+func (r CalibratedRule) Choose(f *opt.Features, gpu bool) opt.Choice {
+	return r.ChooseParallel(f, gpu, 1)
+}
+
+// ChooseParallel implements opt.ParallelAwareStrategy. Under real
+// parallel execution the ML runtime scales across the exchange workers
+// while the single-threaded tensor compilation threshold no longer
+// reflects the break-even point: the ensemble must be execDOP times
+// larger before MLtoDNN-on-CPU beats the now-parallel runtime. MLtoSQL
+// stays unchanged — translated expressions execute inside the parallel
+// relational operators and scale the same way.
+func (r CalibratedRule) ChooseParallel(f *opt.Features, gpu bool, execDOP int) opt.Choice {
+	if execDOP < 1 {
+		execDOP = 1
+	}
 	if f.Get("is_linear") == 1 || f.Get("is_dt") == 1 {
 		return opt.ChoiceSQL
 	}
 	if gpu {
 		return opt.ChoiceDNNGPU
 	}
-	if f.Get("total_tree_nodes") > 20000 {
+	if f.Get("total_tree_nodes") > 20000*float64(execDOP) {
 		return opt.ChoiceDNNCPU
 	}
 	return opt.ChoiceNone
 }
 
 var _ opt.RuntimeStrategy = CalibratedRule{}
+var _ opt.ParallelAwareStrategy = CalibratedRule{}

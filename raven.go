@@ -19,9 +19,24 @@
 // runtime, a SQL translation, or a Hummingbird-style tensor compilation on
 // CPU/GPU) via a data-driven strategy.
 //
+// # Parallel execution
+//
+// Plans execute serially by default. WithParallelism(n) turns on real
+// morsel-driven parallel execution: partition-parallel plan segments —
+// chains of Scan, Filter, Project and Predict operators — are rewritten
+// into Exchange operators that split the partitioned input into row-range
+// morsels and drive n worker goroutines over a shared morsel queue. Each
+// worker owns a clone of the operator chain with its own ML runtime
+// session (sessions are pooled and cloned, not re-initialized), and the
+// Exchange merges result batches back in morsel order, so parallel plans
+// produce byte-identical results to serial ones. Pipeline breakers (hash
+// joins, aggregates) stay serial but consume parallel input. Reported
+// times charge the measured parallel wall time of exchanged segments
+// instead of modeling a division by DOP.
+//
 // Usage:
 //
-//	s := raven.NewSession()
+//	s := raven.NewSession(raven.WithParallelism(runtime.NumCPU()))
 //	s.RegisterTable(patients)
 //	s.RegisterModel(pipe)
 //	res, err := s.Query(`SELECT p.score FROM PREDICT(MODEL = m, DATA = patients AS d) WITH (score FLOAT) AS p`)
@@ -29,6 +44,7 @@ package raven
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"raven/internal/data"
@@ -88,6 +104,9 @@ var (
 	NewBoolColumn = data.NewBool
 	// NewTable builds a table from columns.
 	NewTable = data.NewTable
+	// Replicate scales a table by repeating its rows, offsetting the
+	// listed integer key columns per copy (for parallelism benchmarks).
+	Replicate = data.Replicate
 	// LoadModel reads a pipeline from a JSON model file.
 	LoadModel = model.Load
 	// TrainPipeline fits a pipeline on a labeled table.
@@ -116,6 +135,10 @@ type Session struct {
 	cat     *engine.Catalog
 	profile engine.Profile
 	opts    opt.Options
+	// parallelism is the WithParallelism request, applied after all
+	// options so it composes with WithProfile/WithOptimizerOptions in
+	// any order.
+	parallelism int
 }
 
 // Option configures a session.
@@ -129,6 +152,22 @@ func WithProfile(p Profile) Option {
 // WithOptimizerOptions overrides the full rule configuration.
 func WithOptimizerOptions(o OptimizerOptions) Option {
 	return func(s *Session) { s.opts = o }
+}
+
+// WithParallelism enables real morsel-driven parallel execution with n
+// worker goroutines per partition-parallel plan segment (see the package
+// comment). n <= 0 selects runtime.NumCPU(); n == 1 keeps serial
+// execution. The degree of parallelism is also exposed to the runtime
+// strategy, which may shift its MLtoDNN threshold when the ML runtime
+// scales across workers. It composes with WithProfile and
+// WithOptimizerOptions regardless of option order.
+func WithParallelism(n int) Option {
+	return func(s *Session) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		s.parallelism = n
+	}
 }
 
 // WithStrategy sets the runtime-selection strategy (default: the paper's
@@ -160,6 +199,10 @@ func NewSession(options ...Option) *Session {
 	s.opts.Strategy = strategy.CalibratedRule{}
 	for _, o := range options {
 		o(s)
+	}
+	if s.parallelism > 0 {
+		s.profile.ExecDOP = s.parallelism
+		s.opts.ExecDOP = s.parallelism
 	}
 	return s
 }

@@ -207,3 +207,60 @@ func TestTrainPipelineReexport(t *testing.T) {
 		t.Fatalf("rows = %d", res.Table.NumRows())
 	}
 }
+
+func TestWithParallelismMatchesSerial(t *testing.T) {
+	// Replicate the covid tables so the scans exceed one morsel and the
+	// parallel rewrite actually fires.
+	build := func(options ...Option) *Session {
+		s := NewSession(options...)
+		pi, pt, bt := testfix.CovidTables()
+		s.RegisterTable(Replicate(pi, 2000, "id"))
+		s.RegisterTable(Replicate(pt, 2000, "id"))
+		s.RegisterTable(Replicate(bt, 2000, "id"))
+		if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial, err := build().Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dop := range []int{2, 8} {
+		par, err := build(WithParallelism(dop)).Query(testfix.CovidQuery)
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		if par.Table.NumRows() != serial.Table.NumRows() {
+			t.Fatalf("dop=%d: rows=%d, serial=%d", dop, par.Table.NumRows(), serial.Table.NumRows())
+		}
+		for _, wc := range serial.Table.Cols {
+			gc := par.Table.Col(wc.Name)
+			if gc == nil {
+				t.Fatalf("dop=%d: missing column %q", dop, wc.Name)
+			}
+			for i := 0; i < wc.Len(); i++ {
+				if wc.AsString(i) != gc.AsString(i) {
+					t.Fatalf("dop=%d: column %q row %d differs: %s != %s",
+						dop, wc.Name, i, gc.AsString(i), wc.AsString(i))
+				}
+			}
+		}
+	}
+}
+
+func TestWithParallelismComposesWithProfileOrder(t *testing.T) {
+	// The knob must survive WithProfile appearing after it (and before).
+	for _, opts := range [][]Option{
+		{WithParallelism(4), WithProfile(ProfileSpark)},
+		{WithProfile(ProfileSpark), WithParallelism(4)},
+	} {
+		s := NewSession(opts...)
+		if s.profile.ExecDOP != 4 {
+			t.Fatalf("opts %v: profile.ExecDOP = %d, want 4", opts, s.profile.ExecDOP)
+		}
+		if s.opts.ExecDOP != 4 {
+			t.Fatalf("opts %v: opts.ExecDOP = %d, want 4", opts, s.opts.ExecDOP)
+		}
+	}
+}
