@@ -299,7 +299,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	newSession := func(dop int) *Session {
+	newSession := func(b *testing.B, dop int) *Session {
 		s := NewSession(WithParallelism(dop))
 		s.RegisterTable(ds.Tables[0])
 		if err := s.RegisterModel(pipe); err != nil {
@@ -315,11 +315,71 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	var baselineNs float64
 	for _, dop := range dops {
 		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
-			s := newSession(dop)
+			s := newSession(b, dop)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Query(q); err != nil {
 					b.Fatal(err)
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+			if dop == 1 {
+				baselineNs = perOp
+			} else if baselineNs > 0 {
+				b.ReportMetric(baselineNs/perOp, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkJoinAggParallelSpeedup measures morsel-driven execution across
+// both former pipeline breakers at once: the Expedia 3-table join feeds a
+// GB predict whose scores are averaged (the SQL Server-style aggregate
+// query), so the probe, the predict and the partial aggregation all run
+// inside one exchange. Each DOP sub-benchmark emits ns/op plus rows/s,
+// and the parallel ones a "speedup" metric vs the measured DOP=1
+// baseline. Like BenchmarkParallelSpeedup, real speedups require
+// multiple cores; results stay byte-identical at any DOP (asserted by
+// the differential harnesses).
+func BenchmarkJoinAggParallelSpeedup(b *testing.B) {
+	const rows = 30000
+	ds := datagen.Expedia(rows, 1)
+	pipe, err := ds.Train(train.KindGradientBoosting, func(s *train.Spec) {
+		s.NEstimators = 20
+		s.MaxDepth = 4
+		s.LearningRate = 0.2
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSession := func(b *testing.B, dop int) *Session {
+		s := NewSession(WithParallelism(dop))
+		for _, t := range ds.Tables {
+			s.RegisterTable(t)
+		}
+		if err := s.RegisterModel(pipe); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	q := ds.AggregateQuery(pipe.Name)
+	dops := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	var baselineNs float64
+	for _, dop := range dops {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			s := newSession(b, dop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Table.NumRows() != 1 {
+					b.Fatalf("aggregate returned %d rows", res.Table.NumRows())
 				}
 			}
 			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)

@@ -1,0 +1,119 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"raven/internal/data"
+	"raven/internal/datagen"
+	"raven/internal/engine"
+	"raven/internal/ir"
+	"raven/internal/opt"
+	"raven/internal/sqlparse"
+	"raven/internal/strategy"
+	"raven/internal/train"
+)
+
+// Differential harness over the datagen datasets: every generated plan
+// shape — multi-table join pyramids, predict-over-join, aggregate-over-
+// predict, with and without logical optimization and MLtoSQL — must
+// produce byte-identical results at ExecDOP 1, 2, 4 and NumCPU. This is
+// the end-to-end twin of internal/relational/differential_test.go,
+// exercising the parser, optimizer, lowering and the morsel-driven
+// executor together (run under -race in CI).
+
+func diffAssertIdentical(t *testing.T, want, got *data.Table, label string) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label,
+			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for _, wc := range want.Cols {
+		gc := got.Col(wc.Name)
+		if gc == nil {
+			t.Fatalf("%s: missing column %q", label, wc.Name)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			// AsString round-trips float64 exactly, so this is a byte
+			// identity check for every column type.
+			if wc.AsString(i) != gc.AsString(i) {
+				t.Fatalf("%s: column %q row %d: %s != %s",
+					label, wc.Name, i, gc.AsString(i), wc.AsString(i))
+			}
+		}
+	}
+}
+
+// diffCase is one dataset+optimizer configuration under test.
+type diffCase struct {
+	name string
+	ds   *datagen.Dataset
+	opts opt.Options
+}
+
+func diffPlan(t *testing.T, c diffCase, sql string) (*ir.Graph, *engine.Catalog) {
+	t.Helper()
+	cat := c.ds.Catalog()
+	pipe, err := c.ds.Train(train.KindLogistic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.RegisterModel(pipe); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sqlparse.ParseAndPlan(fmt.Sprintf(sql, pipe.Name), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _, err := opt.New(cat, c.opts).Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return og, cat
+}
+
+func TestDifferentialDatagenPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is not short")
+	}
+	dops := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	withSQL := opt.DefaultOptions()
+	withSQL.Strategy = strategy.CalibratedRule{}
+	cases := []diffCase{
+		{name: "hospital-noopt", ds: datagen.Hospital(4500, 11), opts: opt.NoOpt()},
+		{name: "hospital-mltosql", ds: datagen.Hospital(4500, 11), opts: withSQL},
+		{name: "expedia-noopt", ds: datagen.Expedia(3500, 12), opts: opt.NoOpt()},
+		{name: "expedia-opt", ds: datagen.Expedia(3500, 12), opts: opt.DefaultOptions()},
+		{name: "flights-opt", ds: datagen.Flights(2500, 13), opts: opt.DefaultOptions()},
+	}
+	for _, c := range cases {
+		for _, q := range []struct{ kind, sql string }{
+			{"predict", c.ds.Query("%s")},
+			{"aggregate", c.ds.AggregateQuery("%s")},
+		} {
+			g, cat := diffPlan(t, c, q.sql)
+			prof := engine.Local
+			serial, err := engine.Run(g, cat, prof)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", c.name, q.kind, err)
+			}
+			if q.kind == "aggregate" && serial.Table.NumRows() != 1 {
+				t.Fatalf("%s aggregate returned %d rows", c.name, serial.Table.NumRows())
+			}
+			for _, dop := range dops {
+				par := prof
+				par.ExecDOP = dop
+				res, err := engine.Run(g, cat, par)
+				if err != nil {
+					t.Fatalf("%s/%s dop=%d: %v", c.name, q.kind, dop, err)
+				}
+				diffAssertIdentical(t, serial.Table, res.Table,
+					fmt.Sprintf("%s/%s dop=%d", c.name, q.kind, dop))
+			}
+		}
+	}
+}

@@ -84,22 +84,43 @@ func reportedTime(root Operator, prof Profile, res *Result) time.Duration {
 			// DNN ops inside the exchange stand in for the device with host
 			// compute: remove its elapsed share (aggregate worker compute
 			// spread over the workers) so only the modeled device time —
-			// added by the boundary walk below — is charged.
-			wall := float64(ex.Stats().WallNs)
-			var gpuWalk func(op Operator)
-			gpuWalk = func(op Operator) {
-				if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
-					wall -= float64(gpu.ComputeNs) / execDOP
+			// added by the boundary walk below — is charged. An exchange
+			// nested inside another exchange (a parallel hash-join build
+			// side) ran during the outer exchange's Open and is already
+			// inside the outer measured wall time, so only its boundary
+			// items are accounted, not its elapsed time again.
+			if !inExchange {
+				wall := float64(ex.Stats().WallNs)
+				// div is the parallelism the op's host compute ran at: ops
+				// on the exchange chain spread across the workers, but a
+				// serial join build subplan ran once during the exchange's
+				// Open (a nested build-side exchange ran at full DOP again).
+				var gpuWalk func(op Operator, div float64)
+				gpuWalk = func(op Operator, div float64) {
+					if gpu, ok := op.(*DNNOp); ok && gpu.Device.Kind == device.SimGPU {
+						wall -= float64(gpu.ComputeNs) / div
+					}
+					if phj, ok := op.(*relational.ParallelHashJoin); ok {
+						gpuWalk(phj.ChainChild(), div)
+						if ch := phj.Children(); len(ch) == 2 {
+							bdiv := 1.0
+							if _, ok := ch[1].(*relational.Exchange); ok {
+								bdiv = execDOP
+							}
+							gpuWalk(ch[1], bdiv)
+						}
+						return
+					}
+					for _, c := range op.Children() {
+						gpuWalk(c, div)
+					}
 				}
-				for _, c := range op.Children() {
-					gpuWalk(c)
+				gpuWalk(ex, execDOP)
+				if wall < 0 {
+					wall = 0
 				}
+				totalNs += wall
 			}
-			gpuWalk(ex)
-			if wall < 0 {
-				wall = 0
-			}
-			totalNs += wall
 			for _, c := range op.Children() {
 				walk(c, true)
 			}

@@ -469,10 +469,11 @@ func TestParallelJoinPlanMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The join is a pipeline breaker: both scan segments run under
-	// exchanges, the join and the predict above it stay serial.
+	// The join is no longer a pipeline breaker: the probe side and the
+	// predict above the join run inside one exchange (one ML session per
+	// worker), probing a shared build table.
 	assertResultsIdentical(t, serial.Table, res.Table, "join plan")
-	if res.Sessions != 1 {
-		t.Errorf("sessions = %d, want 1 (predict above the join is serial)", res.Sessions)
+	if res.Sessions != 4 {
+		t.Errorf("sessions = %d, want 4 (predict above the join parallelizes across the exchange workers)", res.Sessions)
 	}
 }

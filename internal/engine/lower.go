@@ -10,7 +10,13 @@ import (
 // Lower converts a unified-IR plan into a physical operator tree under the
 // given profile. When the profile requests real parallelism (ExecDOP > 1)
 // partition-parallel segments are rewritten into morsel-driven Exchange
-// operators.
+// operators; hash joins inside such segments probe in parallel against a
+// shared build table and global aggregates fold per-worker partial
+// accumulators, so join- and aggregate-heavy prediction queries scale
+// past one core too. The profile batch size doubles as the morsel size,
+// which keeps parallel batch boundaries aligned with serial ones — the
+// property the partial-aggregation fold relies on for bit-identical
+// results.
 func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
 	l := &lowerer{cat: cat, prof: prof}
 	root, err := l.lower(g.Root)

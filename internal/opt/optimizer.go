@@ -37,7 +37,13 @@ type Options struct {
 	// ExecDOP is the real execution parallelism of the engine profile;
 	// strategies implementing ParallelAwareStrategy can use it to shift
 	// their runtime-selection thresholds (a parallel ML runtime amortizes
-	// differently than a serial one). 0 or 1 means serial execution.
+	// differently than a serial one). Since the engine parallelizes
+	// across hash-join and aggregation breakers (probe-side exchanges
+	// over a shared build table, per-worker partial aggregation), the
+	// predict operator scales with ExecDOP in every plan shape — joins
+	// or aggregates above/below the predict no longer serialize it — so
+	// DOP-aware thresholds apply uniformly. 0 or 1 means serial
+	// execution.
 	ExecDOP int
 }
 
@@ -223,6 +229,8 @@ func (o *Optimizer) selectRuntime(n *ir.Node, rep *Report) error {
 	var choice Choice
 	if ps, ok := o.Opts.Strategy.(ParallelAwareStrategy); ok && o.Opts.ExecDOP > 1 {
 		choice = ps.ChooseParallel(f, o.Opts.GPUAvailable, o.Opts.ExecDOP)
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("runtime selected DOP-aware at execDOP=%d", o.Opts.ExecDOP))
 	} else {
 		choice = o.Opts.Strategy.Choose(f, o.Opts.GPUAvailable)
 	}

@@ -1,0 +1,180 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"raven/internal/data"
+)
+
+// Differential harness: randomized tables (varying row counts, skewed
+// join keys, NULL-free edge-value columns) are run through every
+// parallelizable plan shape — scan chains, single and chained hash
+// joins, and global aggregates over both — and the serial result must be
+// byte-identical to the Parallelize'd plan at DOP 2, 4 and NumCPU. The
+// engine-level twin (internal/engine/differential_test.go) drives the
+// same property through SQL planning, optimization and ML predict plans
+// over the datagen datasets.
+
+// edgeValues exercises aggregation and join arithmetic at the extremes
+// the fold must keep bit-stable: zeros, huge and tiny magnitudes, exact
+// negatives.
+var edgeValues = []float64{0, 1, -1, 1e15, -1e15, 1e-12, 97.25, -97.25}
+
+// diffFixture is one randomized fact table (partitioned) plus a dimension
+// table sharing a skewed key domain.
+type diffFixture struct {
+	fact *data.PartitionedTable
+	dim  *data.PartitionedTable
+	dim2 *data.PartitionedTable
+}
+
+// randFixture generates tables with rng-driven row counts and a skewed
+// key distribution: most probe rows hit a handful of hot keys, so some
+// morsels explode while others match nothing.
+func randFixture(t *testing.T, rng *rand.Rand) *diffFixture {
+	t.Helper()
+	rows := 1500 + rng.Intn(4500)
+	nKeys := 40 + rng.Intn(160)
+	ids := make([]int64, rows)
+	keys := make([]int64, rows)
+	k2 := make([]int64, rows)
+	vs := make([]float64, rows)
+	edge := make([]float64, rows)
+	grp := make([]string, rows)
+	hot := []int64{int64(rng.Intn(nKeys)), int64(rng.Intn(nKeys)), int64(rng.Intn(nKeys))}
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		if rng.Float64() < 0.7 {
+			keys[i] = hot[rng.Intn(len(hot))]
+		} else {
+			keys[i] = int64(rng.Intn(nKeys * 2)) // some keys miss the dim entirely
+		}
+		k2[i] = int64(rng.Intn(nKeys))
+		vs[i] = rng.NormFloat64() * 100
+		edge[i] = edgeValues[rng.Intn(len(edgeValues))]
+		grp[i] = fmt.Sprintf("g%d", rng.Intn(4))
+	}
+	fact := data.MustNewTable("fact",
+		data.NewInt("id", ids), data.NewInt("k", keys), data.NewInt("k2", k2),
+		data.NewFloat("v", vs), data.NewFloat("edge", edge), data.NewString("grp", grp))
+	pf, err := data.PartitionBy(fact, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkDim := func(name, key string) *data.PartitionedTable {
+		dk := make([]int64, nKeys)
+		dv := make([]float64, nKeys)
+		ds := make([]string, nKeys)
+		for i := 0; i < nKeys; i++ {
+			dk[i] = int64(i)
+			dv[i] = edgeValues[rng.Intn(len(edgeValues))] + float64(i)
+			ds[i] = fmt.Sprintf("d%d", i%7)
+		}
+		return data.SinglePartition(data.MustNewTable(name,
+			data.NewInt(key, dk), data.NewFloat(name+"_v", dv), data.NewString(name+"_s", ds)))
+	}
+	return &diffFixture{fact: pf, dim: mkDim("dim", "dk"), dim2: mkDim("dim2", "dk2")}
+}
+
+// diffShapes enumerates the plan shapes under test; each entry builds a
+// fresh operator tree (Parallelize mutates plans, so every run needs its
+// own).
+func diffShapes(f *diffFixture, batch int) map[string]func() Operator {
+	aggs := []AggSpec{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggSum, Col: "v", As: "sum_v"},
+		{Fn: AggAvg, Col: "edge", As: "avg_edge"},
+		{Fn: AggMin, Col: "v", As: "min_v"},
+		{Fn: AggMax, Col: "edge", As: "max_edge"},
+	}
+	scanChain := func() Operator {
+		scan := NewScan(f.fact, "", nil, batch)
+		filter := &Filter{Child: scan, Pred: NewBinOp(OpGt, Col("v"), Num(-40))}
+		return &Project{Child: filter, Exprs: []NamedExpr{
+			{Name: "id", E: Col("id")},
+			{Name: "k", E: Col("k")},
+			{Name: "k2", E: Col("k2")},
+			{Name: "v", E: Col("v")},
+			{Name: "edge", E: NewBinOp(OpMul, Col("edge"), Num(2))},
+		}}
+	}
+	join := func() Operator {
+		return &HashJoin{
+			Left:    scanChain(),
+			Right:   NewScan(f.dim, "", nil, batch),
+			LeftKey: "k", RightKey: "dk",
+		}
+	}
+	joinJoin := func() Operator {
+		return &HashJoin{
+			Left:    join(),
+			Right:   NewScan(f.dim2, "", nil, batch),
+			LeftKey: "k2", RightKey: "dk2",
+		}
+	}
+	return map[string]func() Operator{
+		"scan-chain": scanChain,
+		"join":       join,
+		"join-join":  joinJoin,
+		"filter-above-join": func() Operator {
+			return &Filter{Child: join(), Pred: NewBinOp(OpLt, Col("dim_v"), Num(60))}
+		},
+		"agg-over-scan": func() Operator {
+			return &Aggregate{Child: scanChain(), Aggs: aggs}
+		},
+		"agg-over-join": func() Operator {
+			return &Aggregate{Child: joinJoin(), Aggs: aggs}
+		},
+	}
+}
+
+func TestDifferentialSerialVsParallel(t *testing.T) {
+	dops := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := randFixture(t, rng)
+		batch := []int{64, 256, 1024}[rng.Intn(3)]
+		for name, mk := range diffShapes(f, batch) {
+			serial, err := Drain(mk())
+			if err != nil {
+				t.Fatalf("seed=%d %s serial: %v", seed, name, err)
+			}
+			for _, dop := range dops {
+				root := mustParallelize(t, mk(), dop, batch)
+				got, err := Drain(root)
+				if err != nil {
+					t.Fatalf("seed=%d %s dop=%d: %v", seed, name, dop, err)
+				}
+				// assertTablesEqual compares via AsString, which
+				// round-trips float64 exactly — a byte-identity check.
+				assertTablesEqual(t, serial, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialReuse re-runs one parallel plan twice: exchanges,
+// shared join builds and partial aggregates must all survive re-Open.
+func TestDifferentialReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := randFixture(t, rng)
+	shapes := diffShapes(f, 256)
+	for _, name := range []string{"join-join", "agg-over-join"} {
+		root := mustParallelize(t, shapes[name](), 4, 256)
+		first, err := Drain(root)
+		if err != nil {
+			t.Fatalf("%s first: %v", name, err)
+		}
+		second, err := Drain(root)
+		if err != nil {
+			t.Fatalf("%s second: %v", name, err)
+		}
+		assertTablesEqual(t, first, second)
+	}
+}

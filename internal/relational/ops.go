@@ -345,14 +345,15 @@ func (p *Project) Children() []Operator { return []Operator{p.Child} }
 
 // HashJoin is an inner equi-join. The right (build) side is drained into a
 // hash table at Open; the left (probe) side streams. Join keys may be
-// Int64, String or Float64 columns.
+// Int64, String or Float64 columns. Under parallel execution (see
+// parallel_join.go) the rewrite converts it into a ParallelHashJoin
+// sharing the same build/probe helpers, so results stay byte-identical.
 type HashJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey string
 
-	stats      OpStats
-	buildRows  *data.Table
-	buildIndex map[string][]int
+	stats OpStats
+	build *joinBuild
 }
 
 // Columns returns left columns followed by right columns.
@@ -370,40 +371,12 @@ func (j *HashJoin) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	j.buildIndex = make(map[string][]int)
-	j.buildRows = nil
-	for {
-		b, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		if j.buildRows == nil {
-			j.buildRows = b.Clone()
-		} else {
-			if err := j.buildRows.AppendFrom(b); err != nil {
-				return err
-			}
-		}
+	rows, err := drainBuild(j.Right, j.Right.Columns())
+	if err != nil {
+		return err
 	}
-	if j.buildRows == nil {
-		empty, err := emptyLike(j.Right.Columns())
-		if err != nil {
-			return err
-		}
-		j.buildRows = empty
-	}
-	kc := j.buildRows.Col(j.RightKey)
-	if kc == nil {
-		return fmt.Errorf("relational: join build side lacks key %q", j.RightKey)
-	}
-	for i := 0; i < j.buildRows.NumRows(); i++ {
-		k := kc.AsString(i)
-		j.buildIndex[k] = append(j.buildIndex[k], i)
-	}
-	return nil
+	j.build, err = newJoinBuild(rows, j.RightKey, 1)
+	return err
 }
 
 // Next probes the next left batch against the build table.
@@ -414,35 +387,12 @@ func (j *HashJoin) Next() (*data.Table, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		kc := b.Col(j.LeftKey)
-		if kc == nil {
-			return nil, fmt.Errorf("relational: join probe side lacks key %q", j.LeftKey)
-		}
-		var leftIdx, rightIdx []int
-		for i := 0; i < b.NumRows(); i++ {
-			for _, ri := range j.buildIndex[kc.AsString(i)] {
-				leftIdx = append(leftIdx, i)
-				rightIdx = append(rightIdx, ri)
-			}
-		}
-		if len(leftIdx) == 0 {
-			continue
-		}
-		lg := b.Gather(leftIdx)
-		rg := j.buildRows.Gather(rightIdx)
-		out, err := data.NewTable(b.Name)
+		out, err := probeJoinBatch(b, j.LeftKey, j.build)
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range lg.Cols {
-			if err := out.AddColumn(c); err != nil {
-				return nil, err
-			}
-		}
-		for _, c := range rg.Cols {
-			if err := out.AddColumn(c); err != nil {
-				return nil, err
-			}
+		if out == nil {
+			continue
 		}
 		j.stats.Rows += int64(out.NumRows())
 		j.stats.Batches++
@@ -524,21 +474,18 @@ func (a *Aggregate) Open() error {
 	return a.Child.Open()
 }
 
-// Next drains the child and emits a single-row result.
+// Next drains the child and emits a single-row result. Each batch is
+// folded through the same per-batch accumulator the parallel
+// PartialAggregate/MergeAggregate pair uses (parallel_agg.go), so serial
+// and parallel plans share one addition tree and produce bit-identical
+// aggregates.
 func (a *Aggregate) Next() (*data.Table, error) {
 	defer startTimer(&a.stats)()
 	if a.done {
 		return nil, nil
 	}
 	a.done = true
-	count := 0.0
-	sums := make([]float64, len(a.Aggs))
-	mins := make([]float64, len(a.Aggs))
-	maxs := make([]float64, len(a.Aggs))
-	for i := range mins {
-		mins[i] = 1e308
-		maxs[i] = -1e308
-	}
+	acc := newAggPartial(len(a.Aggs))
 	for {
 		b, err := a.Child.Next()
 		if err != nil {
@@ -547,50 +494,15 @@ func (a *Aggregate) Next() (*data.Table, error) {
 		if b == nil {
 			break
 		}
-		count += float64(b.NumRows())
-		for gi, g := range a.Aggs {
-			if g.Fn == AggCount {
-				continue
-			}
-			c := b.Col(g.Col)
-			if c == nil {
-				return nil, fmt.Errorf("relational: aggregate column %q missing", g.Col)
-			}
-			for i := 0; i < c.Len(); i++ {
-				v := c.AsFloat(i)
-				sums[gi] += v
-				if v < mins[gi] {
-					mins[gi] = v
-				}
-				if v > maxs[gi] {
-					maxs[gi] = v
-				}
-			}
-		}
-	}
-	out, err := data.NewTable("agg")
-	if err != nil {
-		return nil, err
-	}
-	for gi, g := range a.Aggs {
-		var v float64
-		switch g.Fn {
-		case AggCount:
-			v = count
-		case AggSum:
-			v = sums[gi]
-		case AggAvg:
-			if count > 0 {
-				v = sums[gi] / count
-			}
-		case AggMin:
-			v = mins[gi]
-		case AggMax:
-			v = maxs[gi]
-		}
-		if err := out.AddColumn(data.NewFloat(g.As, []float64{v})); err != nil {
+		p, err := accumulateBatch(b, a.Aggs)
+		if err != nil {
 			return nil, err
 		}
+		acc.fold(p)
+	}
+	out, err := acc.finalize(a.Aggs)
+	if err != nil {
+		return nil, err
 	}
 	a.stats.Rows++
 	a.stats.Batches++

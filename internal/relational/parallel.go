@@ -41,6 +41,14 @@ type serialOnly interface {
 	CanParallelize() bool
 }
 
+// chainOp is implemented by chain operators whose morsel flow passes
+// through one designated child (the ParallelHashJoin's probe side); other
+// children (the build side) are private to the operator and not part of
+// the exchange segment.
+type chainOp interface {
+	ChainChild() Operator
+}
+
 // Absorb adds the clone's counters into s (single-threaded merge after the
 // exchange workers join). WallNs becomes aggregate across-worker CPU time,
 // which exceeds elapsed wall time for parallel segments; the engine charges
@@ -212,8 +220,10 @@ type Exchange struct {
 	failed  error
 }
 
-// NewExchange wraps a parallelizable segment. The caller must have
-// verified the segment with Parallelizable.
+// NewExchange wraps a parallelizable segment: a chain of single-child
+// ParallelOps (plus ParallelHashJoins, whose probe child continues the
+// chain) ending at a Scan, as validated and built by the rewrite's
+// segmentable + chainify pair.
 func NewExchange(segment Operator, dop, morselSize int) *Exchange {
 	return &Exchange{Template: segment, DOP: dop, MorselSize: morselSize}
 }
@@ -244,11 +254,21 @@ func (e *Exchange) Open() error {
 			break
 		}
 		p, ok := op.(ParallelOp)
-		if !ok || len(op.Children()) != 1 {
+		if !ok {
+			e.Template.Close()
 			return fmt.Errorf("relational: exchange segment has non-parallel operator %T", op)
 		}
+		var next Operator
+		if co, ok := op.(chainOp); ok {
+			next = co.ChainChild()
+		} else if ch := op.Children(); len(ch) == 1 {
+			next = ch[0]
+		} else {
+			e.Template.Close()
+			return fmt.Errorf("relational: exchange segment operator %T has no chain child", op)
+		}
 		e.chain = append(e.chain, p)
-		op = op.Children()[0]
+		op = next
 	}
 	// Release template-held resources (e.g. the ML session it initialized)
 	// back to shared pools so the first worker clone reuses them.
@@ -270,6 +290,15 @@ func (e *Exchange) Open() error {
 		e.tickets <- struct{}{}
 	}
 	e.workers = e.workers[:0]
+	// failWorkers closes the chains already opened for earlier workers,
+	// returning their pooled resources (ML sessions) on a partial failure.
+	failWorkers := func(err error) error {
+		for _, w := range e.workers {
+			w.root.Close()
+		}
+		e.workers = e.workers[:0]
+		return err
+	}
 	for i := 0; i < e.DOP; i++ {
 		w := &worker{src: &batchSource{cols: e.scan.Columns()}}
 		w.scanStats = OpStats{Name: e.scan.stats.Name, Parallel: true}
@@ -279,13 +308,13 @@ func (e *Exchange) Open() error {
 			var err error
 			op, err = e.chain[j].CloneWorker(op)
 			if err != nil {
-				return err
+				return failWorkers(err)
 			}
 			w.clones[j] = op
 		}
 		w.root = op
 		if err := w.root.Open(); err != nil {
-			return err
+			return failWorkers(err)
 		}
 		e.workers = append(e.workers, w)
 	}
@@ -435,11 +464,18 @@ func (e *Exchange) Close() error {
 	return first
 }
 
-// Parallelizable reports whether op roots a partition-parallel segment: a
-// chain of single-child ParallelOp operators ending at a Scan.
-func Parallelizable(op Operator) bool {
-	if _, ok := op.(*Scan); ok {
+// segmentable reports whether op roots an exchange-compatible segment: a
+// chain of single-child ParallelOps ending at a Scan, in which hash joins
+// may appear as long as their probe (left) side is itself segmentable —
+// the join build side is materialized at Open and may be any subplan.
+// Joins are carried across the breaker by converting them into
+// ParallelHashJoin chain operators (see chainify).
+func segmentable(op Operator) bool {
+	switch o := op.(type) {
+	case *Scan:
 		return true
+	case *HashJoin:
+		return segmentable(o.Left)
 	}
 	p, ok := op.(ParallelOp)
 	if !ok {
@@ -452,13 +488,50 @@ func Parallelizable(op Operator) bool {
 	if len(ch) != 1 {
 		return false
 	}
-	return Parallelizable(ch[0])
+	return segmentable(ch[0])
 }
 
-// Parallelize rewrites a physical plan for real data-parallel execution at
-// the given DOP: every maximal partition-parallel segment big enough to
-// split (more rows than one morsel) is wrapped in an Exchange; pipeline
-// breakers (joins, aggregates, unions, materializations) stay serial but
+// chainify rewrites a segmentable segment for execution inside an
+// exchange: every HashJoin becomes a ParallelHashJoin probing on the
+// worker chain (its build side is independently parallelized), and the
+// operators above a converted join are rebuilt over the new child via
+// their worker-clone hook. Segments without joins are returned unchanged.
+func chainify(op Operator, dop, morselSize int) (Operator, error) {
+	switch o := op.(type) {
+	case *Scan:
+		return o, nil
+	case *HashJoin:
+		child, err := chainify(o.Left, dop, morselSize)
+		if err != nil {
+			return nil, err
+		}
+		build, err := rewrite(o.Right, dop, morselSize)
+		if err != nil {
+			return nil, err
+		}
+		return NewParallelHashJoin(child, build, o.LeftKey, o.RightKey, dop), nil
+	}
+	p, ok := op.(ParallelOp)
+	if !ok || len(p.Children()) != 1 {
+		return nil, fmt.Errorf("relational: cannot chainify operator %T", op)
+	}
+	child, err := chainify(p.Children()[0], dop, morselSize)
+	if err != nil {
+		return nil, err
+	}
+	if child == p.Children()[0] {
+		return op, nil
+	}
+	return p.CloneWorker(child)
+}
+
+// Parallelize rewrites a physical plan for real data-parallel execution
+// at the given DOP: every maximal partition-parallel segment big enough
+// to split (more rows than one morsel) is wrapped in an Exchange. The
+// former pipeline breakers scale too: hash joins become ParallelHashJoins
+// probed inside the exchange workers against a shared build table, and
+// global aggregates become per-worker PartialAggregates merged at a
+// MergeAggregate breaker. Materializations and unions stay serial but
 // pull from parallel children. dop <= 1 returns the plan unchanged.
 func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
 	if dop <= 1 {
@@ -470,12 +543,31 @@ func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
 	return rewrite(root, dop, morselSize)
 }
 
+// exchangeSegment wraps op in an Exchange when it roots a segment whose
+// probe-most scan is big enough to split; ok reports whether it did.
+func exchangeSegment(op Operator, dop, morselSize int) (Operator, bool, error) {
+	if !segmentable(op) {
+		return nil, false, nil
+	}
+	s, err := scanOf(op)
+	if err != nil {
+		return nil, false, err
+	}
+	if s.Table.NumRows() <= morselSize {
+		return nil, false, nil
+	}
+	chain, err := chainify(op, dop, morselSize)
+	if err != nil {
+		return nil, false, err
+	}
+	return NewExchange(chain, dop, morselSize), true, nil
+}
+
 func rewrite(op Operator, dop, morselSize int) (Operator, error) {
-	if Parallelizable(op) {
-		if scanOf(op).Table.NumRows() > morselSize {
-			return NewExchange(op, dop, morselSize), nil
-		}
-		return op, nil
+	if ex, ok, err := exchangeSegment(op, dop, morselSize); err != nil {
+		return nil, err
+	} else if ok {
+		return ex, nil
 	}
 	var err error
 	switch o := op.(type) {
@@ -489,6 +581,14 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 		}
 		o.Right, err = rewrite(o.Right, dop, morselSize)
 	case *Aggregate:
+		// Partial aggregation: when the input is a big-enough segment,
+		// fold per-batch accumulators inside the exchange workers and
+		// merge them (in morsel order) above it.
+		if seg, ok, serr := exchangeSegment(&PartialAggregate{Child: o.Child, Aggs: o.Aggs}, dop, morselSize); serr != nil {
+			return nil, serr
+		} else if ok {
+			return &MergeAggregate{Child: seg, Aggs: o.Aggs}, nil
+		}
 		o.Child, err = rewrite(o.Child, dop, morselSize)
 	case *Materialize:
 		o.Child, err = rewrite(o.Child, dop, morselSize)
@@ -518,11 +618,34 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 	return op, nil
 }
 
-func scanOf(op Operator) *Scan {
-	for {
+// maxChainDepth bounds the scanOf descent so a malformed (cyclic)
+// operator graph surfaces as an error instead of an infinite loop.
+const maxChainDepth = 1 << 20
+
+// scanOf returns the scan at the probe-most leaf of an operator chain.
+// Callers validate segments with segmentable first, but a
+// malformed segment must return an error rather than loop forever or
+// panic on a childless non-scan operator.
+func scanOf(op Operator) (*Scan, error) {
+	for depth := 0; ; depth++ {
 		if s, ok := op.(*Scan); ok {
-			return s
+			return s, nil
 		}
-		op = op.Children()[0]
+		if depth > maxChainDepth {
+			return nil, fmt.Errorf("relational: operator chain exceeds depth %d without reaching a Scan leaf", maxChainDepth)
+		}
+		if j, ok := op.(*HashJoin); ok {
+			op = j.Left
+			continue
+		}
+		if co, ok := op.(chainOp); ok {
+			op = co.ChainChild()
+			continue
+		}
+		ch := op.Children()
+		if len(ch) == 0 {
+			return nil, fmt.Errorf("relational: segment leaf %T is not a Scan", op)
+		}
+		op = ch[0]
 	}
 }

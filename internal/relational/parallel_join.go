@@ -1,0 +1,289 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+
+	"raven/internal/data"
+)
+
+// This file extends morsel-driven parallelism across the hash-join
+// pipeline breaker. The build (right) side is drained once and indexed —
+// with a worker pool over contiguous row chunks when the build table is
+// large — into an immutable joinBuild; the probe (left) side stays inside
+// the exchange segment as a ParallelHashJoin chain operator whose worker
+// clones all share that build. Because the exchange re-emits batches in
+// morsel order and each probe batch expands to (left row order ×
+// ascending build row order), parallel join output is byte-identical to
+// the serial HashJoin's.
+
+// joinBuild is the materialized build side of a hash join: the build rows
+// in stream order plus the key index. It is immutable once constructed,
+// so probe workers share it without synchronization.
+type joinBuild struct {
+	rows  *data.Table
+	index map[string][]int
+}
+
+// drainBuild materializes an opened build-side operator in stream order.
+func drainBuild(right Operator, cols []string) (*data.Table, error) {
+	var rows *data.Table
+	for {
+		b, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if rows == nil {
+			rows = b.Clone()
+		} else if err := rows.AppendFrom(b); err != nil {
+			return nil, err
+		}
+	}
+	if rows == nil {
+		return emptyLike(cols)
+	}
+	return rows, nil
+}
+
+// buildIndexMinChunk is the smallest per-worker row range worth spawning
+// an indexing goroutine for; below dop*buildIndexMinChunk rows the index
+// is built serially.
+const buildIndexMinChunk = 4096
+
+// newJoinBuild indexes the build rows by key. dop > 1 builds the index
+// with up to that many workers over contiguous row chunks; the per-chunk
+// maps are merged in chunk order, so every key's row list stays in
+// ascending row order and the index is identical to a serial build.
+func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
+	kc := rows.Col(key)
+	if kc == nil {
+		return nil, fmt.Errorf("relational: join build side lacks key %q", key)
+	}
+	n := rows.NumRows()
+	if dop > n/buildIndexMinChunk {
+		dop = n / buildIndexMinChunk
+	}
+	if dop <= 1 {
+		idx := make(map[string][]int, n)
+		for i := 0; i < n; i++ {
+			k := kc.AsString(i)
+			idx[k] = append(idx[k], i)
+		}
+		return &joinBuild{rows: rows, index: idx}, nil
+	}
+	chunk := (n + dop - 1) / dop
+	parts := make([]map[string][]int, dop)
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[string][]int)
+			for i := lo; i < hi; i++ {
+				k := kc.AsString(i)
+				m[k] = append(m[k], i)
+			}
+			parts[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := parts[0]
+	for _, m := range parts[1:] {
+		if m == nil {
+			continue
+		}
+		for k, list := range m {
+			merged[k] = append(merged[k], list...)
+		}
+	}
+	return &joinBuild{rows: rows, index: merged}, nil
+}
+
+// probeJoinBatch joins one probe batch against the build table, returning
+// nil when no row matches. Output rows follow probe row order, each
+// expanded by its matches in ascending build row order — exactly the
+// serial HashJoin's emission order.
+func probeJoinBatch(b *data.Table, leftKey string, bu *joinBuild) (*data.Table, error) {
+	kc := b.Col(leftKey)
+	if kc == nil {
+		return nil, fmt.Errorf("relational: join probe side lacks key %q", leftKey)
+	}
+	var leftIdx, rightIdx []int
+	for i := 0; i < b.NumRows(); i++ {
+		for _, ri := range bu.index[kc.AsString(i)] {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, ri)
+		}
+	}
+	if len(leftIdx) == 0 {
+		return nil, nil
+	}
+	lg := b.Gather(leftIdx)
+	rg := bu.rows.Gather(rightIdx)
+	out, err := data.NewTable(b.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range lg.Cols {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range rg.Cols {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParallelHashJoin is the morsel-driven parallel inner equi-join: it
+// lives inside an exchange segment, probing its (per-worker) Child chain
+// against a build table shared by every worker clone. The template
+// instance owns the Build operator: its Open drains and indexes the build
+// side (itself rewritten for parallelism, and indexed by a chunked worker
+// pool); CloneWorker then hands each exchange worker a clone sharing the
+// immutable joinBuild. The morsel flow passes through Child only, which
+// ChainChild exposes to the exchange's segment walk.
+type ParallelHashJoin struct {
+	Child             Operator // probe (left) side, part of the exchange segment
+	Build             Operator // build (right) side; nil on worker clones
+	LeftKey, RightKey string
+	// DOP bounds the workers used for parallel index construction.
+	DOP int
+
+	rightCols []string
+	stats     OpStats
+	build     *joinBuild // shared by all clones, immutable after the template's Open
+}
+
+// NewParallelHashJoin builds the probe-side chain operator over the given
+// build subplan (typically itself rewritten to contain an Exchange).
+func NewParallelHashJoin(child, build Operator, leftKey, rightKey string, dop int) *ParallelHashJoin {
+	return &ParallelHashJoin{
+		Child: child, Build: build,
+		LeftKey: leftKey, RightKey: rightKey,
+		DOP:       dop,
+		rightCols: build.Columns(),
+	}
+}
+
+// Columns returns probe columns followed by build columns.
+func (j *ParallelHashJoin) Columns() []string {
+	return append(append([]string{}, j.Child.Columns()...), j.rightCols...)
+}
+
+// ChainChild implements chainOp: the exchange segment continues through
+// the probe side; the build side is private to the operator.
+func (j *ParallelHashJoin) ChainChild() Operator { return j.Child }
+
+// Children returns the probe child and (on the template) the build side,
+// so statistics collection and boundary accounting see both subtrees.
+func (j *ParallelHashJoin) Children() []Operator {
+	if j.Build == nil {
+		return []Operator{j.Child}
+	}
+	return []Operator{j.Child, j.Build}
+}
+
+// Open prepares the probe child; on the template (Build != nil) it also
+// drains the build side and constructs the shared index. The joinBuild
+// survives Close so worker clones created afterwards can share it. On a
+// build-side failure the already-opened probe chain is closed again, so
+// pooled resources it holds (worker ML sessions) are returned.
+func (j *ParallelHashJoin) Open() (err error) {
+	j.stats = OpStats{Name: fmt.Sprintf("ParallelHashJoin(%s=%s)", j.LeftKey, j.RightKey), Parallel: true}
+	defer startTimer(&j.stats)()
+	if err := j.Child.Open(); err != nil {
+		return err
+	}
+	if j.Build == nil {
+		// Worker clone: probes the template's build.
+		return nil
+	}
+	defer func() {
+		if err != nil {
+			j.Child.Close()
+		}
+	}()
+	if err := j.Build.Open(); err != nil {
+		return err
+	}
+	rows, err := drainBuild(j.Build, j.rightCols)
+	if err != nil {
+		j.Build.Close()
+		return err
+	}
+	bu, err := newJoinBuild(rows, j.RightKey, j.DOP)
+	if err != nil {
+		j.Build.Close()
+		return err
+	}
+	j.build = bu
+	return nil
+}
+
+// CloneWorker implements ParallelOp: the clone probes its own chain
+// against the shared immutable build.
+func (j *ParallelHashJoin) CloneWorker(child Operator) (Operator, error) {
+	if j.build == nil {
+		return nil, fmt.Errorf("relational: parallel hash join %s=%s cloned before its build side was drained",
+			j.LeftKey, j.RightKey)
+	}
+	return &ParallelHashJoin{
+		Child: child,
+		LeftKey: j.LeftKey, RightKey: j.RightKey,
+		rightCols: j.rightCols,
+		build:     j.build,
+	}, nil
+}
+
+// AbsorbWorker merges a worker clone's statistics into the template.
+func (j *ParallelHashJoin) AbsorbWorker(clone Operator) { j.stats.Absorb(clone.Stats()) }
+
+// Next probes the next non-empty child batch against the build table.
+func (j *ParallelHashJoin) Next() (*data.Table, error) {
+	defer startTimer(&j.stats)()
+	for {
+		b, err := j.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out, err := probeJoinBatch(b, j.LeftKey, j.build)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			continue
+		}
+		j.stats.Rows += int64(out.NumRows())
+		j.stats.Batches++
+		return out, nil
+	}
+}
+
+// Close closes the probe chain and (on the template) the build side. The
+// built index is kept: clones of an exchange template are created after
+// the template is closed.
+func (j *ParallelHashJoin) Close() error {
+	err1 := j.Child.Close()
+	var err2 error
+	if j.Build != nil {
+		err2 = j.Build.Close()
+	}
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Stats returns the join statistics.
+func (j *ParallelHashJoin) Stats() *OpStats { return &j.stats }

@@ -1,0 +1,54 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the corpus of real queries from the package tests plus the
+// canonical prediction-query shapes, so the fuzzer starts from inputs
+// that reach deep into the CTE / PREDICT / WITH-schema grammar.
+var fuzzSeeds = []string{
+	"SELECT * FROM t",
+	"SELECT a.b, c FROM t AS a WHERE a.b > 3.5 AND c = 'x'",
+	"SELECT * FROM t WHERE 30 < age AND 'x' = k",
+	"SELECT * FROM t WHERE flag = TRUE AND other = false",
+	"SELECT id, predict(covid_risk, *) AS s FROM patients WHERE asthma = 'yes' AND s > 0.5",
+	"SELECT pi.* FROM patient_info AS pi JOIN blood_test AS bt ON pi.id = bt.id",
+	"SELECT AVG(p.score) AS avg_score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p",
+	"WITH d AS (SELECT * FROM a AS t0 JOIN b AS t1 ON t0.k = t1.k)" +
+		" SELECT p.score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p WHERE p.score > 0.5",
+	"SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM t",
+	"SELECT a -- comment\nFROM t",
+	"SELECT 'str' FROM t WHERE x <> 1e-3 AND y <= .5 AND z >= 2E+8",
+	// Malformed shapes the parser must reject gracefully.
+	"SELECT",
+	"SELECT * FROM t WHERE a >",
+	"WITH x AS SELECT * FROM t) SELECT * FROM x",
+	"SELECT * FROM PREDICT(MODEL m, DATA = d) WITH (s FLOAT) AS p",
+	"SELECT 'unterminated",
+}
+
+// FuzzParse asserts the lexer and recursive-descent parser never panic:
+// any input either parses or returns an error. Statements that parse must
+// render consistently (String is exercised to catch nil AST fields).
+func FuzzParse(f *testing.F) {
+	for _, q := range fuzzSeeds {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("Parse returned both a statement and error %v", err)
+			}
+			if !strings.Contains(err.Error(), "sqlparse") {
+				t.Fatalf("error %q lacks the sqlparse prefix", err)
+			}
+			return
+		}
+		if stmt == nil {
+			t.Fatal("Parse returned nil statement and nil error")
+		}
+	})
+}

@@ -64,7 +64,11 @@ func (r CalibratedRule) Choose(f *opt.Features, gpu bool) opt.Choice {
 // reflects the break-even point: the ensemble must be execDOP times
 // larger before MLtoDNN-on-CPU beats the now-parallel runtime. MLtoSQL
 // stays unchanged — translated expressions execute inside the parallel
-// relational operators and scale the same way.
+// relational operators and scale the same way. With hash joins and
+// aggregates parallelized across the breaker (probe-side exchanges and
+// partial aggregation), the predict operator rides an exchange in every
+// plan shape, so the execDOP scaling below is sound for join- and
+// aggregate-heavy queries too, not just bare scan chains.
 func (r CalibratedRule) ChooseParallel(f *opt.Features, gpu bool, execDOP int) opt.Choice {
 	if execDOP < 1 {
 		execDOP = 1

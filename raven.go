@@ -29,10 +29,20 @@
 // worker owns a clone of the operator chain with its own ML runtime
 // session (sessions are pooled and cloned, not re-initialized), and the
 // Exchange merges result batches back in morsel order, so parallel plans
-// produce byte-identical results to serial ones. Pipeline breakers (hash
-// joins, aggregates) stay serial but consume parallel input. Reported
-// times charge the measured parallel wall time of exchanged segments
-// instead of modeling a division by DOP.
+// produce byte-identical results to serial ones.
+//
+// Pipeline breakers scale too. Hash joins inside a segment become
+// parallel: the build (right) side is drained once — itself through an
+// exchange when large, with the key index constructed by a chunked worker
+// pool — and every exchange worker probes its morsels against that shared
+// immutable build table, so joins, and the predicts above them, run at
+// full DOP. Global aggregates become per-worker partial accumulators
+// (COUNT/SUM/MIN/MAX, with AVG decomposed into SUM+COUNT) folded at a
+// merge breaker in morsel order; the serial aggregate uses the same
+// per-batch fold, which keeps parallel aggregates bit-identical to serial
+// ones. Materializations and unions stay serial but consume parallel
+// input. Reported times charge the measured parallel wall time of
+// exchanged segments instead of modeling a division by DOP.
 //
 // Usage:
 //
