@@ -9,9 +9,11 @@ package raven
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
+	"raven/internal/data"
 	"raven/internal/datagen"
 	"raven/internal/device"
 	"raven/internal/engine"
@@ -175,6 +177,7 @@ func newBenchEnv(b *testing.B, rows, estimators, depth int) *benchEnv {
 func BenchmarkMLRuntimeGB(b *testing.B) {
 	env := newBenchEnv(b, 10000, 20, 4)
 	tbl := env.ds.Tables[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.sess.RunTable(tbl); err != nil {
@@ -187,6 +190,7 @@ func BenchmarkMLRuntimeGB(b *testing.B) {
 func BenchmarkHummingbirdCPU(b *testing.B) {
 	env := newBenchEnv(b, 10000, 20, 4)
 	tbl := env.ds.Tables[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := env.prog.Run(tbl, &device.CPUDevice); err != nil {
@@ -208,6 +212,7 @@ func BenchmarkMLtoSQLEval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ne := range exprs {
@@ -233,6 +238,7 @@ func BenchmarkOptimizerCovidQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	o := opt.New(cat, ravenDefaultOpts())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := o.Optimize(g); err != nil {
@@ -256,6 +262,7 @@ func BenchmarkParseAndPlan(b *testing.B) {
 	if err := cat.RegisterModel(testfix.CovidPipeline()); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sqlparse.ParseAndPlan(testfix.CovidQuery, cat); err != nil {
@@ -273,6 +280,7 @@ func BenchmarkEndToEndSession(b *testing.B) {
 	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Query(testfix.CovidQuery); err != nil {
@@ -316,6 +324,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	for _, dop := range dops {
 		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
 			s := newSession(b, dop)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Query(q); err != nil {
@@ -372,6 +381,7 @@ func BenchmarkJoinAggParallelSpeedup(b *testing.B) {
 	for _, dop := range dops {
 		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
 			s := newSession(b, dop)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := s.Query(q)
@@ -390,5 +400,165 @@ func BenchmarkJoinAggParallelSpeedup(b *testing.B) {
 				b.ReportMetric(baselineNs/perOp, "speedup")
 			}
 		})
+	}
+}
+
+// BenchmarkStringHeavyJoinEncode measures the dictionary-encoding hot
+// path end to end: a fact table joined to a dimension on a *string* key
+// feeding a one-hot-heavy predict (a 240-category segment column plus 12
+// smaller categoricals). The same query runs over raw-string tables (the
+// pre-dictionary representation) and dictionary-encoded ones at DOP 1, 4
+// and NumCPU; every sub-benchmark reports ns/op, allocs/op and rows/s,
+// and the dict variants report "dict_speedup" vs the measured raw
+// baseline at the same DOP. The differential harnesses assert the two
+// representations return byte-identical results; this bench records what
+// the representation is worth.
+func BenchmarkStringHeavyJoinEncode(b *testing.B) {
+	const rows = 100000
+	const nSegs = 240
+	rng := rand.New(rand.NewSource(5))
+	segKey := func(i int) string { return fmt.Sprintf("seg%03d", i) }
+
+	// Dimension: segment key + categorical/numeric attributes.
+	segNames := make([]string, nSegs)
+	sCat := make([][]string, 4)
+	sCards := []int{7, 13, 5, 9}
+	for j := range sCat {
+		sCat[j] = make([]string, nSegs)
+	}
+	sNum := make([]float64, nSegs)
+	for i := 0; i < nSegs; i++ {
+		segNames[i] = segKey(i)
+		for j, card := range sCards {
+			sCat[j][i] = fmt.Sprintf("s%d_%d", j, rng.Intn(card))
+		}
+		sNum[i] = rng.NormFloat64()
+	}
+	segCols := []*data.Column{data.NewString("seg", segNames)}
+	for j := range sCat {
+		segCols = append(segCols, data.NewString(fmt.Sprintf("s_cat%d", j), sCat[j]))
+	}
+	segCols = append(segCols, data.NewFloat("s_num0", sNum))
+	segments := data.MustNewTable("segments", segCols...)
+
+	// Fact: skewed string FK + 8 categoricals + numerics + label.
+	ids := make([]int64, rows)
+	segFK := make([]string, rows)
+	fkIdx := make([]int, rows)
+	eCards := []int{6, 12, 4, 8, 18, 5, 9, 24}
+	eCat := make([][]string, len(eCards))
+	for j := range eCat {
+		eCat[j] = make([]string, rows)
+	}
+	eNum0 := make([]float64, rows)
+	eNum1 := make([]float64, rows)
+	label := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		k := rng.Intn(nSegs)
+		if rng.Float64() < 0.5 {
+			k = rng.Intn(8) // hot segments
+		}
+		fkIdx[i] = k
+		segFK[i] = segKey(k)
+		for j, card := range eCards {
+			eCat[j][i] = fmt.Sprintf("e%d_%d", j, rng.Intn(card))
+		}
+		eNum0[i] = rng.NormFloat64()
+		eNum1[i] = 10 * rng.Float64()
+		z := 0.8*eNum0[i] + 0.2*eNum1[i] - 1 + 0.5*sNum[k]
+		if eCat[0][i] == "e0_1" {
+			z += 0.9
+		}
+		if z+rng.NormFloat64() > 0 {
+			label[i] = 1
+		}
+	}
+	eventCols := []*data.Column{data.NewInt("event_id", ids), data.NewString("seg", segFK)}
+	for j := range eCat {
+		eventCols = append(eventCols, data.NewString(fmt.Sprintf("e_cat%d", j), eCat[j]))
+	}
+	eventCols = append(eventCols,
+		data.NewFloat("e_num0", eNum0), data.NewFloat("e_num1", eNum1))
+	events := data.MustNewTable("events", eventCols...)
+
+	// Train on a joined sample (events ⋈ segments), label included.
+	sampleN := 1200
+	sample := events.Slice(0, sampleN).Clone()
+	gather := make([]int, sampleN)
+	copy(gather, fkIdx[:sampleN])
+	segRows := segments.Gather(gather)
+	for _, c := range segRows.Cols {
+		if c.Name == "seg" {
+			continue
+		}
+		if err := sample.AddColumn(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sample.AddColumn(data.NewFloat("label", label[:sampleN])); err != nil {
+		b.Fatal(err)
+	}
+	spec := train.Spec{
+		Name:    "string_join_logistic",
+		Label:   "label",
+		Kind:    train.KindLogistic,
+		Numeric: []string{"e_num0", "e_num1", "s_num0"},
+	}
+	spec.Categorical = append(spec.Categorical, "seg")
+	for j := range eCat {
+		spec.Categorical = append(spec.Categorical, fmt.Sprintf("e_cat%d", j))
+	}
+	for j := range sCat {
+		spec.Categorical = append(spec.Categorical, fmt.Sprintf("s_cat%d", j))
+	}
+	pipe, err := train.FitPipeline(sample, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	q := "WITH d AS (SELECT * FROM events AS t0 JOIN segments AS t1 ON t0.seg = t1.seg) " +
+		"SELECT p.score FROM PREDICT(MODEL = string_join_logistic, DATA = d) WITH (score FLOAT) AS p"
+	variants := []struct {
+		name            string
+		events, segment *Table
+	}{
+		{"raw", events, segments},
+		{"dict", data.DictEncodeTable(events), data.DictEncodeTable(segments)},
+	}
+	dops := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	rawNs := make(map[int]float64, len(dops))
+	for _, v := range variants {
+		for _, dop := range dops {
+			b.Run(fmt.Sprintf("encoding=%s/dop=%d", v.name, dop), func(b *testing.B) {
+				s := NewSession(WithParallelism(dop))
+				s.RegisterTable(v.events)
+				s.RegisterTable(v.segment)
+				if err := s.RegisterModel(pipe); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := s.Query(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Table.NumRows() != rows {
+						b.Fatalf("join lost rows: %d", res.Table.NumRows())
+					}
+				}
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+				if v.name == "raw" {
+					rawNs[dop] = perOp
+				} else if base := rawNs[dop]; base > 0 {
+					b.ReportMetric(base/perOp, "dict_speedup")
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive per-commit
+// performance records (ns/op, B/op, allocs/op and every custom metric
+// like rows/s, speedup or dict_speedup) as build artifacts and the perf
+// trajectory of the hot paths stays diffable across PRs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./cmd/benchjson -sha "$GITHUB_SHA" > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line. Pkg is the package whose
+// `pkg:` header most recently preceded the line, so concatenating the
+// output of several `go test -bench` runs keeps results attributable.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	SHA        string            `json:"sha,omitempty"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	sha := flag.String("sha", "", "commit SHA to record in the report")
+	flag.Parse()
+
+	rep := Report{SHA: *sha, Env: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		// Header lines: "goos: linux", "goarch: amd64", "pkg: raven",
+		// "cpu: …". pkg repeats per concatenated run and is tracked
+		// per-benchmark; the others describe the host.
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(v)
+			continue
+		}
+		for _, k := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				rep.Env[k] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+			continue
+		}
+		b.Pkg = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line: a name field, an iteration count,
+// then (value, unit) metric pairs separated by whitespace.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name + iterations + value/unit pairs, got %d fields", len(fields))
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %v", err)
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric %q: %v", fields[i+1], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -2,6 +2,15 @@
 // columnar tables with schemas, per-column min/max statistics (zone maps),
 // hash partitioning, CSV I/O and replication utilities used to scale
 // datasets. It stands in for the Parquet/columnstore layer of the paper.
+//
+// String columns have two physical representations: raw ([]string) and
+// dictionary-encoded (a shared *Dictionary of distinct values plus an
+// []int32 code vector, see dict.go). Encoding happens once at CSV load /
+// datagen time; Slice, Gather, Filter, Clone and partitioning preserve
+// the dictionary, and every accessor works identically on both
+// representations, so operators only opt into the integer-shaped fast
+// paths (code-indexed joins, predicates, ML encoders) when a dictionary
+// is present and fall back to raw strings otherwise.
 package data
 
 import (
@@ -39,8 +48,10 @@ func (t Type) String() string {
 }
 
 // Column is a typed vector of values. Exactly one of the value slices is
-// populated, according to Type. Columns are the unit of IO accounting:
-// operators that avoid reading a column genuinely avoid touching its slice.
+// populated, according to Type; a String column holds either raw Str or
+// dictionary-encoded Codes+Dict (never both). Columns are the unit of IO
+// accounting: operators that avoid reading a column genuinely avoid
+// touching its slice.
 type Column struct {
 	Name string
 	Type Type
@@ -48,6 +59,10 @@ type Column struct {
 	I64  []int64
 	Str  []string
 	B    []bool
+	// Codes and Dict hold the dictionary-encoded representation of a
+	// String column: Dict maps codes to values, Codes is the row vector.
+	Codes []int32
+	Dict  *Dictionary
 }
 
 // NewFloat returns a Float64 column backed by vals (not copied).
@@ -78,6 +93,9 @@ func (c *Column) Len() int {
 	case Int64:
 		return len(c.I64)
 	case String:
+		if c.Dict != nil {
+			return len(c.Codes)
+		}
 		return len(c.Str)
 	case Bool:
 		return len(c.B)
@@ -87,14 +105,18 @@ func (c *Column) Len() int {
 
 // Slice returns a zero-copy view of rows [lo, hi).
 func (c *Column) Slice(lo, hi int) *Column {
-	out := &Column{Name: c.Name, Type: c.Type}
+	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 	switch c.Type {
 	case Float64:
 		out.F64 = c.F64[lo:hi]
 	case Int64:
 		out.I64 = c.I64[lo:hi]
 	case String:
-		out.Str = c.Str[lo:hi]
+		if c.Dict != nil {
+			out.Codes = c.Codes[lo:hi]
+		} else {
+			out.Str = c.Str[lo:hi]
+		}
 	case Bool:
 		out.B = c.B[lo:hi]
 	}
@@ -103,7 +125,7 @@ func (c *Column) Slice(lo, hi int) *Column {
 
 // Gather returns a new column containing the rows at the given indices.
 func (c *Column) Gather(idx []int) *Column {
-	out := &Column{Name: c.Name, Type: c.Type}
+	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 	switch c.Type {
 	case Float64:
 		out.F64 = make([]float64, len(idx))
@@ -116,9 +138,16 @@ func (c *Column) Gather(idx []int) *Column {
 			out.I64[i] = c.I64[j]
 		}
 	case String:
-		out.Str = make([]string, len(idx))
-		for i, j := range idx {
-			out.Str[i] = c.Str[j]
+		if c.Dict != nil {
+			out.Codes = make([]int32, len(idx))
+			for i, j := range idx {
+				out.Codes[i] = c.Codes[j]
+			}
+		} else {
+			out.Str = make([]string, len(idx))
+			for i, j := range idx {
+				out.Str[i] = c.Str[j]
+			}
 		}
 	case Bool:
 		out.B = make([]bool, len(idx))
@@ -131,13 +160,27 @@ func (c *Column) Gather(idx []int) *Column {
 
 // Filter returns a new column containing rows where keep[i] is true.
 func (c *Column) Filter(keep []bool) *Column {
+	return c.FilterCount(keep, CountTrue(keep))
+}
+
+// CountTrue returns the number of set entries in a selection mask.
+func CountTrue(keep []bool) int {
 	n := 0
 	for _, k := range keep {
 		if k {
 			n++
 		}
 	}
-	out := &Column{Name: c.Name, Type: c.Type}
+	return n
+}
+
+// FilterCount is Filter with the mask's true-count precomputed, so a
+// table filters all columns after counting the mask once.
+func (c *Column) FilterCount(keep []bool, n int) *Column {
+	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
+	if n == 0 {
+		return out
+	}
 	switch c.Type {
 	case Float64:
 		out.F64 = make([]float64, 0, n)
@@ -154,10 +197,19 @@ func (c *Column) Filter(keep []bool) *Column {
 			}
 		}
 	case String:
-		out.Str = make([]string, 0, n)
-		for i, k := range keep {
-			if k {
-				out.Str = append(out.Str, c.Str[i])
+		if c.Dict != nil {
+			out.Codes = make([]int32, 0, n)
+			for i, k := range keep {
+				if k {
+					out.Codes = append(out.Codes, c.Codes[i])
+				}
+			}
+		} else {
+			out.Str = make([]string, 0, n)
+			for i, k := range keep {
+				if k {
+					out.Str = append(out.Str, c.Str[i])
+				}
 			}
 		}
 	case Bool:
@@ -171,7 +223,10 @@ func (c *Column) Filter(keep []bool) *Column {
 	return out
 }
 
-// AppendFrom appends all rows of src (same type) to c.
+// AppendFrom appends all rows of src (same type) to c. Dictionary-encoded
+// appends stay encoded when both sides share one dictionary (the common
+// case: batches of one table); otherwise the receiver falls back to raw
+// strings so values are preserved exactly.
 func (c *Column) AppendFrom(src *Column) error {
 	if c.Type != src.Type {
 		return fmt.Errorf("data: append %s column to %s column %q", src.Type, c.Type, c.Name)
@@ -182,23 +237,39 @@ func (c *Column) AppendFrom(src *Column) error {
 	case Int64:
 		c.I64 = append(c.I64, src.I64...)
 	case String:
-		c.Str = append(c.Str, src.Str...)
+		if c.Dict != nil && c.Dict == src.Dict {
+			c.Codes = append(c.Codes, src.Codes...)
+			return nil
+		}
+		c.decodeInPlace()
+		if src.IsDict() {
+			for _, code := range src.Codes {
+				c.Str = append(c.Str, src.Dict.vals[code])
+			}
+		} else {
+			c.Str = append(c.Str, src.Str...)
+		}
 	case Bool:
 		c.B = append(c.B, src.B...)
 	}
 	return nil
 }
 
-// Clone returns a deep copy of the column.
+// Clone returns a deep copy of the column (dictionaries, being immutable,
+// are shared).
 func (c *Column) Clone() *Column {
-	out := &Column{Name: c.Name, Type: c.Type}
+	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 	switch c.Type {
 	case Float64:
 		out.F64 = append([]float64(nil), c.F64...)
 	case Int64:
 		out.I64 = append([]int64(nil), c.I64...)
 	case String:
-		out.Str = append([]string(nil), c.Str...)
+		if c.Dict != nil {
+			out.Codes = append([]int32(nil), c.Codes...)
+		} else {
+			out.Str = append([]string(nil), c.Str...)
+		}
 	case Bool:
 		out.B = append([]bool(nil), c.B...)
 	}
@@ -230,6 +301,9 @@ func (c *Column) AsString(i int) string {
 	case Int64:
 		return fmt.Sprintf("%d", c.I64[i])
 	case String:
+		if c.Dict != nil {
+			return c.Dict.vals[c.Codes[i]]
+		}
 		return c.Str[i]
 	case Bool:
 		if c.B[i] {
@@ -249,6 +323,11 @@ func (c *Column) ByteSize() int64 {
 	case Int64:
 		return int64(len(c.I64) * 8)
 	case String:
+		if c.Dict != nil {
+			// Codes are the per-row payload; the shared dictionary is
+			// charged to whoever scans the column, amortized over rows.
+			return int64(len(c.Codes) * 4)
+		}
 		var n int64
 		for _, s := range c.Str {
 			n += int64(len(s)) + 16

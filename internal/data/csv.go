@@ -12,7 +12,8 @@ import (
 // ReadCSV loads a table from CSV with a header row. Column types are
 // inferred from the first data row: values parsing as integers become
 // Int64, as floats become Float64, "true"/"false" become Bool, anything
-// else String.
+// else String. String columns are dictionary-encoded at load, so every
+// downstream consumer sees the integer-coded representation.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = false
@@ -62,7 +63,7 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 				c.Str = append(c.Str, v)
 			}
 		}
-		cols[j] = c
+		cols[j] = DictEncode(c)
 	}
 	return NewTable(name, cols...)
 }

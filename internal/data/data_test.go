@@ -220,8 +220,11 @@ func TestCSVRoundTrip(t *testing.T) {
 		got.Col("gender").Type != String || got.Col("asthma").Type != Bool {
 		t.Fatalf("type inference wrong: %v", got.Schema())
 	}
-	if got.Col("bmi").F64[1] != 30.2 || got.Col("gender").Str[0] != "F" {
+	if got.Col("bmi").F64[1] != 30.2 || got.Col("gender").AsString(0) != "F" {
 		t.Fatal("round trip values wrong")
+	}
+	if !got.Col("gender").IsDict() {
+		t.Fatal("CSV load should dictionary-encode string columns")
 	}
 }
 

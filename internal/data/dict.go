@@ -1,0 +1,120 @@
+package data
+
+// Dictionary encoding for String columns: a per-column table of distinct
+// values plus an []int32 code vector. Encoded columns make categorical
+// hot paths integer-shaped — joins hash a code instead of a string,
+// predicates compare codes after one dictionary probe, and ML encoders
+// index a code→feature table — which is why columnar formats (Parquet,
+// Arrow) and the LA-query-processing line of work assume it. The
+// representation is transparent: every Column operation and AsString
+// accessor works identically on encoded and raw columns, and operations
+// that cannot preserve a dictionary fall back to raw strings.
+
+// Dictionary is an immutable mapping between distinct string values and
+// dense int32 codes (first-occurrence order). It is shared by every
+// slice/gather/clone of the column it was built for, so pointer equality
+// identifies "same dictionary" and per-dictionary caches (join probe
+// translations, encoder lookup tables) can key on it.
+type Dictionary struct {
+	vals  []string
+	index map[string]int32
+}
+
+// NewDictionary builds a dictionary over the given distinct values, in
+// order. Values must not repeat; the v-th entry gets code int32(v).
+func NewDictionary(vals []string) *Dictionary {
+	d := &Dictionary{vals: vals, index: make(map[string]int32, len(vals))}
+	for i, v := range vals {
+		d.index[v] = int32(i)
+	}
+	return d
+}
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.vals) }
+
+// Value returns the string for a code.
+func (d *Dictionary) Value(code int32) string { return d.vals[code] }
+
+// Values returns the dictionary's value table. Callers must not mutate it.
+func (d *Dictionary) Values() []string { return d.vals }
+
+// Code returns the code for a value and whether the value is present.
+func (d *Dictionary) Code(v string) (int32, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// IsDict reports whether the column is a dictionary-encoded String column.
+func (c *Column) IsDict() bool { return c.Type == String && c.Dict != nil }
+
+// DictEncode returns a dictionary-encoded copy of a raw String column
+// (first-occurrence code assignment). Non-string and already-encoded
+// columns are returned unchanged.
+func DictEncode(c *Column) *Column {
+	if c.Type != String || c.Dict != nil {
+		return c
+	}
+	codes := make([]int32, len(c.Str))
+	index := make(map[string]int32)
+	var vals []string
+	for i, v := range c.Str {
+		code, ok := index[v]
+		if !ok {
+			code = int32(len(vals))
+			vals = append(vals, v)
+			index[v] = code
+		}
+		codes[i] = code
+	}
+	return &Column{Name: c.Name, Type: String, Codes: codes, Dict: &Dictionary{vals: vals, index: index}}
+}
+
+// Decode returns a raw-string copy of a dictionary-encoded column.
+// Non-encoded columns are returned unchanged.
+func Decode(c *Column) *Column {
+	if !c.IsDict() {
+		return c
+	}
+	out := make([]string, len(c.Codes))
+	for i, code := range c.Codes {
+		out[i] = c.Dict.vals[code]
+	}
+	return &Column{Name: c.Name, Type: String, Str: out}
+}
+
+// decodeInPlace converts a dictionary-encoded column to raw strings in
+// place; used when an append cannot keep a shared dictionary.
+func (c *Column) decodeInPlace() {
+	if !c.IsDict() {
+		return
+	}
+	out := make([]string, len(c.Codes))
+	for i, code := range c.Codes {
+		out[i] = c.Dict.vals[code]
+	}
+	c.Str, c.Codes, c.Dict = out, nil, nil
+}
+
+// DictEncodeTable returns a table whose String columns are dictionary
+// encoded (other columns shared). Tables are encoded once at load /
+// generation time; all downstream slices and partitions share the
+// per-column dictionaries.
+func DictEncodeTable(t *Table) *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(DictEncode(c))
+	}
+	return out
+}
+
+// DecodeTable returns a table whose String columns are raw (other columns
+// shared); the inverse of DictEncodeTable, used by the differential
+// harnesses to run the same data through both representations.
+func DecodeTable(t *Table) *Table {
+	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
+	for _, c := range t.Cols {
+		_ = out.AddColumn(Decode(c))
+	}
+	return out
+}

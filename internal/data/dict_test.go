@@ -1,0 +1,206 @@
+package data
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func dictSample() *Column {
+	return NewString("k", []string{"b", "a", "b", "c", "a", "b"})
+}
+
+func TestDictEncodeDecodeRoundTrip(t *testing.T) {
+	raw := dictSample()
+	enc := DictEncode(raw)
+	if !enc.IsDict() {
+		t.Fatal("DictEncode did not encode")
+	}
+	if enc.Dict.Len() != 3 {
+		t.Fatalf("dict size = %d, want 3", enc.Dict.Len())
+	}
+	// First-occurrence code assignment.
+	if v := enc.Dict.Value(0); v != "b" {
+		t.Fatalf("code 0 = %q, want b", v)
+	}
+	if code, ok := enc.Dict.Code("c"); !ok || code != 2 {
+		t.Fatalf("Code(c) = %d,%v", code, ok)
+	}
+	if _, ok := enc.Dict.Code("zzz"); ok {
+		t.Fatal("Code should miss for absent value")
+	}
+	for i := 0; i < raw.Len(); i++ {
+		if enc.AsString(i) != raw.Str[i] {
+			t.Fatalf("row %d: %q != %q", i, enc.AsString(i), raw.Str[i])
+		}
+	}
+	dec := Decode(enc)
+	if dec.IsDict() || !reflect.DeepEqual(dec.Str, raw.Str) {
+		t.Fatalf("Decode = %v", dec.Str)
+	}
+	// Idempotence on non-string / already-encoded columns.
+	if DictEncode(enc) != enc || Decode(raw) != raw {
+		t.Fatal("encode/decode should be identity when representation matches")
+	}
+}
+
+func TestDictSliceGatherFilterPreserveDict(t *testing.T) {
+	enc := DictEncode(dictSample())
+	sl := enc.Slice(1, 5)
+	if sl.Dict != enc.Dict || sl.Len() != 4 || sl.AsString(0) != "a" {
+		t.Fatalf("Slice wrong: %v", sl)
+	}
+	g := enc.Gather([]int{3, 0})
+	if g.Dict != enc.Dict || g.AsString(0) != "c" || g.AsString(1) != "b" {
+		t.Fatalf("Gather wrong")
+	}
+	f := enc.Filter([]bool{false, true, false, true, false, false})
+	if f.Dict != enc.Dict || f.Len() != 2 || f.AsString(1) != "c" {
+		t.Fatalf("Filter wrong")
+	}
+	cl := enc.Clone()
+	cl.Codes[0] = 2
+	if enc.Codes[0] == 2 {
+		t.Fatal("Clone shares code storage")
+	}
+}
+
+func TestDictAppendSharedAndMismatched(t *testing.T) {
+	a := DictEncode(dictSample())
+	b := a.Slice(0, 3)
+	acc := a.Clone()
+	if err := acc.AppendFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if !acc.IsDict() || acc.Len() != 9 || acc.AsString(6) != "b" {
+		t.Fatal("shared-dictionary append should stay encoded")
+	}
+	// Mismatched dictionaries fall back to raw strings, preserving values.
+	other := DictEncode(NewString("k", []string{"z", "a"}))
+	if err := acc.AppendFrom(other); err != nil {
+		t.Fatal(err)
+	}
+	if acc.IsDict() || acc.Len() != 11 || acc.AsString(9) != "z" {
+		t.Fatalf("mismatched append wrong: dict=%v len=%d", acc.IsDict(), acc.Len())
+	}
+	// Raw receiver, encoded source.
+	raw := dictSample()
+	if err := raw.AppendFrom(other); err != nil {
+		t.Fatal(err)
+	}
+	if raw.AsString(6) != "z" || raw.AsString(7) != "a" {
+		t.Fatal("raw←dict append wrong")
+	}
+}
+
+func TestDictTableEncodeDecode(t *testing.T) {
+	tb := MustNewTable("t",
+		NewInt("id", []int64{1, 2, 3}),
+		NewString("k", []string{"x", "y", "x"}))
+	enc := DictEncodeTable(tb)
+	if enc.Col("id") != tb.Col("id") {
+		t.Fatal("non-string columns should be shared")
+	}
+	if !enc.Col("k").IsDict() {
+		t.Fatal("string column should be encoded")
+	}
+	dec := DecodeTable(enc)
+	if dec.Col("k").IsDict() || dec.Col("k").Str[2] != "x" {
+		t.Fatal("DecodeTable wrong")
+	}
+}
+
+func TestDictStatsMatchRaw(t *testing.T) {
+	// Distinct sets and overflow behavior must be identical across
+	// representations — the optimizer's decisions depend on them.
+	rng := rand.New(rand.NewSource(7))
+	for _, card := range []int{3, MaxDistinctTracked, MaxDistinctTracked + 40} {
+		vals := make([]string, 2000)
+		for i := range vals {
+			vals[i] = string(rune('A' + rng.Intn(card)%26))
+			if card > 26 {
+				vals[i] = vals[i] + string(rune('a'+rng.Intn(card/26+1)))
+			}
+		}
+		raw := NewString("k", vals)
+		rs := ComputeColStats(raw)
+		ds := ComputeColStats(DictEncode(raw))
+		if rs.DistinctOverflow != ds.DistinctOverflow {
+			t.Fatalf("card=%d overflow %v != %v", card, ds.DistinctOverflow, rs.DistinctOverflow)
+		}
+		if !reflect.DeepEqual(rs.Distinct, ds.Distinct) {
+			t.Fatalf("card=%d distinct mismatch: %d vs %d values",
+				card, len(ds.Distinct), len(rs.Distinct))
+		}
+	}
+}
+
+func TestTableFilterFastPaths(t *testing.T) {
+	tb := MustNewTable("t",
+		NewFloat("v", []float64{1, 2, 3}),
+		DictEncode(NewString("k", []string{"a", "b", "a"})))
+	all := tb.Filter([]bool{true, true, true})
+	if all.NumRows() != 3 || all.Col("v").F64[2] != 3 {
+		t.Fatal("all-true filter wrong")
+	}
+	if &all.Col("v").F64[0] != &tb.Col("v").F64[0] {
+		t.Fatal("all-true filter should be zero-copy")
+	}
+	none := tb.Filter([]bool{false, false, false})
+	if none.NumRows() != 0 || none.NumCols() != 2 {
+		t.Fatal("all-false filter wrong")
+	}
+	if cap(none.Col("v").F64) != 0 || cap(none.Col("k").Codes) != 0 {
+		t.Fatal("all-false filter should not allocate row storage")
+	}
+}
+
+// Property: every column operation produces identical AsString sequences
+// on raw and dictionary-encoded representations.
+func TestQuickDictRawEquivalence(t *testing.T) {
+	f := func(picks []uint8, seed int64) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]string, len(picks))
+		for i, p := range picks {
+			vals[i] = string(rune('a' + p%5))
+		}
+		raw := NewString("k", vals)
+		enc := DictEncode(raw)
+		eq := func(a, b *Column) bool {
+			if a.Len() != b.Len() {
+				return false
+			}
+			for i := 0; i < a.Len(); i++ {
+				if a.AsString(i) != b.AsString(i) {
+					return false
+				}
+			}
+			return true
+		}
+		n := len(vals)
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		if !eq(raw.Slice(lo, hi), enc.Slice(lo, hi)) {
+			return false
+		}
+		idx := make([]int, rng.Intn(n+1))
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		if !eq(raw.Gather(idx), enc.Gather(idx)) {
+			return false
+		}
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = rng.Intn(2) == 0
+		}
+		return eq(raw.Filter(keep), enc.Filter(keep))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,6 +69,33 @@ func ComputeColStats(c *Column) *ColStats {
 			}
 		}
 	case String:
+		if c.Dict != nil {
+			// Same first-appearance cap-and-overflow semantics as the raw
+			// path, but tracking a code bitmap instead of hashing strings.
+			seen := make([]bool, c.Dict.Len())
+			count := 0
+			for _, code := range c.Codes {
+				if count >= MaxDistinctTracked {
+					if !seen[code] {
+						s.DistinctOverflow = true
+						break
+					}
+					continue
+				}
+				if !seen[code] {
+					seen[code] = true
+					count++
+				}
+			}
+			s.Distinct = make([]string, 0, count)
+			for code, ok := range seen {
+				if ok {
+					s.Distinct = append(s.Distinct, c.Dict.Value(int32(code)))
+				}
+			}
+			sort.Strings(s.Distinct)
+			break
+		}
 		seen := make(map[string]bool)
 		for _, v := range c.Str {
 			if len(seen) >= MaxDistinctTracked {

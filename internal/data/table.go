@@ -144,9 +144,19 @@ func (t *Table) Gather(idx []int) *Table {
 
 // Filter returns a table with rows where keep[i] is true.
 func (t *Table) Filter(keep []bool) *Table {
+	return t.FilterCount(keep, CountTrue(keep))
+}
+
+// FilterCount is Filter with the mask's true-count precomputed: the mask
+// is counted once for the whole table, and an all-true mask returns a
+// zero-copy view of the input.
+func (t *Table) FilterCount(keep []bool, n int) *Table {
+	if n == len(keep) && t.NumRows() == n {
+		return t.Slice(0, n)
+	}
 	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}
 	for _, c := range t.Cols {
-		_ = out.AddColumn(c.Filter(keep))
+		_ = out.AddColumn(c.FilterCount(keep, n))
 	}
 	return out
 }
@@ -247,6 +257,14 @@ func Replicate(t *Table, factor int, shiftKeys ...string) *Table {
 				}
 			}
 		case String:
+			if c.Dict != nil {
+				nc.Dict = c.Dict
+				nc.Codes = make([]int32, 0, base*factor)
+				for f := 0; f < factor; f++ {
+					nc.Codes = append(nc.Codes, c.Codes...)
+				}
+				break
+			}
 			nc.Str = make([]string, 0, base*factor)
 			for f := 0; f < factor; f++ {
 				nc.Str = append(nc.Str, c.Str...)

@@ -234,7 +234,7 @@ func Hospital(rows int, seed int64) *Dataset {
 		spec.Categorical = append(spec.Categorical, c.name)
 	}
 	cols = append(cols, data.NewFloat("label", label))
-	tb := data.MustNewTable("hospital", cols...)
+	tb := data.DictEncodeTable(data.MustNewTable("hospital", cols...))
 	sample := sampleRows(tb, 1000, rng)
 	return &Dataset{Name: "hospital", Tables: []*data.Table{dropLabel(tb)},
 		Spec: spec, TrainSample: sample}
@@ -334,7 +334,7 @@ func Expedia(rows int, seed int64) *Dataset {
 		spec.Categorical = append(spec.Categorical, n)
 	}
 	cols = append(cols, data.NewFloat("label", label))
-	searches := data.MustNewTable("searches", cols...)
+	searches := data.DictEncodeTable(data.MustNewTable("searches", cols...))
 	// Dim tables contribute 2 numeric + 6 categorical each.
 	spec.Numeric = append(spec.Numeric, "h_num0", "h_num1", "d_num0", "d_num1")
 	for i := 0; i < 6; i++ {
@@ -424,7 +424,7 @@ func Flights(rows int, seed int64) *Dataset {
 		spec.Categorical = append(spec.Categorical, n)
 	}
 	cols = append(cols, data.NewFloat("label", label))
-	flights := data.MustNewTable("flights", cols...)
+	flights := data.DictEncodeTable(data.MustNewTable("flights", cols...))
 	spec.Numeric = append(spec.Numeric, "al_num0", "ad_num0")
 	for i := 0; i < 9; i++ {
 		spec.Categorical = append(spec.Categorical, fmt.Sprintf("al_cat%d", i))
@@ -454,7 +454,8 @@ func Flights(rows int, seed int64) *Dataset {
 }
 
 // dimTable builds a dimension table: key column plus nNum numeric and nCat
-// categorical attribute columns (cardinality up to maxCard).
+// categorical attribute columns (cardinality up to maxCard), with the
+// categoricals dictionary-encoded like every generated table.
 func dimTable(name, key string, rows, nNum, nCat, maxCard int, rng *rand.Rand) *data.Table {
 	keys := make([]int64, rows)
 	for i := range keys {
@@ -477,7 +478,7 @@ func dimTable(name, key string, rows, nNum, nCat, maxCard int, rng *rand.Rand) *
 		}
 		cols = append(cols, data.NewString(fmt.Sprintf("%s_cat%d", prefix, j), vals))
 	}
-	return data.MustNewTable(name, cols...)
+	return data.DictEncodeTable(data.MustNewTable(name, cols...))
 }
 
 // renamePrefix rewrites a dim table's column prefixes (including the key)

@@ -18,10 +18,12 @@ import (
 // Differential harness over the datagen datasets: every generated plan
 // shape — multi-table join pyramids, predict-over-join, aggregate-over-
 // predict, with and without logical optimization and MLtoSQL — must
-// produce byte-identical results at ExecDOP 1, 2, 4 and NumCPU. This is
-// the end-to-end twin of internal/relational/differential_test.go,
-// exercising the parser, optimizer, lowering and the morsel-driven
-// executor together (run under -race in CI).
+// produce byte-identical results across BOTH string representations
+// (dictionary-encoded catalogs, as datagen produces, and decoded raw-
+// string catalogs) at ExecDOP 1, 2, 4 and NumCPU. This is the end-to-end
+// twin of internal/relational/differential_test.go, exercising the
+// parser, optimizer, lowering and the morsel-driven executor together
+// (run under -race in CI).
 
 func diffAssertIdentical(t *testing.T, want, got *data.Table, label string) {
 	t.Helper()
@@ -36,7 +38,7 @@ func diffAssertIdentical(t *testing.T, want, got *data.Table, label string) {
 		}
 		for i := 0; i < wc.Len(); i++ {
 			// AsString round-trips float64 exactly, so this is a byte
-			// identity check for every column type.
+			// identity check for every column type and representation.
 			if wc.AsString(i) != gc.AsString(i) {
 				t.Fatalf("%s: column %q row %d: %s != %s",
 					label, wc.Name, i, gc.AsString(i), wc.AsString(i))
@@ -52,17 +54,33 @@ type diffCase struct {
 	opts opt.Options
 }
 
-func diffPlan(t *testing.T, c diffCase, sql string) (*ir.Graph, *engine.Catalog) {
+// diffCatalogs returns the dictionary-encoded catalog (datagen tables as
+// generated) and its raw-string twin (every table decoded), both
+// registering the same trained pipeline so plans differ only in data
+// representation.
+func diffCatalogs(t *testing.T, c diffCase) (dict, raw *engine.Catalog, model string) {
 	t.Helper()
-	cat := c.ds.Catalog()
 	pipe, err := c.ds.Train(train.KindLogistic, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.RegisterModel(pipe); err != nil {
+	dict = c.ds.Catalog()
+	raw = engine.NewCatalog()
+	for _, tb := range c.ds.Tables {
+		raw.RegisterTable(data.DecodeTable(tb))
+	}
+	if err := dict.RegisterModel(pipe); err != nil {
 		t.Fatal(err)
 	}
-	g, err := sqlparse.ParseAndPlan(fmt.Sprintf(sql, pipe.Name), cat)
+	if err := raw.RegisterModel(pipe); err != nil {
+		t.Fatal(err)
+	}
+	return dict, raw, pipe.Name
+}
+
+func diffPlan(t *testing.T, c diffCase, cat *engine.Catalog, sql string) *ir.Graph {
+	t.Helper()
+	g, err := sqlparse.ParseAndPlan(sql, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +88,7 @@ func diffPlan(t *testing.T, c diffCase, sql string) (*ir.Graph, *engine.Catalog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return og, cat
+	return og
 }
 
 func TestDifferentialDatagenPlans(t *testing.T) {
@@ -91,28 +109,81 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 		{name: "flights-opt", ds: datagen.Flights(2500, 13), opts: opt.DefaultOptions()},
 	}
 	for _, c := range cases {
+		dictCat, rawCat, model := diffCatalogs(t, c)
 		for _, q := range []struct{ kind, sql string }{
 			{"predict", c.ds.Query("%s")},
 			{"aggregate", c.ds.AggregateQuery("%s")},
 		} {
-			g, cat := diffPlan(t, c, q.sql)
+			sql := fmt.Sprintf(q.sql, model)
 			prof := engine.Local
-			serial, err := engine.Run(g, cat, prof)
+			// Dict-encoded serial execution is the baseline; the raw
+			// representation and every DOP of both must reproduce it.
+			serial, err := engine.Run(diffPlan(t, c, dictCat, sql), dictCat, prof)
 			if err != nil {
-				t.Fatalf("%s/%s serial: %v", c.name, q.kind, err)
+				t.Fatalf("%s/%s dict serial: %v", c.name, q.kind, err)
 			}
 			if q.kind == "aggregate" && serial.Table.NumRows() != 1 {
 				t.Fatalf("%s aggregate returned %d rows", c.name, serial.Table.NumRows())
 			}
-			for _, dop := range dops {
-				par := prof
-				par.ExecDOP = dop
+			for repr, cat := range map[string]*engine.Catalog{"dict": dictCat, "raw": rawCat} {
+				g := diffPlan(t, c, cat, sql)
+				for _, dop := range append([]int{1}, dops...) {
+					if repr == "dict" && dop == 1 {
+						continue // the baseline itself
+					}
+					par := prof
+					par.ExecDOP = dop
+					res, err := engine.Run(g, cat, par)
+					if err != nil {
+						t.Fatalf("%s/%s %s dop=%d: %v", c.name, q.kind, repr, dop, err)
+					}
+					diffAssertIdentical(t, serial.Table, res.Table,
+						fmt.Sprintf("%s/%s %s dop=%d", c.name, q.kind, repr, dop))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStringPredicates drives the dict-predicate lowering
+// end-to-end: string equality and IN filters over categorical columns,
+// with and without MLtoSQL, must match across representations and DOPs.
+func TestDifferentialStringPredicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is not short")
+	}
+	withSQL := opt.DefaultOptions()
+	withSQL.Strategy = strategy.CalibratedRule{}
+	for _, c := range []diffCase{
+		{name: "expedia-pred-noopt", ds: datagen.Expedia(3000, 21), opts: opt.NoOpt()},
+		{name: "expedia-pred-mltosql", ds: datagen.Expedia(3000, 21), opts: withSQL},
+	} {
+		dictCat, rawCat, model := diffCatalogs(t, c)
+		sql := fmt.Sprintf(
+			c.ds.Query("%s", "d.channel IN ('v1', 'v3', 'v5')", "d.device <> 'v0'"),
+			model)
+		serial, err := engine.Run(diffPlan(t, c, dictCat, sql), dictCat, engine.Local)
+		if err != nil {
+			t.Fatalf("%s dict serial: %v", c.name, err)
+		}
+		if serial.Table.NumRows() == 0 {
+			t.Fatalf("%s: predicate query selected no rows", c.name)
+		}
+		dop := runtime.NumCPU()
+		if dop < 2 {
+			dop = 2
+		}
+		for repr, cat := range map[string]*engine.Catalog{"dict": dictCat, "raw": rawCat} {
+			g := diffPlan(t, c, cat, sql)
+			for _, d := range []int{1, dop} {
+				par := engine.Local
+				par.ExecDOP = d
 				res, err := engine.Run(g, cat, par)
 				if err != nil {
-					t.Fatalf("%s/%s dop=%d: %v", c.name, q.kind, dop, err)
+					t.Fatalf("%s %s dop=%d: %v", c.name, repr, d, err)
 				}
 				diffAssertIdentical(t, serial.Table, res.Table,
-					fmt.Sprintf("%s/%s dop=%d", c.name, q.kind, dop))
+					fmt.Sprintf("%s %s dop=%d", c.name, repr, d))
 			}
 		}
 	}

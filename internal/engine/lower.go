@@ -17,6 +17,14 @@ import (
 // which keeps parallel batch boundaries aligned with serial ones — the
 // property the partial-aggregation fold relies on for bit-identical
 // results.
+//
+// Column representations flow through lowering untouched: scans emit the
+// catalog tables' dictionary-encoded string columns as-is, so both the
+// ML-runtime path (PredictOp → Session.Bind → code-LUT encoders) and the
+// MLtoSQL path (Project over CASE/equality expressions comparing
+// dictionary codes) see the same representation, and optimized and
+// unoptimized plans stay byte-identical across representations (asserted
+// by the differential harnesses).
 func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
 	l := &lowerer{cat: cat, prof: prof}
 	root, err := l.lower(g.Root)

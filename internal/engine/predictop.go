@@ -402,9 +402,12 @@ func renameVal(v string, rename map[string]string) string {
 func approxValueBytes(in map[string]mlruntime.Value) int64 {
 	var n int64
 	for _, v := range in {
-		if v.Block != nil {
+		switch {
+		case v.Block != nil:
 			n += int64(len(v.Block.Data) * 8)
-		} else {
+		case v.Dict != nil:
+			n += int64(len(v.Codes) * 4)
+		default:
 			for _, s := range v.Str {
 				n += int64(len(s)) + 16
 			}

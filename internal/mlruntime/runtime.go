@@ -28,17 +28,24 @@ func NewBlock(rows, cols int) *Block {
 // Row returns the r-th row slice of the block.
 func (b *Block) Row(r int) []float64 { return b.Data[r*b.Cols : (r+1)*b.Cols] }
 
-// Value is one named value during execution: either a numeric Block or a
-// categorical string column.
+// Value is one named value during execution: a numeric Block, a raw
+// categorical string column, or a dictionary-encoded categorical column
+// (Codes + Dict). Encoded categoricals let the encoders index a
+// precomputed code→category table instead of hashing strings per row.
 type Value struct {
 	Block *Block
 	Str   []string
+	Codes []int32
+	Dict  *data.Dictionary
 }
 
 // Rows returns the row count of the value.
 func (v Value) Rows() int {
 	if v.Block != nil {
 		return v.Block.Rows
+	}
+	if v.Dict != nil {
+		return len(v.Codes)
 	}
 	return len(v.Str)
 }
@@ -61,9 +68,40 @@ type Session struct {
 	// session init (shared immutably by clones) so exec never rebuilds
 	// them per batch.
 	catIdx map[string]map[string]int
+	// codeLUT caches, per encoder op and per input dictionary, the
+	// dictionary-code→category-index table (-1 for absent values), so
+	// encoding a dict column is a per-row array index — no map lookup, no
+	// string hashing. Session-private mutable state: clones rebuild their
+	// own lazily (one pass over the dictionary per session).
+	codeLUT map[string]map[*data.Dictionary][]int32
 	// bindVals and runVals are the reused per-batch value maps.
 	bindVals map[string]Value
 	runVals  map[string]Value
+}
+
+// dictLUT returns the code→category-index table for one encoder op and
+// input dictionary, computing and caching it on first use.
+func (s *Session) dictLUT(op string, d *data.Dictionary) []int32 {
+	if lut, ok := s.codeLUT[op][d]; ok {
+		return lut
+	}
+	idx := s.catIdx[op]
+	lut := make([]int32, d.Len())
+	for code, v := range d.Values() {
+		if j, ok := idx[v]; ok {
+			lut[code] = int32(j)
+		} else {
+			lut[code] = -1
+		}
+	}
+	if s.codeLUT == nil {
+		s.codeLUT = make(map[string]map[*data.Dictionary][]int32)
+	}
+	if s.codeLUT[op] == nil {
+		s.codeLUT[op] = make(map[*data.Dictionary][]int32)
+	}
+	s.codeLUT[op][d] = lut
+	return lut
 }
 
 // NewSession validates the pipeline and prepares it for execution.
@@ -149,6 +187,8 @@ func BindTable(p *model.Pipeline, t *data.Table) (map[string]Value, error) {
 					s[i] = c.AsString(i)
 				}
 				vals[in.Name] = Value{Str: s}
+			} else if c.Dict != nil {
+				vals[in.Name] = Value{Codes: c.Codes, Dict: c.Dict}
 			} else {
 				vals[in.Name] = Value{Str: c.Str}
 			}
@@ -201,6 +241,8 @@ func (s *Session) Bind(t *data.Table) (map[string]Value, error) {
 					strs[i] = c.AsString(i)
 				}
 				s.bindVals[in.Name] = Value{Str: strs}
+			} else if c.Dict != nil {
+				s.bindVals[in.Name] = Value{Codes: c.Codes, Dict: c.Dict}
 			} else {
 				s.bindVals[in.Name] = Value{Str: c.Str}
 			}
@@ -294,11 +336,21 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		idx := s.catIdx[o.OpName()]
 		out := s.block(o.Out, n, len(o.Categories), true)
-		for r := 0; r < n; r++ {
-			if j, ok := idx[in.Str[r]]; ok {
-				out.Data[r*out.Cols+j] = 1
+		if in.Dict != nil {
+			lut := s.dictLUT(o.OpName(), in.Dict)
+			w := out.Cols
+			for r := 0; r < n; r++ {
+				if j := lut[in.Codes[r]]; j >= 0 {
+					out.Data[r*w+int(j)] = 1
+				}
+			}
+		} else {
+			idx := s.catIdx[o.OpName()]
+			for r := 0; r < n; r++ {
+				if j, ok := idx[in.Str[r]]; ok {
+					out.Data[r*out.Cols+j] = 1
+				}
 			}
 		}
 		vals[o.Out] = Value{Block: out}
@@ -307,13 +359,20 @@ func (s *Session) exec(op model.Operator, vals map[string]Value, n int) error {
 		if err != nil {
 			return err
 		}
-		idx := s.catIdx[o.OpName()]
 		out := s.block(o.Out, n, 1, false)
-		for r := 0; r < n; r++ {
-			if j, ok := idx[in.Str[r]]; ok {
-				out.Data[r] = float64(j)
-			} else {
-				out.Data[r] = -1
+		if in.Dict != nil {
+			lut := s.dictLUT(o.OpName(), in.Dict)
+			for r := 0; r < n; r++ {
+				out.Data[r] = float64(lut[in.Codes[r]])
+			}
+		} else {
+			idx := s.catIdx[o.OpName()]
+			for r := 0; r < n; r++ {
+				if j, ok := idx[in.Str[r]]; ok {
+					out.Data[r] = float64(j)
+				} else {
+					out.Data[r] = -1
+				}
 			}
 		}
 		vals[o.Out] = Value{Block: out}

@@ -455,3 +455,43 @@ func TestOutputsSurviveNextRun(t *testing.T) {
 		}
 	}
 }
+
+// TestDictEncodedBatchMatchesRaw runs the same batch through a session
+// twice — raw strings vs dictionary-encoded categoricals — and asserts
+// bit-identical outputs: the code-LUT encoder path must be a pure
+// representation change.
+func TestDictEncodedBatchMatchesRaw(t *testing.T) {
+	d := covidJoined(t)
+	enc := data.DictEncodeTable(d)
+	if !enc.Col("asthma").IsDict() || !enc.Col("hypertension").IsDict() {
+		t.Fatal("categorical columns should be dict-encoded")
+	}
+	rawOut, err := covidSession(t).RunTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encOut, err := covidSession(t).RunTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rv := range rawOut {
+		ev, ok := encOut[name]
+		if !ok || ev.Block == nil || rv.Block == nil {
+			t.Fatalf("output %q missing or non-numeric", name)
+		}
+		for i, v := range rv.Block.Data {
+			if ev.Block.Data[i] != v {
+				t.Fatalf("%s[%d]: %v != %v", name, i, ev.Block.Data[i], v)
+			}
+		}
+	}
+	// Binding a dict column passes codes through without copying.
+	s := covidSession(t)
+	vals, err := s.Bind(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["asthma"].Dict == nil {
+		t.Fatal("Bind should keep the dictionary representation")
+	}
+}

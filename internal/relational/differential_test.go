@@ -12,35 +12,40 @@ import (
 // Differential harness: randomized tables (varying row counts, skewed
 // join keys, NULL-free edge-value columns) are run through every
 // parallelizable plan shape — scan chains, single and chained hash
-// joins, and global aggregates over both — and the serial result must be
-// byte-identical to the Parallelize'd plan at DOP 2, 4 and NumCPU. The
-// engine-level twin (internal/engine/differential_test.go) drives the
-// same property through SQL planning, optimization and ML predict plans
-// over the datagen datasets.
+// joins (integer- and string-keyed), string equality/IN filters, and
+// global aggregates — under BOTH string representations (raw and
+// dictionary-encoded), and every execution must be byte-identical to the
+// raw serial baseline at DOP 1, 2, 4 and NumCPU. The engine-level twin
+// (internal/engine/differential_test.go) drives the same property
+// through SQL planning, optimization and ML predict plans over the
+// datagen datasets.
 
 // edgeValues exercises aggregation and join arithmetic at the extremes
 // the fold must keep bit-stable: zeros, huge and tiny magnitudes, exact
 // negatives.
 var edgeValues = []float64{0, 1, -1, 1e15, -1e15, 1e-12, 97.25, -97.25}
 
-// diffFixture is one randomized fact table (partitioned) plus a dimension
-// table sharing a skewed key domain.
+// diffFixture is one randomized fact table (partitioned) plus dimension
+// tables sharing a skewed key domain: dim/dim2 join on integer keys,
+// dim3 on a string key.
 type diffFixture struct {
 	fact *data.PartitionedTable
 	dim  *data.PartitionedTable
 	dim2 *data.PartitionedTable
+	dim3 *data.PartitionedTable
 }
 
-// randFixture generates tables with rng-driven row counts and a skewed
-// key distribution: most probe rows hit a handful of hot keys, so some
-// morsels explode while others match nothing.
-func randFixture(t *testing.T, rng *rand.Rand) *diffFixture {
+// randTables generates the raw tables with rng-driven row counts and a
+// skewed key distribution: most probe rows hit a handful of hot keys, so
+// some morsels explode while others match nothing.
+func randTables(t *testing.T, rng *rand.Rand) (fact, dim, dim2, dim3 *data.Table) {
 	t.Helper()
 	rows := 1500 + rng.Intn(4500)
 	nKeys := 40 + rng.Intn(160)
 	ids := make([]int64, rows)
 	keys := make([]int64, rows)
 	k2 := make([]int64, rows)
+	sk := make([]string, rows)
 	vs := make([]float64, rows)
 	edge := make([]float64, rows)
 	grp := make([]string, rows)
@@ -53,30 +58,57 @@ func randFixture(t *testing.T, rng *rand.Rand) *diffFixture {
 			keys[i] = int64(rng.Intn(nKeys * 2)) // some keys miss the dim entirely
 		}
 		k2[i] = int64(rng.Intn(nKeys))
+		sk[i] = fmt.Sprintf("s%d", keys[i]) // string twin of the skewed key
 		vs[i] = rng.NormFloat64() * 100
 		edge[i] = edgeValues[rng.Intn(len(edgeValues))]
 		grp[i] = fmt.Sprintf("g%d", rng.Intn(4))
 	}
-	fact := data.MustNewTable("fact",
+	fact = data.MustNewTable("fact",
 		data.NewInt("id", ids), data.NewInt("k", keys), data.NewInt("k2", k2),
+		data.NewString("sk", sk),
 		data.NewFloat("v", vs), data.NewFloat("edge", edge), data.NewString("grp", grp))
-	pf, err := data.PartitionBy(fact, "grp")
-	if err != nil {
-		t.Fatal(err)
-	}
-	mkDim := func(name, key string) *data.PartitionedTable {
+	mkDim := func(name, key string, strKey bool) *data.Table {
 		dk := make([]int64, nKeys)
+		dks := make([]string, nKeys)
 		dv := make([]float64, nKeys)
 		ds := make([]string, nKeys)
 		for i := 0; i < nKeys; i++ {
 			dk[i] = int64(i)
+			dks[i] = fmt.Sprintf("s%d", i)
 			dv[i] = edgeValues[rng.Intn(len(edgeValues))] + float64(i)
 			ds[i] = fmt.Sprintf("d%d", i%7)
 		}
-		return data.SinglePartition(data.MustNewTable(name,
-			data.NewInt(key, dk), data.NewFloat(name+"_v", dv), data.NewString(name+"_s", ds)))
+		kc := data.NewInt(key, dk)
+		if strKey {
+			kc = data.NewString(key, dks)
+		}
+		return data.MustNewTable(name,
+			kc, data.NewFloat(name+"_v", dv), data.NewString(name+"_s", ds))
 	}
-	return &diffFixture{fact: pf, dim: mkDim("dim", "dk"), dim2: mkDim("dim2", "dk2")}
+	return fact, mkDim("dim", "dk", false), mkDim("dim2", "dk2", false), mkDim("dim3", "dk3", true)
+}
+
+// fixtureFrom partitions the tables into a fixture, optionally
+// dictionary-encoding every string column first (partitions then share
+// the per-column dictionaries, like tables encoded at load time do).
+func fixtureFrom(t *testing.T, fact, dim, dim2, dim3 *data.Table, encode bool) *diffFixture {
+	t.Helper()
+	if encode {
+		fact = data.DictEncodeTable(fact)
+		dim = data.DictEncodeTable(dim)
+		dim2 = data.DictEncodeTable(dim2)
+		dim3 = data.DictEncodeTable(dim3)
+	}
+	pf, err := data.PartitionBy(fact, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &diffFixture{
+		fact: pf,
+		dim:  data.SinglePartition(dim),
+		dim2: data.SinglePartition(dim2),
+		dim3: data.SinglePartition(dim3),
+	}
 }
 
 // diffShapes enumerates the plan shapes under test; each entry builds a
@@ -97,6 +129,8 @@ func diffShapes(f *diffFixture, batch int) map[string]func() Operator {
 			{Name: "id", E: Col("id")},
 			{Name: "k", E: Col("k")},
 			{Name: "k2", E: Col("k2")},
+			{Name: "sk", E: Col("sk")},
+			{Name: "grp", E: Col("grp")},
 			{Name: "v", E: Col("v")},
 			{Name: "edge", E: NewBinOp(OpMul, Col("edge"), Num(2))},
 		}}
@@ -115,18 +149,51 @@ func diffShapes(f *diffFixture, batch int) map[string]func() Operator {
 			LeftKey: "k2", RightKey: "dk2",
 		}
 	}
+	joinStr := func() Operator {
+		return &HashJoin{
+			Left:    scanChain(),
+			Right:   NewScan(f.dim3, "", nil, batch),
+			LeftKey: "sk", RightKey: "dk3",
+		}
+	}
 	return map[string]func() Operator{
 		"scan-chain": scanChain,
 		"join":       join,
 		"join-join":  joinJoin,
+		"join-str":   joinStr,
 		"filter-above-join": func() Operator {
 			return &Filter{Child: join(), Pred: NewBinOp(OpLt, Col("dim_v"), Num(60))}
+		},
+		// String equality over the (possibly dict-coded) group column; the
+		// literal appears on both sides to cover the flipped kernel.
+		"filter-str-eq": func() Operator {
+			return &Filter{Child: scanChain(),
+				Pred: NewBinOp(OpEq, Col("grp"), Str("g1"))}
+		},
+		"filter-str-lit-first": func() Operator {
+			return &Filter{Child: joinStr(),
+				Pred: NewBinOp(OpLe, Str("d3"), Col("dim3_s")),
+			}
+		},
+		"filter-in": func() Operator {
+			return &Filter{Child: scanChain(), Pred: In(Col("grp"), "g0", "g2", "nope")}
+		},
+		// All-true and all-false masks: the zero-copy pass-through and the
+		// skip-without-allocating path must stay byte-identical too.
+		"filter-all-true": func() Operator {
+			return &Filter{Child: scanChain(), Pred: NewBinOp(OpNe, Col("grp"), Str("absent"))}
+		},
+		"filter-all-false": func() Operator {
+			return &Filter{Child: scanChain(), Pred: In(Col("grp"), "missing")}
 		},
 		"agg-over-scan": func() Operator {
 			return &Aggregate{Child: scanChain(), Aggs: aggs}
 		},
 		"agg-over-join": func() Operator {
 			return &Aggregate{Child: joinJoin(), Aggs: aggs}
+		},
+		"agg-over-str-join": func() Operator {
+			return &Aggregate{Child: joinStr(), Aggs: aggs}
 		},
 	}
 }
@@ -138,22 +205,35 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		f := randFixture(t, rng)
+		fact, dim, dim2, dim3 := randTables(t, rng)
+		raw := fixtureFrom(t, fact, dim, dim2, dim3, false)
+		enc := fixtureFrom(t, fact, dim, dim2, dim3, true)
 		batch := []int{64, 256, 1024}[rng.Intn(3)]
-		for name, mk := range diffShapes(f, batch) {
+		rawShapes := diffShapes(raw, batch)
+		encShapes := diffShapes(enc, batch)
+		for name, mk := range rawShapes {
+			// Raw serial execution is the baseline every other
+			// (representation × DOP) combination must reproduce exactly.
 			serial, err := Drain(mk())
 			if err != nil {
 				t.Fatalf("seed=%d %s serial: %v", seed, name, err)
 			}
-			for _, dop := range dops {
-				root := mustParallelize(t, mk(), dop, batch)
-				got, err := Drain(root)
+			for repr, mkr := range map[string]func() Operator{"raw": mk, "dict": encShapes[name]} {
+				encSerial, err := Drain(mkr())
 				if err != nil {
-					t.Fatalf("seed=%d %s dop=%d: %v", seed, name, dop, err)
+					t.Fatalf("seed=%d %s %s serial: %v", seed, name, repr, err)
 				}
 				// assertTablesEqual compares via AsString, which
 				// round-trips float64 exactly — a byte-identity check.
-				assertTablesEqual(t, serial, got)
+				assertTablesEqual(t, serial, encSerial)
+				for _, dop := range dops {
+					root := mustParallelize(t, mkr(), dop, batch)
+					got, err := Drain(root)
+					if err != nil {
+						t.Fatalf("seed=%d %s %s dop=%d: %v", seed, name, repr, dop, err)
+					}
+					assertTablesEqual(t, serial, got)
+				}
 			}
 		}
 	}
@@ -163,9 +243,10 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 // shared join builds and partial aggregates must all survive re-Open.
 func TestDifferentialReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	f := randFixture(t, rng)
+	fact, dim, dim2, dim3 := randTables(t, rng)
+	f := fixtureFrom(t, fact, dim, dim2, dim3, true)
 	shapes := diffShapes(f, 256)
-	for _, name := range []string{"join-join", "agg-over-join"} {
+	for _, name := range []string{"join-join", "join-str", "agg-over-join"} {
 		root := mustParallelize(t, shapes[name](), 4, 256)
 		first, err := Drain(root)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"raven/internal/data"
 )
@@ -113,19 +114,32 @@ func (e *BinOp) String() string {
 
 // Eval evaluates both sides and applies the operator. Arithmetic coerces to
 // float64; comparisons support numeric and string operands; AND/OR require
-// boolean operands.
+// boolean operands. Literal operands take allocation-free scalar kernels
+// instead of being broadcast to a column per batch, and string literals
+// compared against a dictionary-encoded column reduce to code comparisons
+// after a single dictionary probe.
 func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
-	l, err := e.L.Eval(b)
-	if err != nil {
-		return nil, err
-	}
-	r, err := e.R.Eval(b)
-	if err != nil {
-		return nil, err
-	}
 	n := b.NumRows()
 	switch e.Op {
 	case OpAdd, OpSub, OpMul, OpDiv:
+		if lit, ok := e.R.(*LitFloat); ok {
+			l, err := e.L.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.arithScalar(e.L, l, lit.V, false, n)
+		}
+		if lit, ok := e.L.(*LitFloat); ok {
+			r, err := e.R.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.arithScalar(e.R, r, lit.V, true, n)
+		}
+		l, r, err := e.evalBoth(b)
+		if err != nil {
+			return nil, err
+		}
 		lf, err := toFloats(l, n)
 		if err != nil {
 			return nil, err
@@ -134,7 +148,15 @@ func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, n)
+		var out []float64
+		switch {
+		case writableFloats(e.L, l):
+			out = lf
+		case writableFloats(e.R, r):
+			out = rf
+		default:
+			out = make([]float64, n)
+		}
 		switch e.Op {
 		case OpAdd:
 			for i := range out {
@@ -155,6 +177,10 @@ func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
 		}
 		return data.NewFloat("expr", out), nil
 	case OpAnd, OpOr:
+		l, r, err := e.evalBoth(b)
+		if err != nil {
+			return nil, err
+		}
 		lb, err := toBools(l)
 		if err != nil {
 			return nil, err
@@ -175,13 +201,46 @@ func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
 		}
 		return data.NewBool("expr", out), nil
 	default: // comparisons
+		if lit, ok := e.R.(*LitString); ok {
+			l, err := e.L.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.cmpStringScalar(l, lit.V, false)
+		}
+		if lit, ok := e.L.(*LitString); ok {
+			r, err := e.R.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.cmpStringScalar(r, lit.V, true)
+		}
+		if lit, ok := e.R.(*LitFloat); ok {
+			l, err := e.L.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.cmpFloatScalar(l, lit.V, false)
+		}
+		if lit, ok := e.L.(*LitFloat); ok {
+			r, err := e.R.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			return e.cmpFloatScalar(r, lit.V, true)
+		}
+		l, r, err := e.evalBoth(b)
+		if err != nil {
+			return nil, err
+		}
 		if l.Type == data.String || r.Type == data.String {
 			if l.Type != data.String || r.Type != data.String {
 				return nil, fmt.Errorf("relational: comparing string with non-string in %s", e)
 			}
+			ls, rs := strAt(l), strAt(r)
 			out := make([]bool, n)
 			for i := range out {
-				out[i] = cmpOK(e.Op, strings.Compare(l.Str[i], r.Str[i]))
+				out[i] = cmpOK(e.Op, strings.Compare(ls(i), rs(i)))
 			}
 			return data.NewBool("expr", out), nil
 		}
@@ -195,17 +254,192 @@ func (e *BinOp) Eval(b *data.Table) (*data.Column, error) {
 		}
 		out := make([]bool, n)
 		for i := range out {
-			switch {
-			case lf[i] < rf[i]:
-				out[i] = cmpOK(e.Op, -1)
-			case lf[i] > rf[i]:
-				out[i] = cmpOK(e.Op, 1)
-			default:
-				out[i] = cmpOK(e.Op, 0)
+			out[i] = cmpFloats(e.Op, lf[i], rf[i])
+		}
+		return data.NewBool("expr", out), nil
+	}
+}
+
+func (e *BinOp) evalBoth(b *data.Table) (*data.Column, *data.Column, error) {
+	l, err := e.L.Eval(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := e.R.Eval(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// writableFloats reports whether the float64 buffer toFloats derives from
+// an operand column is safe to overwrite with the operator's result: it
+// was freshly materialized during this evaluation (sub-expression outputs,
+// int/bool coercion copies) rather than aliasing table storage. Only a
+// ColRef to a Float64 column hands out table-owned storage. Reusing
+// operand buffers keeps long literal-leaf expression chains — the shape
+// MLtoSQL compiles models into — from allocating one column per node per
+// batch.
+func writableFloats(e Expr, c *data.Column) bool {
+	if _, isRef := e.(*ColRef); isRef && c.Type == data.Float64 {
+		return false
+	}
+	return true
+}
+
+// arithScalar applies column OP literal (or literal OP column when flip)
+// without materializing the literal as a column, writing in place when
+// src produced a temporary.
+func (e *BinOp) arithScalar(src Expr, c *data.Column, v float64, flip bool, n int) (*data.Column, error) {
+	f, err := toFloats(c, n)
+	if err != nil {
+		return nil, err
+	}
+	out := f
+	if !writableFloats(src, c) {
+		out = make([]float64, len(f))
+	}
+	switch e.Op {
+	case OpAdd:
+		for i, x := range f {
+			out[i] = x + v
+		}
+	case OpSub:
+		if flip {
+			for i, x := range f {
+				out[i] = v - x
+			}
+		} else {
+			for i, x := range f {
+				out[i] = x - v
+			}
+		}
+	case OpMul:
+		for i, x := range f {
+			out[i] = x * v
+		}
+	case OpDiv:
+		if flip {
+			for i, x := range f {
+				out[i] = v / x
+			}
+		} else {
+			for i, x := range f {
+				out[i] = x / v
+			}
+		}
+	}
+	return data.NewFloat("expr", out), nil
+}
+
+// cmpFloats reproduces the three-way comparison of the generic path (NaN
+// operands fall into the "equal" branch on both sides).
+func cmpFloats(op BinOpKind, x, y float64) bool {
+	switch {
+	case x < y:
+		return cmpOK(op, -1)
+	case x > y:
+		return cmpOK(op, 1)
+	default:
+		return cmpOK(op, 0)
+	}
+}
+
+// cmpFloatScalar compares a numeric column against a literal; flip means
+// the literal was the left operand.
+func (e *BinOp) cmpFloatScalar(c *data.Column, v float64, flip bool) (*data.Column, error) {
+	if c.Type == data.String {
+		return nil, fmt.Errorf("relational: comparing string with non-string in %s", e)
+	}
+	n := c.Len()
+	out := make([]bool, n)
+	switch c.Type {
+	case data.Float64:
+		if flip {
+			for i, x := range c.F64 {
+				out[i] = cmpFloats(e.Op, v, x)
+			}
+		} else {
+			for i, x := range c.F64 {
+				out[i] = cmpFloats(e.Op, x, v)
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			x := c.AsFloat(i)
+			if flip {
+				out[i] = cmpFloats(e.Op, v, x)
+			} else {
+				out[i] = cmpFloats(e.Op, x, v)
+			}
+		}
+	}
+	return data.NewBool("expr", out), nil
+}
+
+// cmpStringScalar compares a string column against a literal; flip means
+// the literal was the left operand. Dictionary-encoded columns compare
+// per distinct value per batch — one equality probe for =/<>, or a
+// per-code result table for the ordered operators — instead of per row.
+func (e *BinOp) cmpStringScalar(c *data.Column, lit string, flip bool) (*data.Column, error) {
+	if c.Type != data.String {
+		return nil, fmt.Errorf("relational: comparing string with non-string in %s", e)
+	}
+	n := c.Len()
+	out := make([]bool, n)
+	if d := c.Dict; d != nil {
+		switch e.Op {
+		case OpEq, OpNe:
+			code, ok := d.Code(lit)
+			if !ok {
+				if e.Op == OpNe {
+					for i := range out {
+						out[i] = true
+					}
+				}
+				return data.NewBool("expr", out), nil
+			}
+			if e.Op == OpEq {
+				for i, cd := range c.Codes {
+					out[i] = cd == code
+				}
+			} else {
+				for i, cd := range c.Codes {
+					out[i] = cd != code
+				}
+			}
+		default:
+			res := make([]bool, d.Len())
+			for code := range res {
+				cmp := strings.Compare(d.Value(int32(code)), lit)
+				if flip {
+					cmp = -cmp
+				}
+				res[code] = cmpOK(e.Op, cmp)
+			}
+			for i, cd := range c.Codes {
+				out[i] = res[cd]
 			}
 		}
 		return data.NewBool("expr", out), nil
 	}
+	for i, s := range c.Str {
+		cmp := strings.Compare(s, lit)
+		if flip {
+			cmp = -cmp
+		}
+		out[i] = cmpOK(e.Op, cmp)
+	}
+	return data.NewBool("expr", out), nil
+}
+
+// strAt returns a representation-independent row accessor for a string
+// column (no per-row allocation for either representation).
+func strAt(c *data.Column) func(int) string {
+	if c.Dict != nil {
+		return func(i int) string { return c.Dict.Value(c.Codes[i]) }
+	}
+	return func(i int) string { return c.Str[i] }
 }
 
 func cmpOK(op BinOpKind, c int) bool {
@@ -279,9 +513,42 @@ func (e *Case) String() string {
 }
 
 // Eval lazily evaluates branches: each row takes the first matching WHEN.
-// All branches must produce numeric values.
+// All branches must produce numeric values. Literal branches — the common
+// case for MLtoSQL-compiled encoders and trees, whose leaves are all
+// constants — assign the scalar directly instead of broadcasting a column
+// per batch.
 func (e *Case) Eval(b *data.Table) (*data.Column, error) {
 	n := b.NumRows()
+	// Single WHEN with literal branches — the shape MLtoSQL compiles
+	// one-hot encoders into — needs no decided-row bookkeeping: the
+	// result is a two-value select over the condition mask.
+	if len(e.Whens) == 1 {
+		thenLit, thenOK := e.Whens[0].Then.(*LitFloat)
+		elseLit, elseOK := e.Else.(*LitFloat)
+		if thenOK && (elseOK || e.Else == nil) {
+			cond, err := e.Whens[0].Cond.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			cb, err := toBools(cond)
+			if err != nil {
+				return nil, err
+			}
+			elseV := 0.0
+			if elseOK {
+				elseV = elseLit.V
+			}
+			out := make([]float64, n)
+			for i, c := range cb {
+				if c {
+					out[i] = thenLit.V
+				} else {
+					out[i] = elseV
+				}
+			}
+			return data.NewFloat("expr", out), nil
+		}
+	}
 	out := make([]float64, n)
 	decided := make([]bool, n)
 	remaining := n
@@ -296,6 +563,16 @@ func (e *Case) Eval(b *data.Table) (*data.Column, error) {
 		cb, err := toBools(cond)
 		if err != nil {
 			return nil, err
+		}
+		if lit, ok := w.Then.(*LitFloat); ok {
+			for i := 0; i < n; i++ {
+				if !decided[i] && cb[i] {
+					out[i] = lit.V
+					decided[i] = true
+					remaining--
+				}
+			}
+			continue
 		}
 		val, err := w.Then.Eval(b)
 		if err != nil {
@@ -314,6 +591,14 @@ func (e *Case) Eval(b *data.Table) (*data.Column, error) {
 		}
 	}
 	if e.Else != nil && remaining > 0 {
+		if lit, ok := e.Else.(*LitFloat); ok {
+			for i := 0; i < n; i++ {
+				if !decided[i] {
+					out[i] = lit.V
+				}
+			}
+			return data.NewFloat("expr", out), nil
+		}
 		val, err := e.Else.Eval(b)
 		if err != nil {
 			return nil, err
@@ -329,6 +614,76 @@ func (e *Case) Eval(b *data.Table) (*data.Column, error) {
 		}
 	}
 	return data.NewFloat("expr", out), nil
+}
+
+// InList is string membership: e IN ('a', 'b', …). Against a dictionary-
+// encoded column the list is probed into a per-code membership table —
+// computed once per dictionary and cached, since expressions are shared
+// across batches and worker clones — so the row loop is an array index;
+// raw columns use a set. Use pointers to InList (value copies would copy
+// the cache's internal mutex).
+type InList struct {
+	E    Expr
+	Vals []string
+
+	// member caches *data.Dictionary → []bool membership tables.
+	member sync.Map
+}
+
+// In is shorthand for &InList{e, vals}.
+func In(e Expr, vals ...string) *InList { return &InList{E: e, Vals: vals} }
+
+func (e *InList) String() string {
+	var b strings.Builder
+	b.WriteString(e.E.String())
+	b.WriteString(" IN (")
+	for i, v := range e.Vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("'" + v + "'")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Eval computes the membership mask over the batch.
+func (e *InList) Eval(b *data.Table) (*data.Column, error) {
+	c, err := e.E.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type != data.String {
+		return nil, fmt.Errorf("relational: IN requires a string operand in %s", e)
+	}
+	out := make([]bool, c.Len())
+	if d := c.Dict; d != nil {
+		var member []bool
+		if cached, ok := e.member.Load(d); ok {
+			member = cached.([]bool)
+		} else {
+			member = make([]bool, d.Len())
+			for _, v := range e.Vals {
+				if code, ok := d.Code(v); ok {
+					member[code] = true
+				}
+			}
+			actual, _ := e.member.LoadOrStore(d, member)
+			member = actual.([]bool)
+		}
+		for i, code := range c.Codes {
+			out[i] = member[code]
+		}
+		return data.NewBool("expr", out), nil
+	}
+	set := make(map[string]bool, len(e.Vals))
+	for _, v := range e.Vals {
+		set[v] = true
+	}
+	for i, s := range c.Str {
+		out[i] = set[s]
+	}
+	return data.NewBool("expr", out), nil
 }
 
 // FuncKind enumerates scalar functions.
@@ -356,7 +711,8 @@ type Func struct {
 
 func (e *Func) String() string { return funcNames[e.Fn] + "(" + e.Arg.String() + ")" }
 
-// Eval applies the function to the evaluated argument.
+// Eval applies the function to the evaluated argument, writing in place
+// when the argument produced a temporary.
 func (e *Func) Eval(b *data.Table) (*data.Column, error) {
 	v, err := e.Arg.Eval(b)
 	if err != nil {
@@ -366,7 +722,10 @@ func (e *Func) Eval(b *data.Table) (*data.Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(f))
+	out := f
+	if !writableFloats(e.Arg, v) {
+		out = make([]float64, len(f))
+	}
 	switch e.Fn {
 	case FnExp:
 		for i, x := range f {
@@ -451,6 +810,8 @@ func Size(e Expr) int {
 		return 1 + Size(x.E)
 	case *Func:
 		return 1 + Size(x.Arg)
+	case *InList:
+		return 1 + len(x.Vals) + Size(x.E)
 	case *Case:
 		n := 1
 		for _, w := range x.Whens {
@@ -476,6 +837,8 @@ func Columns(e Expr, dst map[string]bool) {
 		Columns(x.E, dst)
 	case *Func:
 		Columns(x.Arg, dst)
+	case *InList:
+		Columns(x.E, dst)
 	case *Case:
 		for _, w := range x.Whens {
 			Columns(w.Cond, dst)

@@ -245,7 +245,9 @@ func (f *Filter) Open() error {
 	return f.Child.Open()
 }
 
-// Next filters the next non-empty batch.
+// Next filters the next non-empty batch. All-true masks pass the batch
+// through unchanged (zero-copy) and all-false batches are skipped without
+// materializing an empty table.
 func (f *Filter) Next() (*data.Table, error) {
 	defer startTimer(&f.stats)()
 	for {
@@ -260,12 +262,16 @@ func (f *Filter) Next() (*data.Table, error) {
 		if c.Type != data.Bool {
 			return nil, fmt.Errorf("relational: filter predicate %s is not boolean", f.Pred)
 		}
-		out := b.Filter(c.B)
-		f.stats.Rows += int64(out.NumRows())
+		n := data.CountTrue(c.B)
 		f.stats.Batches++
-		if out.NumRows() > 0 {
-			return out, nil
+		if n == 0 {
+			continue
 		}
+		f.stats.Rows += int64(n)
+		if n == len(c.B) && b.NumRows() == n {
+			return b, nil
+		}
+		return b.FilterCount(c.B, n), nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -229,39 +230,104 @@ func TestAggregateSmallInputStaysSerial(t *testing.T) {
 // construction directly (several chunks' worth of rows, heavily
 // duplicated keys) and asserts the merged index is identical to a serial
 // build: same keys, and every per-key row list in the same (ascending)
-// order. Run under -race in CI, this pins the chunk-order merge
-// guarantee the byte-identity of parallel joins rests on.
+// order — for each typed index representation. Run under -race in CI,
+// this pins the chunk-order merge guarantee the byte-identity of
+// parallel joins rests on.
 func TestChunkedJoinIndexMatchesSerial(t *testing.T) {
 	n := 3*buildIndexMinChunk + 137
 	keys := make([]int64, n)
+	strs := make([]string, n)
+	fls := make([]float64, n)
 	for i := 0; i < n; i++ {
 		keys[i] = int64(i % 61) // every key recurs in every chunk
+		strs[i] = fmt.Sprintf("s%d", i%53)
+		fls[i] = float64(i%47) / 8
 	}
-	rows := data.MustNewTable("b", data.NewInt("k", keys))
-	serial, err := newJoinBuild(rows, "k", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, dop := range []int{2, 4, 7} {
-		par, err := newJoinBuild(rows, "k", dop)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(par.index) != len(serial.index) {
-			t.Fatalf("dop=%d: %d keys, want %d", dop, len(par.index), len(serial.index))
-		}
-		for k, want := range serial.index {
-			got := par.index[k]
-			if len(got) != len(want) {
-				t.Fatalf("dop=%d key %s: %d rows, want %d", dop, k, len(got), len(want))
+	rows := data.MustNewTable("b",
+		data.NewInt("k", keys),
+		data.NewString("s", strs),
+		data.NewFloat("f", fls),
+		data.DictEncode(data.NewString("d", strs)))
+	assertSameLists := func(t *testing.T, dop int, want, got func(int) []int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			w, g := want(i), got(i)
+			if len(g) != len(w) {
+				t.Fatalf("dop=%d row %d: %d rows, want %d", dop, i, len(g), len(w))
 			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("dop=%d key %s row %d: %d, want %d (merge order broken)",
-						dop, k, i, got[i], want[i])
+			for j := range w {
+				if g[j] != w[j] {
+					t.Fatalf("dop=%d row %d match %d: %d, want %d (merge order broken)",
+						dop, i, j, g[j], w[j])
 				}
 			}
 		}
+	}
+	for _, key := range []string{"k", "s", "f", "d"} {
+		serial, err := newJoinBuild(rows, key, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dop := range []int{2, 4, 7} {
+			par, err := newJoinBuild(rows, key, dop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kc := rows.Col(key)
+			assertSameLists(t, dop, serial.lookup(kc), par.lookup(kc))
+		}
+	}
+}
+
+// TestJoinBuildTypedIndexes pins which typed index each build key type
+// gets, and that representation-mismatched probes fall back to AsString
+// matching (int build probed by an equal-rendering string column).
+func TestJoinBuildTypedIndexes(t *testing.T) {
+	rows := data.MustNewTable("b",
+		data.NewInt("i", []int64{5, 7, 5}),
+		data.NewFloat("f", []float64{1.5, 2.5, 1.5}),
+		data.NewString("s", []string{"a", "b", "a"}),
+		data.DictEncode(data.NewString("d", []string{"x", "y", "x"})))
+	for key, check := range map[string]func(bu *joinBuild) bool{
+		"i": func(bu *joinBuild) bool { return bu.intIdx != nil },
+		"f": func(bu *joinBuild) bool { return bu.bitsIdx != nil },
+		"s": func(bu *joinBuild) bool { return bu.strIdx != nil },
+		"d": func(bu *joinBuild) bool { return bu.codeLists != nil },
+	} {
+		bu, err := newJoinBuild(rows, key, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !check(bu) {
+			t.Fatalf("key %q got the wrong index representation", key)
+		}
+	}
+	// Mixed representations: int build, string probe rendering the same
+	// values, must match like the old all-string index did.
+	bu, err := newJoinBuild(rows, "i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := data.NewString("i", []string{"5", "6"})
+	look := bu.lookup(probe)
+	if got := look(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("string probe of int build = %v, want [0 2]", got)
+	}
+	if got := look(1); len(got) != 0 {
+		t.Fatalf("missing key matched %v", got)
+	}
+	// Dict probe with a foreign dictionary against a dict build.
+	dbu, err := newJoinBuild(rows, "d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := data.DictEncode(data.NewString("d", []string{"y", "zzz"}))
+	flook := dbu.lookup(foreign)
+	if got := flook(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("foreign dict probe = %v, want [1]", got)
+	}
+	if got := flook(1); len(got) != 0 {
+		t.Fatalf("foreign dict miss matched %v", got)
 	}
 }
 

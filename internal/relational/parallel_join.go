@@ -2,6 +2,7 @@ package relational
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"raven/internal/data"
@@ -18,11 +19,51 @@ import (
 // the serial HashJoin's.
 
 // joinBuild is the materialized build side of a hash join: the build rows
-// in stream order plus the key index. It is immutable once constructed,
-// so probe workers share it without synchronization.
+// in stream order plus a typed key index. Exactly one index is populated,
+// chosen from the build key column's physical type, so probes hash (or
+// array-index) the native key instead of stringifying every row:
+//
+//	Int64            → intIdx keyed by the raw int64
+//	Float64          → bitsIdx keyed by math.Float64bits (NaNs canonical,
+//	                   so all NaNs join each other like their shared "NaN"
+//	                   rendering did; -0 and +0 stay distinct like "%g")
+//	String (dict)    → codeLists, row lists indexed by dictionary code
+//	String (raw)     → strIdx keyed by the string
+//	anything else    → strIdx via AsString (legacy rendering semantics)
+//
+// Mixed-type probe/build key pairs fall back to a lazily built AsString
+// index (strFallback), preserving the exact match semantics of the old
+// all-string index. The core is immutable after construction; the probe
+// caches use synchronized lazy initialization, so worker clones share one
+// joinBuild without further coordination.
 type joinBuild struct {
-	rows  *data.Table
-	index map[string][]int
+	rows *data.Table
+	key  *data.Column
+
+	intIdx    map[int64][]int
+	bitsIdx   map[uint64][]int
+	strIdx    map[string][]int
+	dict      *data.Dictionary
+	codeLists [][]int
+
+	// strFallback lazily materializes an AsString index over the build
+	// keys for representation-mismatched probes.
+	strFallbackOnce sync.Once
+	strFallback     map[string][]int
+
+	// probeLists caches, per probe-side dictionary, the translation from
+	// probe code to build row list (probe dictionaries differ from the
+	// build's when the two sides were encoded independently).
+	probeLists sync.Map // *data.Dictionary -> [][]int
+}
+
+// floatKey maps a float64 join key to its index key: the raw bits, with
+// every NaN collapsed onto one canonical pattern.
+func floatKey(v float64) uint64 {
+	if v != v {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(v)
 }
 
 // drainBuild materializes an opened build-side operator in stream order.
@@ -53,29 +94,24 @@ func drainBuild(right Operator, cols []string) (*data.Table, error) {
 // is built serially.
 const buildIndexMinChunk = 4096
 
-// newJoinBuild indexes the build rows by key. dop > 1 builds the index
+// chunkIndex builds a key→row-list index over n rows. dop > 1 builds it
 // with up to that many workers over contiguous row chunks; the per-chunk
 // maps are merged in chunk order, so every key's row list stays in
 // ascending row order and the index is identical to a serial build.
-func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
-	kc := rows.Col(key)
-	if kc == nil {
-		return nil, fmt.Errorf("relational: join build side lacks key %q", key)
-	}
-	n := rows.NumRows()
+func chunkIndex[K comparable](n, dop int, keyAt func(int) K) map[K][]int {
 	if dop > n/buildIndexMinChunk {
 		dop = n / buildIndexMinChunk
 	}
 	if dop <= 1 {
-		idx := make(map[string][]int, n)
+		idx := make(map[K][]int, n)
 		for i := 0; i < n; i++ {
-			k := kc.AsString(i)
+			k := keyAt(i)
 			idx[k] = append(idx[k], i)
 		}
-		return &joinBuild{rows: rows, index: idx}, nil
+		return idx
 	}
 	chunk := (n + dop - 1) / dop
-	parts := make([]map[string][]int, dop)
+	parts := make([]map[K][]int, dop)
 	var wg sync.WaitGroup
 	for w := 0; w < dop; w++ {
 		lo := w * chunk
@@ -86,9 +122,9 @@ func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			m := make(map[string][]int)
+			m := make(map[K][]int)
 			for i := lo; i < hi; i++ {
-				k := kc.AsString(i)
+				k := keyAt(i)
 				m[k] = append(m[k], i)
 			}
 			parts[w] = m
@@ -104,7 +140,103 @@ func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
 			merged[k] = append(merged[k], list...)
 		}
 	}
-	return &joinBuild{rows: rows, index: merged}, nil
+	return merged
+}
+
+// newJoinBuild indexes the build rows by the typed key (see joinBuild).
+// Dictionary-coded keys index by pure array writes — no hashing at all —
+// which outruns even the chunked map builds, so they stay serial.
+func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
+	kc := rows.Col(key)
+	if kc == nil {
+		return nil, fmt.Errorf("relational: join build side lacks key %q", key)
+	}
+	n := rows.NumRows()
+	bu := &joinBuild{rows: rows, key: kc}
+	switch {
+	case kc.Type == data.Int64:
+		bu.intIdx = chunkIndex(n, dop, func(i int) int64 { return kc.I64[i] })
+	case kc.Type == data.Float64:
+		bu.bitsIdx = chunkIndex(n, dop, func(i int) uint64 { return floatKey(kc.F64[i]) })
+	case kc.IsDict():
+		bu.dict = kc.Dict
+		bu.codeLists = make([][]int, kc.Dict.Len())
+		for i, code := range kc.Codes {
+			bu.codeLists[code] = append(bu.codeLists[code], i)
+		}
+	case kc.Type == data.String:
+		bu.strIdx = chunkIndex(n, dop, func(i int) string { return kc.Str[i] })
+	default:
+		bu.strIdx = chunkIndex(n, dop, kc.AsString)
+	}
+	return bu, nil
+}
+
+// stringIndex returns the AsString fallback index, building it on first
+// use (raw-string builds reuse strIdx directly).
+func (bu *joinBuild) stringIndex() map[string][]int {
+	if bu.strIdx != nil {
+		return bu.strIdx
+	}
+	bu.strFallbackOnce.Do(func() {
+		n := bu.rows.NumRows()
+		idx := make(map[string][]int, n)
+		for i := 0; i < n; i++ {
+			k := bu.key.AsString(i)
+			idx[k] = append(idx[k], i)
+		}
+		bu.strFallback = idx
+	})
+	return bu.strFallback
+}
+
+// listsForDict returns the probe-code→build-row-list translation for a
+// probe-side dictionary, computed once per dictionary and cached. When
+// the probe shares the build's dictionary this is the code lists
+// themselves; otherwise each probe value is looked up in the build index
+// once, and the per-batch probe loop indexes an array.
+func (bu *joinBuild) listsForDict(d *data.Dictionary) [][]int {
+	if d == bu.dict && bu.codeLists != nil {
+		return bu.codeLists
+	}
+	if cached, ok := bu.probeLists.Load(d); ok {
+		return cached.([][]int)
+	}
+	lists := make([][]int, d.Len())
+	for code, v := range d.Values() {
+		switch {
+		case bu.dict != nil:
+			if bc, ok := bu.dict.Code(v); ok {
+				lists[code] = bu.codeLists[bc]
+			}
+		case bu.strIdx != nil:
+			lists[code] = bu.strIdx[v]
+		default:
+			lists[code] = bu.stringIndex()[v]
+		}
+	}
+	actual, _ := bu.probeLists.LoadOrStore(d, lists)
+	return actual.([][]int)
+}
+
+// lookup returns a row→build-row-list accessor for one probe key column,
+// picking the typed fast path when the probe representation matches the
+// build index and falling back to AsString matching otherwise.
+func (bu *joinBuild) lookup(kc *data.Column) func(int) []int {
+	switch {
+	case kc.Type == data.Int64 && bu.intIdx != nil:
+		return func(i int) []int { return bu.intIdx[kc.I64[i]] }
+	case kc.Type == data.Float64 && bu.bitsIdx != nil:
+		return func(i int) []int { return bu.bitsIdx[floatKey(kc.F64[i])] }
+	case kc.IsDict() && (bu.codeLists != nil || bu.strIdx != nil):
+		lists := bu.listsForDict(kc.Dict)
+		return func(i int) []int { return lists[kc.Codes[i]] }
+	case kc.Type == data.String && kc.Dict == nil && bu.strIdx != nil:
+		return func(i int) []int { return bu.strIdx[kc.Str[i]] }
+	default:
+		idx := bu.stringIndex()
+		return func(i int) []int { return idx[kc.AsString(i)] }
+	}
 }
 
 // probeJoinBatch joins one probe batch against the build table, returning
@@ -116,9 +248,10 @@ func probeJoinBatch(b *data.Table, leftKey string, bu *joinBuild) (*data.Table, 
 	if kc == nil {
 		return nil, fmt.Errorf("relational: join probe side lacks key %q", leftKey)
 	}
+	look := bu.lookup(kc)
 	var leftIdx, rightIdx []int
 	for i := 0; i < b.NumRows(); i++ {
-		for _, ri := range bu.index[kc.AsString(i)] {
+		for _, ri := range look(i) {
 			leftIdx = append(leftIdx, i)
 			rightIdx = append(rightIdx, ri)
 		}
@@ -239,7 +372,7 @@ func (j *ParallelHashJoin) CloneWorker(child Operator) (Operator, error) {
 			j.LeftKey, j.RightKey)
 	}
 	return &ParallelHashJoin{
-		Child: child,
+		Child:   child,
 		LeftKey: j.LeftKey, RightKey: j.RightKey,
 		rightCols: j.rightCols,
 		build:     j.build,

@@ -21,11 +21,13 @@ type Literal struct {
 	Num      float64
 }
 
-// Predicate is one WHERE conjunct: column OP literal.
+// Predicate is one WHERE conjunct: column OP literal, or column IN
+// (literal, …) when Op is "IN" (In holds the list, Lit is unused).
 type Predicate struct {
 	Col ColName
-	Op  string // =, <>, <, <=, >, >=
+	Op  string // =, <>, <, <=, >, >=, IN
 	Lit Literal
+	In  []Literal
 }
 
 // SelectItem is one output of the select list.

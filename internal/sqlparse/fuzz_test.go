@@ -21,9 +21,22 @@ var fuzzSeeds = []string{
 	"SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM t",
 	"SELECT a -- comment\nFROM t",
 	"SELECT 'str' FROM t WHERE x <> 1e-3 AND y <= .5 AND z >= 2E+8",
+	// String equality and IN predicates, reaching the dictionary-aware
+	// predicate lowering (code-compare equality, InList membership).
+	"SELECT * FROM t WHERE grp IN ('a', 'b', 'c')",
+	"SELECT * FROM t WHERE grp IN ('only')",
+	"SELECT * FROM t WHERE k = 'x' AND grp IN ('a', 'b') AND v > 2",
+	"SELECT * FROM t WHERE mixed IN ('a', 1, true)",
+	"WITH d AS (SELECT * FROM a AS t0 JOIN b AS t1 ON t0.k = t1.k)" +
+		" SELECT p.score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p" +
+		" WHERE d.cat IN ('v1', 'v2') AND p.score > 0.5",
 	// Malformed shapes the parser must reject gracefully.
 	"SELECT",
 	"SELECT * FROM t WHERE a >",
+	"SELECT * FROM t WHERE a IN",
+	"SELECT * FROM t WHERE a IN ()",
+	"SELECT * FROM t WHERE a IN ('x',",
+	"SELECT * FROM t WHERE a IN ('x' 'y')",
 	"WITH x AS SELECT * FROM t) SELECT * FROM x",
 	"SELECT * FROM PREDICT(MODEL m, DATA = d) WITH (s FLOAT) AS p",
 	"SELECT 'unterminated",

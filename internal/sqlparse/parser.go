@@ -385,6 +385,26 @@ func (p *parser) parsePredicate() (Predicate, error) {
 	if err != nil {
 		return Predicate{}, err
 	}
+	if p.keyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return Predicate{}, err
+		}
+		var lits []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return Predicate{}, err
+			}
+			lits = append(lits, lit)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Op: "IN", In: lits}, nil
+	}
 	op, err := p.parseCmpOp()
 	if err != nil {
 		return Predicate{}, err

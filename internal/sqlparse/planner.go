@@ -344,6 +344,44 @@ func (p *planner) applyFilters(node *ir.Node, preds []Predicate) (*ir.Node, erro
 }
 
 func predExpr(col string, pred Predicate) (relational.Expr, error) {
+	if pred.Op == "IN" {
+		if len(pred.In) == 0 {
+			return nil, fmt.Errorf("sqlparse: empty IN list for column %q", col)
+		}
+		// All-string lists lower to the dictionary-aware membership
+		// expression; lists with numeric literals lower to an OR chain of
+		// equalities (numbers have no dictionary to probe).
+		allStr := true
+		for _, l := range pred.In {
+			if !l.IsString {
+				allStr = false
+				break
+			}
+		}
+		if allStr {
+			vals := make([]string, len(pred.In))
+			for i, l := range pred.In {
+				vals[i] = l.Str
+			}
+			return relational.In(relational.Col(col), vals...), nil
+		}
+		var expr relational.Expr
+		for _, l := range pred.In {
+			var lit relational.Expr
+			if l.IsString {
+				lit = relational.Str(l.Str)
+			} else {
+				lit = relational.Num(l.Num)
+			}
+			eq := relational.NewBinOp(relational.OpEq, relational.Col(col), lit)
+			if expr == nil {
+				expr = eq
+			} else {
+				expr = relational.NewBinOp(relational.OpOr, expr, eq)
+			}
+		}
+		return expr, nil
+	}
 	op, ok := cmpOps[pred.Op]
 	if !ok {
 		return nil, fmt.Errorf("sqlparse: unsupported operator %q", pred.Op)

@@ -320,3 +320,75 @@ func TestPlanQualifiedStar(t *testing.T) {
 		t.Fatalf("cols = %v", cols)
 	}
 }
+
+func TestParseInPredicate(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE grp IN ('a', 'b') AND v > 2 AND mixed IN ('x', 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Where) != 3 {
+		t.Fatalf("predicates = %d, want 3", len(stmt.Where))
+	}
+	in := stmt.Where[0]
+	if in.Op != "IN" || len(in.In) != 2 || in.In[0].Str != "a" || in.In[1].Str != "b" {
+		t.Fatalf("IN predicate wrong: %+v", in)
+	}
+	if stmt.Where[1].Op != ">" {
+		t.Fatalf("second predicate = %+v", stmt.Where[1])
+	}
+	mixed := stmt.Where[2]
+	if len(mixed.In) != 2 || mixed.In[0].Str != "x" || mixed.In[1].Num != 3 {
+		t.Fatalf("mixed IN wrong: %+v", mixed)
+	}
+	for _, bad := range []string{
+		"SELECT * FROM t WHERE a IN",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN ('x'",
+		"SELECT * FROM t WHERE a IN ('x' 'y')",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestPlanInPredicateLowering(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(
+		"SELECT id FROM patient_info WHERE asthma IN ('yes', 'maybe')", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := ir.FindAll(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindFilter })
+	if len(filters) != 1 {
+		t.Fatalf("filters = %d, want 1", len(filters))
+	}
+	if got := filters[0].Pred.String(); got != "patient_info.asthma IN ('yes', 'maybe')" {
+		t.Fatalf("lowered predicate = %q", got)
+	}
+	// Mixed literal lists fall back to an OR chain of equalities.
+	g2, err := ParseAndPlan("SELECT id FROM patient_info WHERE age IN (30, 45)", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := ir.FindAll(g2.Root, func(n *ir.Node) bool { return n.Kind == ir.KindFilter })
+	if got := f2[0].Pred.String(); got != "((patient_info.age = 30) OR (patient_info.age = 45))" {
+		t.Fatalf("numeric IN lowering = %q", got)
+	}
+	// Execution: IN filters the matching rows.
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _, _ := testfix.CovidTables()
+	want := 0
+	asthma := pi.Col("asthma")
+	for i := 0; i < pi.NumRows(); i++ {
+		if asthma.AsString(i) == "yes" {
+			want++
+		}
+	}
+	if res.Table.NumRows() != want {
+		t.Fatalf("IN filter kept %d rows, want %d", res.Table.NumRows(), want)
+	}
+}
