@@ -403,6 +403,93 @@ func BenchmarkJoinAggParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupByParallelSpeedup measures grouped aggregation across the
+// two grouping paths and the morsel-parallel breaker. Two query shapes
+// run: "kernel" is a pure grouped aggregation over the dictionary-encoded
+// Expedia fact table (grouping dominates, so the dense-vs-hash gap is
+// visible), and "predict" is the Expedia-style grouped AVG-over-predict —
+// average predicted score per market — where grouping shares the exchange
+// with the model. Each shape runs with hash-forced grouping and with the
+// dense code-indexed path, at DOP 1, 4 and NumCPU; sub-benchmarks emit
+// ns/op, allocs/op and rows/s, the parallel ones a "speedup" metric vs
+// the measured DOP=1 baseline of the same shape+grouping, and the dense
+// ones a "dense_speedup" metric vs hash grouping at the same shape+DOP.
+// Results are byte-identical across all twelve configurations (asserted
+// by the differential harnesses); this bench records what the dense path
+// and the parallel breaker are worth.
+func BenchmarkGroupByParallelSpeedup(b *testing.B) {
+	const rows = 30000
+	ds := datagen.Expedia(rows, 1)
+	pipe, err := ds.Train(train.KindGradientBoosting, func(s *train.Spec) {
+		s.NEstimators = 20
+		s.MaxDepth = 4
+		s.LearningRate = 0.2
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ shape, sql string }{
+		{"kernel", "SELECT visitor_location, COUNT(*) AS n, AVG(price_usd) AS avg_price, " +
+			"MIN(price_usd) AS lo, MAX(price_usd) AS hi FROM searches GROUP BY visitor_location"},
+		{"predict", ds.GroupedAggregateQuery(pipe.Name)},
+	}
+	dops := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	groupings := []struct {
+		name  string
+		limit int // Profile.DenseGroupLimit
+	}{
+		{"hash", -1},
+		{"dense", 0},
+	}
+	baseNs := make(map[string]float64) // shape/grouping → dop=1 ns/op
+	hashNs := make(map[string]float64) // shape/dop → hash ns/op
+	for _, q := range queries {
+		for _, grouping := range groupings {
+			for _, dop := range dops {
+				name := fmt.Sprintf("shape=%s/grouping=%s/dop=%d", q.shape, grouping.name, dop)
+				b.Run(name, func(b *testing.B) {
+					prof := engine.Local
+					prof.DenseGroupLimit = grouping.limit
+					s := NewSession(WithProfile(prof), WithParallelism(dop))
+					for _, t := range ds.Tables {
+						s.RegisterTable(t)
+					}
+					if err := s.RegisterModel(pipe); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := s.Query(q.sql)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Table.NumRows() < 2 {
+							b.Fatalf("grouped query returned %d groups", res.Table.NumRows())
+						}
+					}
+					perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+					if dop == 1 {
+						baseNs[q.shape+"/"+grouping.name] = perOp
+					} else if base := baseNs[q.shape+"/"+grouping.name]; base > 0 {
+						b.ReportMetric(base/perOp, "speedup")
+					}
+					key := fmt.Sprintf("%s/%d", q.shape, dop)
+					if grouping.name == "hash" {
+						hashNs[key] = perOp
+					} else if base := hashNs[key]; base > 0 {
+						b.ReportMetric(base/perOp, "dense_speedup")
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkStringHeavyJoinEncode measures the dictionary-encoding hot
 // path end to end: a fact table joined to a dimension on a *string* key
 // feeding a one-hot-heavy predict (a 240-category segment column plus 12

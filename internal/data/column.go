@@ -175,12 +175,30 @@ func CountTrue(keep []bool) int {
 }
 
 // FilterCount is Filter with the mask's true-count precomputed, so a
-// table filters all columns after counting the mask once.
+// table filters all columns after counting the mask once. An all-false
+// mask returns a zero-row view of the column: storage present but
+// empty, with capacity clipped to zero (three-index slices) so a later
+// append into the view can never write through to the source array.
 func (c *Column) FilterCount(keep []bool, n int) *Column {
-	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 	if n == 0 {
+		out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
+		switch c.Type {
+		case Float64:
+			out.F64 = c.F64[:0:0]
+		case Int64:
+			out.I64 = c.I64[:0:0]
+		case String:
+			if c.Dict != nil {
+				out.Codes = c.Codes[:0:0]
+			} else {
+				out.Str = c.Str[:0:0]
+			}
+		case Bool:
+			out.B = c.B[:0:0]
+		}
 		return out
 	}
+	out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 	switch c.Type {
 	case Float64:
 		out.F64 = make([]float64, 0, n)

@@ -341,3 +341,58 @@ func TestByteSize(t *testing.T) {
 		t.Fatal("int ByteSize wrong")
 	}
 }
+
+// TestFilterCountAllFalseKeepsStorage pins the all-false filter path:
+// the result must be a zero-row VIEW of the input — column storage
+// present (empty, not nil, when the source has storage), types and
+// shared dictionaries preserved — so empty filter results flow through
+// partitioning, appends and aggregation like any other zero-row table.
+func TestFilterCountAllFalse(t *testing.T) {
+	tb := MustNewTable("t",
+		NewInt("id", []int64{1, 2, 3}),
+		NewFloat("v", []float64{1.5, 2.5, 3.5}),
+		NewBool("b", []bool{true, false, true}),
+		DictEncode(NewString("g", []string{"x", "y", "x"})))
+	empty := tb.Filter([]bool{false, false, false})
+	if empty.NumRows() != 0 || empty.NumCols() != 4 {
+		t.Fatalf("shape = %dx%d", empty.NumRows(), empty.NumCols())
+	}
+	for _, c := range empty.Cols {
+		src := tb.Col(c.Name)
+		if c.Type != src.Type {
+			t.Fatalf("column %q type changed: %v != %v", c.Name, c.Type, src.Type)
+		}
+	}
+	if g := empty.Col("g"); g.Dict != tb.Col("g").Dict {
+		t.Fatal("all-false filter dropped the shared dictionary")
+	}
+	// Row storage must be present (zero-length views, not nil columns).
+	if empty.Col("id").I64 == nil || empty.Col("v").F64 == nil ||
+		empty.Col("b").B == nil || empty.Col("g").Codes == nil {
+		t.Fatal("all-false filter returned columns with no row storage")
+	}
+	// The empty view must append and re-partition like a normal table —
+	// and appending directly into the view must never write through to
+	// the source arrays (capacity is clipped to zero).
+	if err := empty.Clone().AppendFrom(tb); err != nil {
+		t.Fatalf("append into empty view: %v", err)
+	}
+	direct := tb.Filter([]bool{false, false, false})
+	if err := direct.AppendFrom(tb.Slice(1, 2)); err != nil {
+		t.Fatalf("append directly into empty view: %v", err)
+	}
+	if tb.Col("id").I64[0] != 1 || tb.Col("v").F64[0] != 1.5 {
+		t.Fatal("append into all-false view corrupted the source table")
+	}
+	pt, err := PartitionBy(empty, "g")
+	if err != nil {
+		t.Fatalf("partition empty view: %v", err)
+	}
+	if pt.NumRows() != 0 {
+		t.Fatalf("partitioned empty view has %d rows", pt.NumRows())
+	}
+	flat := pt.Flatten()
+	if flat.NumRows() != 0 || flat.NumCols() != 4 {
+		t.Fatalf("flatten shape = %dx%d", flat.NumRows(), flat.NumCols())
+	}
+}

@@ -151,8 +151,19 @@ func TestTableFilterFastPaths(t *testing.T) {
 	if none.NumRows() != 0 || none.NumCols() != 2 {
 		t.Fatal("all-false filter wrong")
 	}
+	// All-false is a zero-row VIEW: no row data is copied and storage
+	// stays present (non-nil) so the view behaves like any other zero-row
+	// table (the FilterCount latent-gap regression, PR 4) — but capacity
+	// is clipped to zero so appending into the view can never write
+	// through to the source array.
+	if none.Col("v").F64 == nil || none.Col("k").Codes == nil {
+		t.Fatal("all-false filter returned columns with no row storage")
+	}
 	if cap(none.Col("v").F64) != 0 || cap(none.Col("k").Codes) != 0 {
-		t.Fatal("all-false filter should not allocate row storage")
+		t.Fatal("all-false filter must clip capacity (no write-through aliasing)")
+	}
+	if none.Col("k").Dict != tb.Col("k").Dict {
+		t.Fatal("all-false filter dropped the shared dictionary")
 	}
 }
 

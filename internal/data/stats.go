@@ -233,7 +233,29 @@ func (p *PartitionedTable) GlobalStats() TableStats {
 }
 
 // Flatten concatenates all partitions into a single table (copying).
+// Zero partitions (a partitioning of an empty table, e.g. an all-false
+// filter view) flatten to an empty table with the original schema,
+// keeping the same storage-present zero-row shape the all-false
+// FilterCount path produces.
 func (p *PartitionedTable) Flatten() *Table {
+	if len(p.Parts) == 0 {
+		out := &Table{Name: p.Name, byName: make(map[string]int, len(p.schema))}
+		for _, f := range p.schema {
+			c := &Column{Name: f.Name, Type: f.Type}
+			switch f.Type {
+			case Float64:
+				c.F64 = []float64{}
+			case Int64:
+				c.I64 = []int64{}
+			case String:
+				c.Str = []string{}
+			case Bool:
+				c.B = []bool{}
+			}
+			_ = out.AddColumn(c)
+		}
+		return out
+	}
 	if len(p.Parts) == 1 {
 		return p.Parts[0].Table
 	}

@@ -149,7 +149,12 @@ func (t *Table) Filter(keep []bool) *Table {
 
 // FilterCount is Filter with the mask's true-count precomputed: the mask
 // is counted once for the whole table, and an all-true mask returns a
-// zero-copy view of the input.
+// zero-copy view of the input. An all-false mask returns a zero-row
+// *view* (empty, capacity-clipped slices of the input columns, shared
+// dictionaries) rather than columns with no backing storage, so empty
+// filter results behave like any other zero-row table downstream —
+// partitioning, scans and (grouped) aggregation over them produce their
+// identity results.
 func (t *Table) FilterCount(keep []bool, n int) *Table {
 	if n == len(keep) && t.NumRows() == n {
 		return t.Slice(0, n)

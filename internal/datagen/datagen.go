@@ -109,6 +109,24 @@ func (d *Dataset) AggregateQuery(modelName string, where ...string) string {
 	return strings.Replace(q, "SELECT p.score FROM", "SELECT AVG(p.score) AS avg_score FROM", 1)
 }
 
+// GroupColumn returns the categorical column the grouped queries key on,
+// qualified under the canonical data alias d (the CTE rename exposes
+// every joined column as d.<base>, so the first model categorical always
+// resolves).
+func (d *Dataset) GroupColumn() string {
+	return "d." + d.Spec.Categorical[0]
+}
+
+// GroupedAggregateQuery renders the grouped variant of AggregateQuery:
+// the average predicted score per category ("average predicted rate per
+// market" in the paper's terms), exercising GROUP BY over PREDICT.
+func (d *Dataset) GroupedAggregateQuery(modelName string, where ...string) string {
+	q := d.Query(modelName, where...)
+	q = strings.Replace(q, "SELECT p.score FROM",
+		fmt.Sprintf("SELECT %s, AVG(p.score) AS avg_score FROM", d.GroupColumn()), 1)
+	return q + " GROUP BY " + d.GroupColumn()
+}
+
 // CreditCard generates the single-table, all-numeric fraud dataset
 // (28 numeric inputs like the Kaggle ULB credit-card data).
 func CreditCard(rows int, seed int64) *Dataset {

@@ -73,6 +73,16 @@ type Profile struct {
 	// gets faster, so it keeps row stores slower than batch runtimes on
 	// small inputs too. Vectorized runtimes leave it 0.
 	PredictRowOverhead time.Duration
+	// DenseGroupLimit selects the grouping path for GROUP BY over a
+	// single dictionary-encoded key: dictionaries up to this cardinality
+	// group through a dense code→group array (no hashing; one array per
+	// worker under parallel execution), larger ones and all other key
+	// shapes hash canonically-encoded typed keys. 0 applies the
+	// relational default (relational.DefaultDenseGroupLimit); a negative
+	// value forces hash grouping everywhere. Both paths produce
+	// byte-identical results — this knob trades the dense array's memory
+	// (4 bytes × cardinality × workers) for the hash probe cost.
+	DenseGroupLimit int
 }
 
 // SparkSKL is the paper's "Spark+SKL" baseline: the Spark cluster invoking

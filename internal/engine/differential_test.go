@@ -17,7 +17,8 @@ import (
 
 // Differential harness over the datagen datasets: every generated plan
 // shape — multi-table join pyramids, predict-over-join, aggregate-over-
-// predict, with and without logical optimization and MLtoSQL — must
+// predict, grouped-aggregate-over-predict (GROUP BY through the
+// PREDICT TVF), with and without logical optimization and MLtoSQL — must
 // produce byte-identical results across BOTH string representations
 // (dictionary-encoded catalogs, as datagen produces, and decoded raw-
 // string catalogs) at ExecDOP 1, 2, 4 and NumCPU. This is the end-to-end
@@ -113,6 +114,7 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 		for _, q := range []struct{ kind, sql string }{
 			{"predict", c.ds.Query("%s")},
 			{"aggregate", c.ds.AggregateQuery("%s")},
+			{"groupby", c.ds.GroupedAggregateQuery("%s")},
 		} {
 			sql := fmt.Sprintf(q.sql, model)
 			prof := engine.Local
@@ -124,6 +126,9 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 			}
 			if q.kind == "aggregate" && serial.Table.NumRows() != 1 {
 				t.Fatalf("%s aggregate returned %d rows", c.name, serial.Table.NumRows())
+			}
+			if q.kind == "groupby" && serial.Table.NumRows() < 2 {
+				t.Fatalf("%s grouped aggregate returned %d groups", c.name, serial.Table.NumRows())
 			}
 			for repr, cat := range map[string]*engine.Catalog{"dict": dictCat, "raw": rawCat} {
 				g := diffPlan(t, c, cat, sql)

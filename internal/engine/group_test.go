@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"raven/internal/data"
+	"raven/internal/relational"
+	"raven/internal/sqlparse"
+)
+
+// groupCatalog registers one dictionary-encoded table with a known group
+// structure, large enough for parallel plans to split into morsels.
+func groupCatalog(t *testing.T, rows int) *Catalog {
+	t.Helper()
+	g := make([]string, rows)
+	v := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		g[i] = fmt.Sprintf("m%d", i%5)
+		v[i] = float64(i)
+	}
+	cat := NewCatalog()
+	cat.RegisterTable(data.DictEncodeTable(data.MustNewTable("sales",
+		data.NewString("market", g), data.NewFloat("amount", v))))
+	return cat
+}
+
+// TestLowerGroupByPicksGroupAggregate pins the lowering: a grouped
+// aggregate node lowers to relational.GroupAggregate carrying the
+// profile's dense-vs-hash grouping choice, and a global one still lowers
+// to the scalar Aggregate.
+func TestLowerGroupByPicksGroupAggregate(t *testing.T) {
+	cat := groupCatalog(t, 100)
+	grouped, err := sqlparse.ParseAndPlan(
+		"SELECT market, SUM(amount) AS s FROM sales GROUP BY market", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Local
+	prof.DenseGroupLimit = -1
+	root, err := Lower(grouped, cat, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, ok := root.(*relational.GroupAggregate)
+	if !ok {
+		t.Fatalf("lowered root = %T, want *relational.GroupAggregate", root)
+	}
+	if ga.DenseLimit != -1 {
+		t.Fatalf("DenseLimit = %d, want profile's -1", ga.DenseLimit)
+	}
+	if len(ga.Keys) != 1 || ga.Keys[0] != "sales.market" {
+		t.Fatalf("Keys = %v", ga.Keys)
+	}
+	global, err := sqlparse.ParseAndPlan("SELECT SUM(amount) AS s FROM sales", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err = Lower(global, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := root.(*relational.Aggregate); !ok {
+		t.Fatalf("lowered global root = %T, want *relational.Aggregate", root)
+	}
+}
+
+// TestGroupByDenseVsHashProfiles runs the same grouped query under the
+// dense-grouping and hash-grouping profiles at several DOPs: results must
+// be byte-identical, groups in first-occurrence order, and the reported
+// time must stay positive (the merge breaker is charged as coordinator
+// work, not double-counted against the exchange).
+func TestGroupByDenseVsHashProfiles(t *testing.T) {
+	cat := groupCatalog(t, 20000)
+	g, err := sqlparse.ParseAndPlan(
+		"SELECT market, COUNT(*) AS n, AVG(amount) AS m FROM sales GROUP BY market",
+		cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(g, cat, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Table.NumRows() != 5 {
+		t.Fatalf("groups = %d", base.Table.NumRows())
+	}
+	for i := 0; i < 5; i++ {
+		if got := base.Table.Col("sales.market").AsString(i); got != fmt.Sprintf("m%d", i) {
+			t.Fatalf("group %d = %q (first-occurrence order broken)", i, got)
+		}
+		if got := base.Table.Col("n").F64[i]; got != 4000 {
+			t.Fatalf("count[%d] = %v", i, got)
+		}
+	}
+	for _, dense := range []int{0, -1, 3} { // default, hash-forced, limit below cardinality
+		for _, dop := range []int{1, 2, 4} {
+			prof := Local
+			prof.DenseGroupLimit = dense
+			prof.ExecDOP = dop
+			res, err := Run(g, cat, prof)
+			if err != nil {
+				t.Fatalf("dense=%d dop=%d: %v", dense, dop, err)
+			}
+			diffAssertIdenticalTables(t, base.Table, res.Table,
+				fmt.Sprintf("dense=%d dop=%d", dense, dop))
+			if res.Reported <= 0 {
+				t.Fatalf("dense=%d dop=%d: reported time %v", dense, dop, res.Reported)
+			}
+		}
+	}
+}
+
+func diffAssertIdenticalTables(t *testing.T, want, got *data.Table, label string) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label,
+			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for _, wc := range want.Cols {
+		gc := got.Col(wc.Name)
+		if gc == nil {
+			t.Fatalf("%s: missing column %q", label, wc.Name)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			if wc.AsString(i) != gc.AsString(i) {
+				t.Fatalf("%s: column %q row %d: %s != %s",
+					label, wc.Name, i, gc.AsString(i), wc.AsString(i))
+			}
+		}
+	}
+}
+
+// TestGroupByOverEmptyCatalogView is the engine-level twin of the
+// FilterCount all-false regression: registering an all-false filter view
+// as a catalog table, both grouped and global aggregation over it run at
+// DOP 1 and 4 and produce zero-group / identity results.
+func TestGroupByOverEmptyCatalogView(t *testing.T) {
+	tb := data.DictEncodeTable(data.MustNewTable("sales",
+		data.NewString("market", []string{"a", "b", "a"}),
+		data.NewFloat("amount", []float64{1, 2, 3})))
+	empty := tb.Filter(make([]bool, tb.NumRows()))
+	cat := NewCatalog()
+	cat.RegisterTable(empty)
+	for _, sql := range []string{
+		"SELECT market, COUNT(*) AS n FROM sales GROUP BY market",
+		"SELECT COUNT(*) AS n, SUM(amount) AS s FROM sales",
+	} {
+		g, err := sqlparse.ParseAndPlan(sql, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		for _, dop := range []int{1, 4} {
+			prof := Local
+			prof.ExecDOP = dop
+			res, err := Run(g, cat, prof)
+			if err != nil {
+				t.Fatalf("%s dop=%d: %v", sql, dop, err)
+			}
+			n := res.Table.Col("n")
+			switch {
+			case res.Table.HasCol("s"): // global: identity row
+				if res.Table.NumRows() != 1 || n.F64[0] != 0 || res.Table.Col("s").F64[0] != 0 {
+					t.Fatalf("%s dop=%d:\n%s", sql, dop, res.Table)
+				}
+			default: // grouped: zero groups
+				if res.Table.NumRows() != 0 {
+					t.Fatalf("%s dop=%d: %d groups", sql, dop, res.Table.NumRows())
+				}
+			}
+		}
+	}
+}

@@ -11,9 +11,12 @@ import (
 // given profile. When the profile requests real parallelism (ExecDOP > 1)
 // partition-parallel segments are rewritten into morsel-driven Exchange
 // operators; hash joins inside such segments probe in parallel against a
-// shared build table and global aggregates fold per-worker partial
-// accumulators, so join- and aggregate-heavy prediction queries scale
-// past one core too. The profile batch size doubles as the morsel size,
+// shared build table, global aggregates fold per-worker partial
+// accumulators, and grouped aggregates fold per-worker grouped
+// accumulators (dense code-indexed or hashed per Profile.DenseGroupLimit)
+// merged by key value at a breaker, so join- and aggregate-heavy
+// prediction queries scale past one core too. The profile batch size
+// doubles as the morsel size,
 // which keeps parallel batch boundaries aligned with serial ones — the
 // property the partial-aggregation fold relies on for bit-identical
 // results.
@@ -85,6 +88,17 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 		child, err := l.lower(n.Children[0])
 		if err != nil {
 			return nil, err
+		}
+		if len(n.GroupBy) > 0 {
+			// Grouped aggregation: the profile picks dense code-indexed
+			// grouping vs hashed typed keys (DenseGroupLimit); under
+			// ExecDOP > 1 the Parallelize rewrite turns this into
+			// per-worker PartialGroupAggregates under a
+			// MergeGroupAggregate breaker, whose serial merge work the
+			// reported-time walk charges fully (it is coordinator work,
+			// like the global aggregate's merge).
+			return &relational.GroupAggregate{Child: child, Keys: n.GroupBy,
+				Aggs: n.Aggs, DenseLimit: l.prof.DenseGroupLimit}, nil
 		}
 		return &relational.Aggregate{Child: child, Aggs: n.Aggs}, nil
 	case ir.KindUnion:

@@ -136,8 +136,11 @@ type Node struct {
 	// output) when Target == TargetSQL.
 	SQLExprs []relational.NamedExpr
 
-	// Aggregate fields.
-	Aggs []relational.AggSpec
+	// Aggregate fields. GroupBy holds the resolved group-key column
+	// names (empty for global aggregates); output columns are the keys in
+	// GroupBy order followed by the aggregate outputs.
+	Aggs    []relational.AggSpec
+	GroupBy []string
 }
 
 // Graph is a rooted IR tree plus an ID allocator.
@@ -236,6 +239,7 @@ func (g *Graph) Clone() *Graph {
 		c.Exprs = append([]relational.NamedExpr(nil), n.Exprs...)
 		c.SQLExprs = append([]relational.NamedExpr(nil), n.SQLExprs...)
 		c.Aggs = append([]relational.AggSpec(nil), n.Aggs...)
+		c.GroupBy = append([]string(nil), n.GroupBy...)
 		if n.InputMap != nil {
 			c.InputMap = make(map[string]string, len(n.InputMap))
 			for k, v := range n.InputMap {
@@ -312,9 +316,10 @@ func OutputColumns(n *Node, cat Catalog) ([]string, error) {
 		}
 		return out, nil
 	case KindAggregate:
-		out := make([]string, len(n.Aggs))
-		for i, a := range n.Aggs {
-			out[i] = a.As
+		out := make([]string, 0, len(n.GroupBy)+len(n.Aggs))
+		out = append(out, n.GroupBy...)
+		for _, a := range n.Aggs {
+			out = append(out, a.As)
 		}
 		return out, nil
 	}
@@ -402,7 +407,12 @@ func (g *Graph) Explain() string {
 				}
 			}
 		case KindAggregate:
-			fmt.Fprintf(&b, "%sAggregate (%d aggs)\n", pad, len(n.Aggs))
+			if len(n.GroupBy) > 0 {
+				fmt.Fprintf(&b, "%sAggregate (%d aggs) GROUP BY [%s]\n",
+					pad, len(n.Aggs), strings.Join(n.GroupBy, ","))
+			} else {
+				fmt.Fprintf(&b, "%sAggregate (%d aggs)\n", pad, len(n.Aggs))
+			}
 		case KindUnion:
 			fmt.Fprintf(&b, "%sUnion\n", pad)
 		}

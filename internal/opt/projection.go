@@ -72,6 +72,9 @@ func pushNeeded(n *ir.Node, needed map[string]bool, cat ir.Catalog, assumeFK boo
 				childNeeded[a.Col] = true
 			}
 		}
+		for _, k := range n.GroupBy {
+			childNeeded[k] = true
+		}
 		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
 		if err != nil {
 			return nil, err

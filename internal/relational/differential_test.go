@@ -12,10 +12,12 @@ import (
 // Differential harness: randomized tables (varying row counts, skewed
 // join keys, NULL-free edge-value columns) are run through every
 // parallelizable plan shape — scan chains, single and chained hash
-// joins (integer- and string-keyed), string equality/IN filters, and
-// global aggregates — under BOTH string representations (raw and
-// dictionary-encoded), and every execution must be byte-identical to the
-// raw serial baseline at DOP 1, 2, 4 and NumCPU. The engine-level twin
+// joins (integer- and string-keyed), string equality/IN filters, global
+// aggregates, and grouped aggregates (single/multi key, dense and
+// hash-forced grouping, grouped over joins) — under BOTH string
+// representations (raw and dictionary-encoded), and every execution must
+// be byte-identical to the raw serial baseline at DOP 1, 2, 4 and
+// NumCPU. The engine-level twin
 // (internal/engine/differential_test.go) drives the same property
 // through SQL planning, optimization and ML predict plans over the
 // datagen datasets.
@@ -195,6 +197,33 @@ func diffShapes(f *diffFixture, batch int) map[string]func() Operator {
 		"agg-over-str-join": func() Operator {
 			return &Aggregate{Child: joinStr(), Aggs: aggs}
 		},
+		// Grouped aggregation: string key (dense dict path when encoded),
+		// integer key, multi-key, hash-forced grouping, and groups over
+		// joins — all must be byte-identical across representation × DOP,
+		// including output row order (first occurrence in serial batch
+		// order).
+		"group-str-key": func() Operator {
+			return &GroupAggregate{Child: scanChain(), Keys: []string{"grp"}, Aggs: aggs}
+		},
+		"group-str-key-hash": func() Operator {
+			return &GroupAggregate{Child: scanChain(), Keys: []string{"grp"},
+				Aggs: aggs, DenseLimit: -1}
+		},
+		"group-int-key": func() Operator {
+			return &GroupAggregate{Child: scanChain(), Keys: []string{"k2"}, Aggs: aggs}
+		},
+		"group-multi-key": func() Operator {
+			return &GroupAggregate{Child: scanChain(),
+				Keys: []string{"grp", "k2"}, Aggs: aggs}
+		},
+		"group-over-join": func() Operator {
+			return &GroupAggregate{Child: joinJoin(),
+				Keys: []string{"dim_s"}, Aggs: aggs}
+		},
+		"group-over-str-join": func() Operator {
+			return &GroupAggregate{Child: joinStr(),
+				Keys: []string{"grp", "dim3_s"}, Aggs: aggs}
+		},
 	}
 }
 
@@ -246,7 +275,7 @@ func TestDifferentialReuse(t *testing.T) {
 	fact, dim, dim2, dim3 := randTables(t, rng)
 	f := fixtureFrom(t, fact, dim, dim2, dim3, true)
 	shapes := diffShapes(f, 256)
-	for _, name := range []string{"join-join", "join-str", "agg-over-join"} {
+	for _, name := range []string{"join-join", "join-str", "agg-over-join", "group-over-join"} {
 		root := mustParallelize(t, shapes[name](), 4, 256)
 		first, err := Drain(root)
 		if err != nil {

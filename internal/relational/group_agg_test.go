@@ -1,0 +1,395 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"raven/internal/data"
+)
+
+// ---- naive reference aggregator ------------------------------------------
+
+// refGroup is one group of the naive reference aggregator.
+type refGroup struct {
+	keys             []string // rendered key values (AsString)
+	count            float64
+	sums, mins, maxs []float64
+}
+
+// refGroupAggregate is an independent, deliberately naive grouped
+// aggregator: one pass over the whole table, a map keyed on the rendered
+// key tuple, groups in first-occurrence order. It shares the engine's
+// value semantics (AVG = SUM/COUNT, MIN/MAX ignore NaN via `<`/`>`
+// comparisons, float keys group NaNs together) but none of its machinery
+// — no batches, no partials, no dictionaries.
+func refGroupAggregate(tb *data.Table, keys []string, aggs []AggSpec) []*refGroup {
+	keyCols := make([]*data.Column, len(keys))
+	for i, k := range keys {
+		keyCols[i] = tb.Col(k)
+	}
+	aggCols := make([]*data.Column, len(aggs))
+	for gi, g := range aggs {
+		if g.Fn != AggCount {
+			aggCols[gi] = tb.Col(g.Col)
+		}
+	}
+	idx := make(map[string]*refGroup)
+	var order []*refGroup
+	for r := 0; r < tb.NumRows(); r++ {
+		parts := make([]string, len(keyCols))
+		for i, c := range keyCols {
+			// Render float keys by canonical bits so NaNs form one group,
+			// mirroring the engine's key encoding.
+			if c.Type == data.Float64 {
+				parts[i] = strconv.FormatUint(canonFloatBits(c.F64[r]), 16)
+			} else {
+				parts[i] = c.AsString(r)
+			}
+		}
+		key := strings.Join(parts, "\x1f")
+		g, ok := idx[key]
+		if !ok {
+			vals := make([]string, len(keyCols))
+			for i, c := range keyCols {
+				vals[i] = c.AsString(r)
+			}
+			g = &refGroup{keys: vals,
+				sums: make([]float64, len(aggs)),
+				mins: make([]float64, len(aggs)),
+				maxs: make([]float64, len(aggs))}
+			for i := range aggs {
+				g.mins[i] = 1e308
+				g.maxs[i] = -1e308
+			}
+			idx[key] = g
+			order = append(order, g)
+		}
+		g.count++
+		for gi, c := range aggCols {
+			if c == nil {
+				continue
+			}
+			v := c.AsFloat(r)
+			g.sums[gi] += v
+			if v < g.mins[gi] {
+				g.mins[gi] = v
+			}
+			if v > g.maxs[gi] {
+				g.maxs[gi] = v
+			}
+		}
+	}
+	return order
+}
+
+// ---- property test --------------------------------------------------------
+
+// propAggs is the aggregate list the property tests run: every function,
+// over both a well-behaved and an edge-valued column.
+var propAggs = []AggSpec{
+	{Fn: AggCount, As: "n"},
+	{Fn: AggSum, Col: "v", As: "sum_v"},
+	{Fn: AggAvg, Col: "edge", As: "avg_edge"},
+	{Fn: AggMin, Col: "edge", As: "min_edge"},
+	{Fn: AggMax, Col: "v", As: "max_v"},
+}
+
+// propEdgeValues includes NaN: sums poison to NaN while MIN/MAX skip it —
+// both the engine and the reference must agree.
+var propEdgeValues = []float64{0, 1, -1, 1e15, -1e15, 1e-12, 97.25, -97.25, math.NaN()}
+
+// randGroupTable builds a randomized grouping fixture. shape picks the
+// distribution: "skew" (zipf-ish hot keys, empty-string key present),
+// "one" (all rows one group), "distinct" (every row its own group),
+// "empty" (no rows).
+func randGroupTable(rng *rand.Rand, shape string) *data.Table {
+	rows := 200 + rng.Intn(2800)
+	switch shape {
+	case "empty":
+		rows = 0
+	case "one":
+		rows = 1 + rng.Intn(400)
+	}
+	sk := make([]string, rows)
+	fk := make([]float64, rows)
+	ik := make([]int64, rows)
+	vs := make([]float64, rows)
+	edge := make([]float64, rows)
+	nKeys := 1 + rng.Intn(24)
+	for i := 0; i < rows; i++ {
+		switch shape {
+		case "one":
+			sk[i], fk[i], ik[i] = "only", 1.5, 7
+		case "distinct":
+			sk[i], fk[i], ik[i] = fmt.Sprintf("u%d", i), float64(i), int64(i)
+		default:
+			k := rng.Intn(nKeys)
+			if rng.Float64() < 0.6 {
+				k = k % 3 // hot keys
+			}
+			if k == 0 {
+				sk[i] = "" // empty-string group key
+			} else {
+				sk[i] = fmt.Sprintf("k%d", k)
+			}
+			fk[i] = float64(k % 5)
+			if rng.Float64() < 0.1 {
+				fk[i] = math.NaN() // NaN float keys must form one group
+			}
+			ik[i] = int64(k % 7)
+		}
+		vs[i] = rng.NormFloat64() * 100
+		edge[i] = propEdgeValues[rng.Intn(len(propEdgeValues))]
+	}
+	return data.MustNewTable("t",
+		data.NewString("sk", sk), data.NewFloat("fk", fk), data.NewInt("ik", ik),
+		data.NewFloat("v", vs), data.NewFloat("edge", edge))
+}
+
+// assertMatchesReference checks a grouped result table against the naive
+// reference: group set, order, rendered keys, COUNT/MIN/MAX exactly; SUM
+// and AVG within relative tolerance when exact is false (multi-batch
+// folds use a different float addition tree than the reference's single
+// row-order pass; single-batch runs must match bit-for-bit).
+func assertMatchesReference(t *testing.T, label string, got *data.Table, keys []string, aggs []AggSpec, ref []*refGroup, exact bool) {
+	t.Helper()
+	if got.NumRows() != len(ref) {
+		t.Fatalf("%s: %d groups, want %d", label, got.NumRows(), len(ref))
+	}
+	close := func(a, b float64) bool {
+		if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+			return true
+		}
+		if exact {
+			return false
+		}
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for r, g := range ref {
+		for i, k := range keys {
+			if got.Col(k).AsString(r) != g.keys[i] {
+				t.Fatalf("%s: group %d key %s = %q, want %q",
+					label, r, k, got.Col(k).AsString(r), g.keys[i])
+			}
+		}
+		for gi, spec := range aggs {
+			var want float64
+			switch spec.Fn {
+			case AggCount:
+				want = g.count
+			case AggSum:
+				want = g.sums[gi]
+			case AggAvg:
+				want = g.sums[gi] / g.count
+			case AggMin:
+				want = g.mins[gi]
+			case AggMax:
+				want = g.maxs[gi]
+			}
+			gotV := got.Col(spec.As).F64[r]
+			// SUM/AVG may legitimately differ in the last bits across
+			// addition trees when multi-batch (exact=false); COUNT/MIN/MAX
+			// are exact regardless of batching.
+			ok := close(gotV, want)
+			if spec.Fn != AggSum && spec.Fn != AggAvg {
+				ok = gotV == want || (math.IsNaN(gotV) && math.IsNaN(want))
+			}
+			if !ok {
+				t.Fatalf("%s: group %d %s = %v, want %v", label, r, spec.As, gotV, want)
+			}
+		}
+	}
+}
+
+// TestGroupAggregatePropertyVsReference drives randomized tables —
+// skewed, one-group, all-distinct and empty shapes, with NaN, empty
+// strings and magnitude-edge values — through the grouped operator in
+// every configuration (single batch, multi-batch, dict-encoded,
+// hash-forced, parallel) and checks each against the naive reference,
+// plus byte-identity between the configurations themselves.
+func TestGroupAggregatePropertyVsReference(t *testing.T) {
+	shapes := []string{"skew", "skew", "skew", "one", "distinct", "empty"}
+	keySets := [][]string{{"sk"}, {"ik"}, {"fk"}, {"sk", "ik"}, {"sk", "fk", "ik"}}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		shape := shapes[int(seed-1)%len(shapes)]
+		tb := randGroupTable(rng, shape)
+		for _, keys := range keySets {
+			ref := refGroupAggregate(tb, keys, propAggs)
+			label := fmt.Sprintf("seed=%d shape=%s keys=%v", seed, shape, keys)
+
+			// Single batch: the operator's per-group accumulation order is
+			// exactly the reference's row order, so results match
+			// bit-for-bit.
+			one := data.SinglePartition(tb)
+			batchAll := tb.NumRows() + 1
+			serialOne, err := Drain(&GroupAggregate{
+				Child: NewScan(one, "", nil, batchAll), Keys: keys, Aggs: propAggs})
+			if err != nil {
+				t.Fatalf("%s single-batch: %v", label, err)
+			}
+			assertMatchesReference(t, label+" single-batch", serialOne, keys, propAggs, ref, true)
+
+			// Multi-batch serial: same groups/order, SUM/AVG within
+			// tolerance of the reference (different addition tree), and the
+			// baseline every other configuration must reproduce exactly.
+			mk := func(src *data.PartitionedTable, dense int) func() Operator {
+				return func() Operator {
+					return &GroupAggregate{Child: NewScan(src, "", nil, 128),
+						Keys: keys, Aggs: propAggs, DenseLimit: dense}
+				}
+			}
+			serial, err := Drain(mk(one, 0)())
+			if err != nil {
+				t.Fatalf("%s serial: %v", label, err)
+			}
+			assertMatchesReference(t, label+" serial", serial, keys, propAggs, ref, false)
+
+			enc := data.SinglePartition(data.DictEncodeTable(tb))
+			for name, cfg := range map[string]func() Operator{
+				"dict":      mk(enc, 0),
+				"hash":      mk(one, -1),
+				"dict-hash": mk(enc, -1),
+			} {
+				got, err := Drain(cfg())
+				if err != nil {
+					t.Fatalf("%s %s: %v", label, name, err)
+				}
+				assertTablesEqual(t, serial, got)
+			}
+			for _, dop := range []int{2, 4} {
+				for name, src := range map[string]*data.PartitionedTable{"raw": one, "dict": enc} {
+					got, err := Drain(mustParallelize(t, mk(src, 0)(), dop, 128))
+					if err != nil {
+						t.Fatalf("%s %s dop=%d: %v", label, name, dop, err)
+					}
+					assertTablesEqual(t, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupAggregateEmptyViews pins the FilterCount all-false regression:
+// grouped and global aggregation over empty views — an all-false-filtered
+// table used as a source, and an always-false Filter feeding the
+// aggregate — must produce the zero-group / identity results, serially
+// and in parallel.
+func TestGroupAggregateEmptyViews(t *testing.T) {
+	tb := data.DictEncodeTable(data.MustNewTable("t",
+		data.NewString("g", []string{"a", "b", "a", "c"}),
+		data.NewFloat("v", []float64{1, 2, 3, 4})))
+	aggs := []AggSpec{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggSum, Col: "v", As: "s"},
+		{Fn: AggAvg, Col: "v", As: "m"},
+		{Fn: AggMin, Col: "v", As: "lo"},
+		{Fn: AggMax, Col: "v", As: "hi"},
+	}
+	empty := tb.Filter(make([]bool, tb.NumRows())) // all-false view
+	sources := map[string]func() Operator{
+		"filtered-view": func() Operator {
+			return NewScan(data.SinglePartition(empty), "", nil, 2)
+		},
+		"false-filter": func() Operator {
+			return &Filter{Child: NewScan(data.SinglePartition(tb), "", nil, 2),
+				Pred: NewBinOp(OpEq, Col("g"), Str("absent"))}
+		},
+	}
+	for name, src := range sources {
+		for _, dop := range []int{1, 4} {
+			grouped, err := Drain(mustParallelize(t,
+				&GroupAggregate{Child: src(), Keys: []string{"g"}, Aggs: aggs}, dop, 2))
+			if err != nil {
+				t.Fatalf("%s grouped dop=%d: %v", name, dop, err)
+			}
+			if grouped.NumRows() != 0 {
+				t.Fatalf("%s grouped dop=%d: %d groups over empty input", name, dop, grouped.NumRows())
+			}
+			global, err := Drain(mustParallelize(t,
+				&Aggregate{Child: src(), Aggs: aggs}, dop, 2))
+			if err != nil {
+				t.Fatalf("%s global dop=%d: %v", name, dop, err)
+			}
+			if global.NumRows() != 1 {
+				t.Fatalf("%s global dop=%d: %d rows", name, dop, global.NumRows())
+			}
+			// Identity results: COUNT/SUM/AVG zero, MIN/MAX at their fold
+			// identities.
+			for col, want := range map[string]float64{
+				"n": 0, "s": 0, "m": 0, "lo": 1e308, "hi": -1e308} {
+				if got := global.Col(col).F64[0]; got != want {
+					t.Fatalf("%s global dop=%d: %s = %v, want %v", name, dop, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupAggregateDenseMatchesHash pins the dense code-indexed path
+// against hash grouping on a dictionary whose cardinality straddles the
+// limit, including a dictionary switch mid-stream (two tables sharing no
+// dictionary appended into one scan source).
+func TestGroupAggregateDenseMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mkTable := func(prefix string, rows int) *data.Table {
+		g := make([]string, rows)
+		v := make([]float64, rows)
+		for i := range g {
+			g[i] = fmt.Sprintf("%s%d", prefix, rng.Intn(40))
+			v[i] = rng.NormFloat64()
+		}
+		return data.DictEncodeTable(data.MustNewTable("t",
+			data.NewString("g", g), data.NewFloat("v", v)))
+	}
+	a, b := mkTable("a", 900), mkTable("b", 700)
+	// Two partitions with different dictionaries: the dense array must
+	// reinitialize on the switch, and the merge must group by value.
+	pt := data.SinglePartition(a)
+	pt.Parts = append(pt.Parts, data.SinglePartition(b).Parts...)
+	aggs := []AggSpec{{Fn: AggCount, As: "n"}, {Fn: AggSum, Col: "v", As: "s"}}
+	mk := func(dense int) Operator {
+		return &GroupAggregate{Child: NewScan(pt, "", nil, 128),
+			Keys: []string{"g"}, Aggs: aggs, DenseLimit: dense}
+	}
+	hash, err := Drain(mk(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 40, 39} { // 39 < card: hash fallback for these dicts
+		dense, err := Drain(mk(limit))
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		assertTablesEqual(t, hash, dense)
+	}
+	for _, dop := range []int{2, 4} {
+		par, err := Drain(mustParallelize(t, mk(0), dop, 128))
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		assertTablesEqual(t, hash, par)
+	}
+}
+
+// TestGroupAggregateErrors covers the operator's error paths: no keys,
+// missing key column, missing aggregate column.
+func TestGroupAggregateErrors(t *testing.T) {
+	pt := data.SinglePartition(data.MustNewTable("t",
+		data.NewString("g", []string{"a"}), data.NewFloat("v", []float64{1})))
+	if err := (&GroupAggregate{Child: NewScan(pt, "", nil, 8)}).Open(); err == nil {
+		t.Fatal("expected error for GroupAggregate without keys")
+	}
+	if _, err := Drain(&GroupAggregate{Child: NewScan(pt, "", nil, 8),
+		Keys: []string{"nope"}, Aggs: []AggSpec{{Fn: AggCount, As: "n"}}}); err == nil {
+		t.Fatal("expected error for missing key column")
+	}
+	if _, err := Drain(&GroupAggregate{Child: NewScan(pt, "", nil, 8),
+		Keys: []string{"g"}, Aggs: []AggSpec{{Fn: AggSum, Col: "nope", As: "s"}}}); err == nil {
+		t.Fatal("expected error for missing aggregate column")
+	}
+}

@@ -529,9 +529,11 @@ func chainify(op Operator, dop, morselSize int) (Operator, error) {
 // at the given DOP: every maximal partition-parallel segment big enough
 // to split (more rows than one morsel) is wrapped in an Exchange. The
 // former pipeline breakers scale too: hash joins become ParallelHashJoins
-// probed inside the exchange workers against a shared build table, and
-// global aggregates become per-worker PartialAggregates merged at a
-// MergeAggregate breaker. Materializations and unions stay serial but
+// probed inside the exchange workers against a shared build table, global
+// aggregates become per-worker PartialAggregates merged at a
+// MergeAggregate breaker, and grouped aggregates become per-worker
+// PartialGroupAggregates merged by key value at a MergeGroupAggregate
+// breaker. Materializations and unions stay serial but
 // pull from parallel children. dop <= 1 returns the plan unchanged.
 func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
 	if dop <= 1 {
@@ -588,6 +590,18 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 			return nil, serr
 		} else if ok {
 			return &MergeAggregate{Child: seg, Aggs: o.Aggs}, nil
+		}
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *GroupAggregate:
+		// Grouped partial aggregation: per-worker grouped accumulators
+		// (dense arrays or hash tables) inside the exchange, merged by
+		// key value in morsel order at the breaker.
+		if seg, ok, serr := exchangeSegment(&PartialGroupAggregate{
+			Child: o.Child, Keys: o.Keys, Aggs: o.Aggs, DenseLimit: o.DenseLimit,
+		}, dop, morselSize); serr != nil {
+			return nil, serr
+		} else if ok {
+			return &MergeGroupAggregate{Child: seg, Keys: o.Keys, Aggs: o.Aggs}, nil
 		}
 		o.Child, err = rewrite(o.Child, dop, morselSize)
 	case *Materialize:

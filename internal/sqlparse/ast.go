@@ -76,6 +76,9 @@ type SelectStmt struct {
 	Predict *PredictRef // PREDICT(...) in FROM
 	Joins   []JoinClause
 	Where   []Predicate
+	// GroupBy lists the GROUP BY key columns; non-empty makes this a
+	// grouped aggregation (every plain select item must be a group key).
+	GroupBy []ColName
 }
 
 // CTE is one WITH name AS (SELECT …) binding.

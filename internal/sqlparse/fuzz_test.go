@@ -30,6 +30,28 @@ var fuzzSeeds = []string{
 	"WITH d AS (SELECT * FROM a AS t0 JOIN b AS t1 ON t0.k = t1.k)" +
 		" SELECT p.score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p" +
 		" WHERE d.cat IN ('v1', 'v2') AND p.score > 0.5",
+	// GROUP BY shapes: single and multi key, aggregate+key mixes, grouped
+	// prediction queries, and select lists the planner must reject (bare
+	// columns that are not group keys parse fine — the validation is
+	// semantic).
+	"SELECT grp, COUNT(*) AS n FROM t GROUP BY grp",
+	"SELECT a.grp, b.k, AVG(v) AS m, SUM(v) AS s FROM t AS a JOIN u AS b ON a.id = b.id GROUP BY a.grp, b.k",
+	"SELECT grp, AVG(v) AS m FROM t WHERE v > 0 AND grp IN ('a','b') GROUP BY grp",
+	"SELECT COUNT(*) AS n FROM t GROUP BY grp, grp",
+	"SELECT grp FROM t GROUP BY grp",
+	"SELECT d.market, AVG(p.score) AS avg_score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p GROUP BY d.market",
+	"WITH d AS (SELECT * FROM a AS t0 JOIN b AS t1 ON t0.k = t1.k)" +
+		" SELECT d.cat, MIN(p.score) AS lo, MAX(p.score) AS hi" +
+		" FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p" +
+		" WHERE p.score > 0.25 GROUP BY d.cat",
+	"SELECT id, predict(m, *) AS s FROM t GROUP BY id",
+	"SELECT notakey, COUNT(*) AS n FROM t GROUP BY grp",
+	"SELECT *, COUNT(*) AS n FROM t GROUP BY grp",
+	// Malformed GROUP BY shapes the parser must reject gracefully.
+	"SELECT COUNT(*) FROM t GROUP grp",
+	"SELECT COUNT(*) FROM t GROUP BY",
+	"SELECT COUNT(*) FROM t GROUP BY grp,",
+	"SELECT COUNT(*) FROM t GROUP BY t.*",
 	// Malformed shapes the parser must reject gracefully.
 	"SELECT",
 	"SELECT * FROM t WHERE a >",

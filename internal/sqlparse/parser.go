@@ -84,7 +84,7 @@ func (p *parser) ident() (string, error) {
 
 var reservedAfterFrom = map[string]bool{
 	"JOIN": true, "ON": true, "WHERE": true, "AS": true, "WITH": true,
-	"AND": true, "SELECT": true, "FROM": true,
+	"AND": true, "SELECT": true, "FROM": true, "GROUP": true,
 }
 
 func (p *parser) parseSelectStmt() (*SelectStmt, error) {
@@ -173,6 +173,24 @@ func (p *parser) parseSelectStmt() (*SelectStmt, error) {
 			}
 			stmt.Where = append(stmt.Where, pred)
 			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			if col.Name == "*" {
+				return nil, fmt.Errorf("sqlparse: cannot GROUP BY %s", col)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.symbol(",") {
 				break
 			}
 		}

@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"raven/internal/ir"
@@ -95,7 +96,7 @@ func (p *planner) planRelational(stmt *SelectStmt) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.applySelectList(node, stmt.Items)
+	return p.applySelectList(node, stmt.Items, stmt.GroupBy)
 }
 
 // planFromItem plans a table or CTE reference.
@@ -200,7 +201,7 @@ func (p *planner) planPredictTVF(stmt *SelectStmt) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.applySelectList(node, stmt.Items)
+	return p.applySelectList(node, stmt.Items, stmt.GroupBy)
 }
 
 // planPredictUDF plans SELECT …, predict(model, *) AS s FROM … WHERE ….
@@ -287,7 +288,7 @@ func (p *planner) planPredictUDF(stmt *SelectStmt) (*ir.Node, error) {
 			items[i] = SelectItem{Col: ColName{Name: items[i].Alias}}
 		}
 	}
-	return p.applySelectList(node, items)
+	return p.applySelectList(node, items, stmt.GroupBy)
 }
 
 func (p *planner) buildPredictNode(child *ir.Node, modelName string, outMap map[string]string) (*ir.Node, error) {
@@ -401,50 +402,21 @@ var cmpOps = map[string]relational.BinOpKind{
 	">": relational.OpGt, ">=": relational.OpGe,
 }
 
-func (p *planner) applySelectList(node *ir.Node, items []SelectItem) (*ir.Node, error) {
+func (p *planner) applySelectList(node *ir.Node, items []SelectItem, groupBy []ColName) (*ir.Node, error) {
 	cols, err := ir.OutputColumns(node, p.cat)
 	if err != nil {
 		return nil, err
 	}
-	// Aggregate query?
+	// Aggregate query? GROUP BY without aggregates is also an aggregation
+	// (distinct group keys).
 	hasAgg := false
 	for _, it := range items {
 		if it.Agg != "" {
 			hasAgg = true
 		}
 	}
-	if hasAgg {
-		agg := p.g.NewNode(ir.KindAggregate, node)
-		for _, it := range items {
-			if it.Agg == "" {
-				return nil, fmt.Errorf("sqlparse: mixing aggregates and plain columns is not supported")
-			}
-			spec := relational.AggSpec{As: it.Alias}
-			switch it.Agg {
-			case "COUNT":
-				spec.Fn = relational.AggCount
-			case "SUM":
-				spec.Fn = relational.AggSum
-			case "AVG":
-				spec.Fn = relational.AggAvg
-			case "MIN":
-				spec.Fn = relational.AggMin
-			case "MAX":
-				spec.Fn = relational.AggMax
-			}
-			if it.Agg != "COUNT" {
-				col, err := resolveCol(cols, it.AggCol)
-				if err != nil {
-					return nil, err
-				}
-				spec.Col = col
-			}
-			if spec.As == "" {
-				spec.As = strings.ToLower(it.Agg)
-			}
-			agg.Aggs = append(agg.Aggs, spec)
-		}
-		return agg, nil
+	if hasAgg || len(groupBy) > 0 {
+		return p.applyAggregate(node, cols, items, groupBy)
 	}
 	// Pure star select: no projection needed.
 	if len(items) == 1 && items[0].Star && items[0].Qualifier == "" {
@@ -475,6 +447,101 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem) (*ir.Node, 
 	if len(proj.Exprs) == 0 {
 		return nil, fmt.Errorf("sqlparse: empty select list after resolution")
 	}
+	return proj, nil
+}
+
+// applyAggregate lowers an aggregation select list — global, or grouped
+// when GROUP BY keys are present. Every plain select item must resolve to
+// a group key; the aggregate node emits keys (in GROUP BY order) then
+// aggregates, and a projection restores the select-list order and aliases
+// when they differ from that canonical layout.
+func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectItem, groupBy []ColName) (*ir.Node, error) {
+	keys := make([]string, 0, len(groupBy))
+	keySet := make(map[string]bool, len(groupBy))
+	for _, g := range groupBy {
+		col, err := resolveCol(cols, g)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: GROUP BY: %v", err)
+		}
+		if keySet[col] {
+			continue // GROUP BY k, k groups once
+		}
+		keySet[col] = true
+		keys = append(keys, col)
+	}
+	agg := p.g.NewNode(ir.KindAggregate, node)
+	agg.GroupBy = keys
+	// outNames is the select-list output in order (key column or
+	// aggregate alias), used to decide whether a reorder/rename
+	// projection is needed above the canonical keys-then-aggs layout.
+	outNames := make([]string, 0, len(items))
+	outExprs := make([]relational.NamedExpr, 0, len(items))
+	seenOut := make(map[string]bool, len(items))
+	for _, it := range items {
+		switch {
+		case it.Star:
+			return nil, fmt.Errorf("sqlparse: SELECT * is not valid in an aggregate query")
+		case it.Agg != "":
+			spec := relational.AggSpec{As: it.Alias}
+			switch it.Agg {
+			case "COUNT":
+				spec.Fn = relational.AggCount
+			case "SUM":
+				spec.Fn = relational.AggSum
+			case "AVG":
+				spec.Fn = relational.AggAvg
+			case "MIN":
+				spec.Fn = relational.AggMin
+			case "MAX":
+				spec.Fn = relational.AggMax
+			}
+			if it.Agg != "COUNT" {
+				col, err := resolveCol(cols, it.AggCol)
+				if err != nil {
+					return nil, err
+				}
+				spec.Col = col
+			}
+			if spec.As == "" {
+				spec.As = strings.ToLower(it.Agg)
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+			outNames = append(outNames, spec.As)
+			outExprs = append(outExprs, relational.NamedExpr{Name: spec.As, E: relational.Col(spec.As)})
+		default:
+			col, err := resolveCol(cols, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			if !keySet[col] {
+				if len(keys) == 0 {
+					return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (mixing aggregates and plain columns)", it.Col)
+				}
+				return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (keys: %v)", it.Col, keys)
+			}
+			name := it.Alias
+			if name == "" {
+				name = col
+			}
+			outNames = append(outNames, name)
+			outExprs = append(outExprs, relational.NamedExpr{Name: name, E: relational.Col(col)})
+		}
+	}
+	for _, name := range outNames {
+		if seenOut[name] {
+			return nil, fmt.Errorf("sqlparse: duplicate output column %q (alias aggregates with AS)", name)
+		}
+		seenOut[name] = true
+	}
+	canonical := append([]string{}, keys...)
+	for _, a := range agg.Aggs {
+		canonical = append(canonical, a.As)
+	}
+	if slices.Equal(outNames, canonical) {
+		return agg, nil
+	}
+	proj := p.g.NewNode(ir.KindProject, agg)
+	proj.Exprs = outExprs
 	return proj, nil
 }
 

@@ -392,3 +392,181 @@ func TestPlanInPredicateLowering(t *testing.T) {
 		t.Fatalf("IN filter kept %d rows, want %d", res.Table.NumRows(), want)
 	}
 }
+
+func TestParseGroupBy(t *testing.T) {
+	stmt, err := Parse("SELECT asthma, COUNT(*) AS n FROM patient_info WHERE age > 30 GROUP BY asthma, hypertension")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.GroupBy) != 2 || stmt.GroupBy[0].Name != "asthma" || stmt.GroupBy[1].Name != "hypertension" {
+		t.Fatalf("GroupBy = %+v", stmt.GroupBy)
+	}
+	stmt, err = Parse("SELECT d.market, AVG(p.score) AS s FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p GROUP BY d.market")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].String() != "d.market" {
+		t.Fatalf("GroupBy = %+v", stmt.GroupBy)
+	}
+	// GROUP must not be swallowed as a table alias.
+	if stmt.Predict == nil || stmt.Predict.Alias != "p" {
+		t.Fatalf("predict = %+v", stmt.Predict)
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(*) AS n FROM t GROUP asthma", // missing BY
+		"SELECT COUNT(*) AS n FROM t GROUP BY",     // missing key
+		"SELECT COUNT(*) AS n FROM t GROUP BY a,",  // trailing comma
+		"SELECT COUNT(*) AS n FROM t GROUP BY t.*", // star key
+		"SELECT COUNT(*) AS n FROM t GROUP BY 'x'", // literal key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestPlanGroupByRelational(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(
+		"SELECT asthma, COUNT(*) AS n, AVG(age) AS avg_age FROM patient_info GROUP BY asthma", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindAggregate {
+		t.Fatalf("root = %v (grouped canonical order needs no projection)", g.Root.Kind)
+	}
+	if len(g.Root.GroupBy) != 1 || g.Root.GroupBy[0] != "patient_info.asthma" {
+		t.Fatalf("GroupBy = %v", g.Root.GroupBy)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-occurrence order: row 1 is "yes" (age 30), then "no" (72).
+	if res.Table.NumRows() != 2 ||
+		res.Table.Col("patient_info.asthma").AsString(0) != "yes" ||
+		res.Table.Col("patient_info.asthma").AsString(1) != "no" {
+		t.Fatalf("groups:\n%s", res.Table)
+	}
+	if res.Table.Col("n").F64[0] != 3 || res.Table.Col("n").F64[1] != 3 {
+		t.Fatalf("counts = %v", res.Table.Col("n").F64)
+	}
+	// ages yes: 30,45,80 → 51.666…; no: 72,65,25 → 54
+	if got := res.Table.Col("avg_age").F64[1]; got != 54 {
+		t.Fatalf("avg_age[no] = %v", got)
+	}
+}
+
+func TestPlanGroupByReorderedSelectList(t *testing.T) {
+	cat := covidCatalog(t)
+	// Aggregate first, key aliased: the planner must add a projection
+	// restoring select-list order and names above the aggregate.
+	g, err := ParseAndPlan(
+		"SELECT AVG(age) AS avg_age, asthma AS has_asthma FROM patient_info GROUP BY asthma", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindProject {
+		t.Fatalf("root = %v, want projection above aggregate", g.Root.Kind)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Cols[0].Name != "avg_age" || res.Table.Cols[1].Name != "has_asthma" {
+		t.Fatalf("columns = %v", res.Table.Schema().Names())
+	}
+	if res.Table.Col("has_asthma").AsString(0) != "yes" {
+		t.Fatalf("groups:\n%s", res.Table)
+	}
+}
+
+func TestPlanGroupByKeyNotSelected(t *testing.T) {
+	cat := covidCatalog(t)
+	// Grouping by a column that is not in the select list is legal; the
+	// projection drops the key from the output.
+	g, err := ParseAndPlan("SELECT COUNT(*) AS n FROM patient_info GROUP BY asthma", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 || res.Table.NumCols() != 1 {
+		t.Fatalf("shape = %dx%d", res.Table.NumRows(), res.Table.NumCols())
+	}
+	// GROUP BY with no aggregates degenerates to distinct group keys.
+	g, err = ParseAndPlan("SELECT asthma FROM patient_info GROUP BY asthma", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Fatalf("distinct groups = %d", res.Table.NumRows())
+	}
+}
+
+func TestPlanGroupByErrorPaths(t *testing.T) {
+	cat := covidCatalog(t)
+	for _, c := range []struct{ sql, want string }{
+		// Bare column that is not a group key.
+		{"SELECT hypertension, COUNT(*) AS n FROM patient_info GROUP BY asthma",
+			"must appear in GROUP BY"},
+		// Bare column with aggregates and no GROUP BY at all.
+		{"SELECT asthma, COUNT(*) AS n FROM patient_info",
+			"must appear in GROUP BY"},
+		// Star in a grouped query.
+		{"SELECT *, COUNT(*) AS n FROM patient_info GROUP BY asthma",
+			"not valid in an aggregate query"},
+		// Unknown group key.
+		{"SELECT COUNT(*) AS n FROM patient_info GROUP BY ghost",
+			"GROUP BY"},
+		// Two unaliased AVGs collide on the default output name.
+		{"SELECT AVG(age), AVG(id) FROM patient_info GROUP BY asthma",
+			"duplicate output column"},
+	} {
+		_, err := ParseAndPlan(c.sql, cat)
+		if err == nil {
+			t.Errorf("expected plan error for %q", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestPlanGroupByOverPredict(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(`
+WITH d AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+  JOIN blood_test AS bt ON pt.id = bt.id
+)
+SELECT d.asthma, COUNT(*) AS n, AVG(p.score) AS avg_score
+FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p
+GROUP BY d.asthma`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Fatalf("groups:\n%s", res.Table)
+	}
+	for r := 0; r < 2; r++ {
+		if s := res.Table.Col("avg_score").F64[r]; s <= 0 || s >= 1 {
+			t.Fatalf("avg_score[%d] = %v", r, s)
+		}
+	}
+	if res.Table.Col("n").F64[0]+res.Table.Col("n").F64[1] != 6 {
+		t.Fatalf("counts = %v", res.Table.Col("n").F64)
+	}
+}

@@ -40,7 +40,14 @@
 // (COUNT/SUM/MIN/MAX, with AVG decomposed into SUM+COUNT) folded at a
 // merge breaker in morsel order; the serial aggregate uses the same
 // per-batch fold, which keeps parallel aggregates bit-identical to serial
-// ones. Materializations and unions stay serial but consume parallel
+// ones. Grouped aggregates (GROUP BY, including over PREDICT and joins)
+// follow the same discipline: per-worker grouped accumulators — a dense
+// code-indexed array when the single group key is dictionary-encoded with
+// small cardinality, hashed canonically-encoded typed keys otherwise —
+// are merged by key VALUE at a breaker in morsel order, so grouped
+// results are byte-identical across serial/parallel execution and raw/
+// dictionary representations, with rows in first-occurrence order.
+// Materializations and unions stay serial but consume parallel
 // input. Reported times charge the measured parallel wall time of
 // exchanged segments instead of modeling a division by DOP.
 //
