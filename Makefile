@@ -1,0 +1,38 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); keep the bench patterns in sync.
+
+# bash + pipefail so a failing `go test | tee` pipeline aborts the
+# recipe instead of silently feeding benchjson a truncated bench log
+# (which would rewrite the baseline with benchmarks missing — and a
+# benchmark absent from the baseline is ungated).
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The CI bench set: headline figure benches + parallel/dict/top-k
+# trajectory benches at one iteration, then the deterministic relational
+# hot-path micro-benches at 20 iterations.
+BENCH_OUT := /tmp/raven-bench.out
+
+.PHONY: test bench-baseline benchcmp
+
+test:
+	go build ./... && go test ./...
+
+# bench-baseline re-runs the CI bench set and rewrites
+# bench/baseline.json — the deliberate way to move the perf-regression
+# gate after an accepted perf change. Commit the refreshed file.
+bench-baseline:
+	go test -run xxx -benchmem \
+		-bench 'Fig7|ParallelSpeedup|JoinAggParallelSpeedup|StringHeavyJoinEncode|TopKOverPredict' \
+		-benchtime=1x . | tee $(BENCH_OUT)
+	go test -run xxx -benchmem \
+		-bench 'Filter|ProjectLiteral' \
+		-benchtime=20x ./internal/relational | tee -a $(BENCH_OUT)
+	go run ./cmd/benchjson < $(BENCH_OUT) > bench/baseline.json
+	@echo "bench/baseline.json refreshed — review and commit it"
+
+# benchcmp gates a fresh report against the committed baseline, exactly
+# like CI does: ns/op may not regress more than 25% (same-host reports
+# only), hot-path allocs/op may not grow. NEW=BENCH_<sha>.json
+benchcmp:
+	go run ./cmd/benchcmp -baseline bench/baseline.json -new "$(NEW)"

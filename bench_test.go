@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 
 	"raven/internal/data"
@@ -644,6 +645,85 @@ func BenchmarkStringHeavyJoinEncode(b *testing.B) {
 					rawNs[dop] = perOp
 				} else if base := rawNs[dop]; base > 0 {
 					b.ReportMetric(base/perOp, "dict_speedup")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKOverPredict measures what the LIMIT top-k heap is worth
+// against a full sort on ranked prediction output at high group
+// cardinality. Setup (untimed) runs the canonical ranking pipeline once —
+// grouped AVG-of-predicted-score keyed by srch_id, which at 150k searches
+// yields 150k groups — and registers the scored table; the sub-benchmarks
+// then run `ORDER BY s DESC` with and without `LIMIT 10` over it at DOP 1
+// and NumCPU. "full" pays the O(n log n) sort of every group (at DOP > 1,
+// per-worker sorted runs k-way merged); "topk" keeps a 10-entry bounded
+// heap per run, O(n log k). The topk sub-benchmarks report a
+// "topk_speedup" metric vs the measured full sort at the same DOP, and
+// the differential harnesses pin both to byte-identical results.
+func BenchmarkTopKOverPredict(b *testing.B) {
+	const rows = 150000
+	ds := datagen.Expedia(rows, 9)
+	pipe, err := ds.Train(train.KindLogistic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup := NewSession(WithParallelism(runtime.NumCPU()))
+	for _, t := range ds.Tables {
+		setup.RegisterTable(t)
+	}
+	if err := setup.RegisterModel(pipe); err != nil {
+		b.Fatal(err)
+	}
+	grouped := strings.Replace(ds.Query(pipe.Name), "SELECT p.score FROM",
+		"SELECT d.srch_id AS sid, AVG(p.score) AS s FROM", 1) + " GROUP BY d.srch_id"
+	res, err := setup.Query(grouped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Table.NumRows() < 100000 {
+		b.Fatalf("scored table has %d groups, want >= 100000", res.Table.NumRows())
+	}
+	scored := data.MustNewTable("scored", res.Table.Cols...)
+
+	dops := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	fullNs := make(map[int]float64) // dop → full-sort ns/op
+	for _, shape := range []struct{ name, sql string }{
+		{"full", "SELECT sid, s FROM scored ORDER BY s DESC"},
+		{"topk", "SELECT sid, s FROM scored ORDER BY s DESC LIMIT 10"},
+	} {
+		for _, dop := range dops {
+			b.Run(fmt.Sprintf("shape=%s/dop=%d", shape.name, dop), func(b *testing.B) {
+				s := NewSession(WithParallelism(dop))
+				s.RegisterTable(scored)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var got *Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					got, err = s.Query(shape.sql)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				wantRows := scored.NumRows()
+				if shape.name == "topk" {
+					wantRows = 10
+				}
+				if got.Table.NumRows() != wantRows {
+					b.Fatalf("%s returned %d rows, want %d", shape.name, got.Table.NumRows(), wantRows)
+				}
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(float64(scored.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+				if shape.name == "full" {
+					fullNs[dop] = perOp
+				} else if base := fullNs[dop]; base > 0 {
+					b.ReportMetric(base/perOp, "topk_speedup")
 				}
 			})
 		}

@@ -59,4 +59,28 @@ func main() {
 	}
 	fmt.Printf("\nspeedup (reported, Spark profile): %.2fx\n",
 		noopt.Reported.Seconds()/opt.Reported.Seconds())
+
+	// The actual ranking query: destinations whose average predicted
+	// booking score passes a bar, best ten first — HAVING filters the
+	// grouped predictions, ORDER BY … LIMIT runs as a top-k heap over
+	// the groups (per-worker runs k-way merged under parallelism).
+	rankQuery := ds.RankedGroupedQuery(pipe.Name, 0.3, 10)
+	s := raven.NewSession(raven.WithParallelism(4))
+	for _, t := range ds.Tables {
+		s.RegisterTable(t)
+	}
+	if err := s.RegisterModel(pipe); err != nil {
+		log.Fatal(err)
+	}
+	top, err := s.Query(rankQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-k query:", rankQuery)
+	fmt.Printf("top %d of the qualifying %s groups by average predicted score:\n",
+		top.Table.NumRows(), ds.GroupColumn())
+	for i := 0; i < top.Table.NumRows(); i++ {
+		fmt.Printf("  %-8s %.4f\n",
+			top.Table.Cols[0].AsString(i), top.Table.Cols[1].F64[i])
+	}
 }

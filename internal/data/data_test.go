@@ -396,3 +396,45 @@ func TestFilterCountAllFalse(t *testing.T) {
 		t.Fatalf("flatten shape = %dx%d", flat.NumRows(), flat.NumCols())
 	}
 }
+
+// TestGatherOverZeroRowView extends the all-false FilterCount invariant
+// to permutation access — the path the Sort operators take: gathering an
+// empty (or any) index list over a zero-row view must not panic, must
+// keep types and shared dictionaries, and a single-row gather out of a
+// one-row table must round-trip values exactly.
+func TestGatherOverZeroRowView(t *testing.T) {
+	tb := MustNewTable("t",
+		NewInt("id", []int64{1, 2, 3}),
+		NewFloat("v", []float64{1.5, 2.5, 3.5}),
+		DictEncode(NewString("g", []string{"x", "y", "x"})))
+	view := tb.FilterCount([]bool{false, false, false}, 0)
+	for _, idx := range [][]int{nil, {}} {
+		got := view.Gather(idx)
+		if got.NumRows() != 0 || got.NumCols() != 3 {
+			t.Fatalf("gather(%v) shape = %dx%d", idx, got.NumRows(), got.NumCols())
+		}
+		if g := got.Col("g"); g.Dict != tb.Col("g").Dict {
+			t.Fatal("gather over zero-row view dropped the shared dictionary")
+		}
+		for _, c := range got.Cols {
+			if c.Type != tb.Col(c.Name).Type {
+				t.Fatalf("column %q type changed to %v", c.Name, c.Type)
+			}
+		}
+	}
+	// Slicing the zero-row view (the Limit operator's cut) is also safe.
+	if s := view.Slice(0, 0); s.NumRows() != 0 {
+		t.Fatalf("slice of zero-row view has %d rows", s.NumRows())
+	}
+	// Single-row tables (one-group aggregates) gather without copying
+	// surprises: values and the dictionary survive.
+	one := tb.Slice(1, 2)
+	got := one.Gather([]int{0})
+	if got.NumRows() != 1 || got.Col("id").I64[0] != 2 ||
+		got.Col("v").F64[0] != 2.5 || got.Col("g").AsString(0) != "y" {
+		t.Fatalf("single-row gather:\n%s", got)
+	}
+	if got.Col("g").Dict != tb.Col("g").Dict {
+		t.Fatal("single-row gather dropped the shared dictionary")
+	}
+}

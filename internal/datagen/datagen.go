@@ -127,6 +127,27 @@ func (d *Dataset) GroupedAggregateQuery(modelName string, where ...string) strin
 	return q + " GROUP BY " + d.GroupColumn()
 }
 
+// RankedGroupedQuery renders the canonical ML-ranking shape over
+// GroupedAggregateQuery: categories whose average predicted score
+// exceeds a threshold, top-k by that score ("markets whose average
+// predicted booking rate passes a bar, best k first").
+func (d *Dataset) RankedGroupedQuery(modelName string, threshold float64, limit int, where ...string) string {
+	return d.GroupedAggregateQuery(modelName, where...) +
+		fmt.Sprintf(" HAVING avg_score > %g ORDER BY avg_score DESC LIMIT %d", threshold, limit)
+}
+
+// OrderedGroupedQuery renders GroupedAggregateQuery ordered by the group
+// key itself (ascending or descending), exercising string-key sorting
+// over both dictionary-encoded and raw catalogs.
+func (d *Dataset) OrderedGroupedQuery(modelName string, desc bool, where ...string) string {
+	dir := "ASC"
+	if desc {
+		dir = "DESC"
+	}
+	return d.GroupedAggregateQuery(modelName, where...) +
+		fmt.Sprintf(" ORDER BY %s %s", d.GroupColumn(), dir)
+}
+
 // CreditCard generates the single-table, all-numeric fraud dataset
 // (28 numeric inputs like the Kaggle ULB credit-card data).
 func CreditCard(rows int, seed int64) *Dataset {

@@ -3,6 +3,7 @@ package engine_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"raven/internal/data"
@@ -115,6 +116,12 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 			{"predict", c.ds.Query("%s")},
 			{"aggregate", c.ds.AggregateQuery("%s")},
 			{"groupby", c.ds.GroupedAggregateQuery("%s")},
+			// Ranked: HAVING on the AVG over predict, top-5 by score —
+			// ordered output, so row order itself is asserted.
+			{"ranked", c.ds.RankedGroupedQuery("%s", 0.05, 5)},
+			// Ordered by the (dict-encoded vs raw) string group key.
+			{"ordered-asc", c.ds.OrderedGroupedQuery("%s", false)},
+			{"ordered-desc", c.ds.OrderedGroupedQuery("%s", true) + " LIMIT 1000"},
 		} {
 			sql := fmt.Sprintf(q.sql, model)
 			prof := engine.Local
@@ -127,8 +134,24 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 			if q.kind == "aggregate" && serial.Table.NumRows() != 1 {
 				t.Fatalf("%s aggregate returned %d rows", c.name, serial.Table.NumRows())
 			}
-			if q.kind == "groupby" && serial.Table.NumRows() < 2 {
-				t.Fatalf("%s grouped aggregate returned %d groups", c.name, serial.Table.NumRows())
+			if (q.kind == "groupby" || strings.HasPrefix(q.kind, "ordered")) &&
+				serial.Table.NumRows() < 2 {
+				t.Fatalf("%s %s returned %d groups", c.name, q.kind, serial.Table.NumRows())
+			}
+			if q.kind == "ranked" {
+				n := serial.Table.NumRows()
+				if n < 1 || n > 5 {
+					t.Fatalf("%s ranked returned %d rows, want 1..5", c.name, n)
+				}
+				scores := serial.Table.Col("avg_score").F64
+				for i := range scores {
+					if scores[i] <= 0.05 {
+						t.Fatalf("%s ranked row %d: avg_score %v fails HAVING", c.name, i, scores[i])
+					}
+					if i > 0 && scores[i] > scores[i-1] {
+						t.Fatalf("%s ranked rows not descending: %v", c.name, scores)
+					}
+				}
 			}
 			for repr, cat := range map[string]*engine.Catalog{"dict": dictCat, "raw": rawCat} {
 				g := diffPlan(t, c, cat, sql)

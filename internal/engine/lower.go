@@ -101,6 +101,30 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 				Aggs: n.Aggs, DenseLimit: l.prof.DenseGroupLimit}, nil
 		}
 		return &relational.Aggregate{Child: child, Aggs: n.Aggs}, nil
+	case ir.KindHaving:
+		child, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		// HAVING evaluates above the grouped aggregation — under
+		// ExecDOP > 1 that means above the MergeGroupAggregate breaker,
+		// where group keys and aggregate outputs exist as columns.
+		return &relational.HavingFilter{Child: child, Pred: n.Pred}, nil
+	case ir.KindSort:
+		child, err := l.lower(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(n.OrderBy) == 0 {
+			// LIMIT without ORDER BY: a pure row cutoff over the
+			// deterministic batch stream.
+			return &relational.Limit{Child: child, N: n.Limit}, nil
+		}
+		// ORDER BY [LIMIT]: a sort breaker with a typed multi-key
+		// comparator; a non-negative limit turns it into a top-k heap.
+		// Under ExecDOP > 1 the Parallelize rewrite splits it into
+		// per-worker PartialSorts merged k-way at a MergeSortRuns breaker.
+		return &relational.Sort{Child: child, Keys: n.OrderBy, Limit: n.Limit}, nil
 	case ir.KindUnion:
 		inputs := make([]Operator, len(n.Children))
 		for i, c := range n.Children {

@@ -45,6 +45,13 @@ const (
 	KindAggregate
 	// KindUnion concatenates its children (used by per-partition plans).
 	KindUnion
+	// KindHaving filters grouped-aggregation output rows (the HAVING
+	// clause); Pred may reference group keys and aggregate outputs.
+	KindHaving
+	// KindSort orders its child's rows by OrderBy and cuts them to Limit
+	// (ORDER BY / LIMIT); an empty OrderBy with a non-negative Limit is a
+	// pure row cutoff.
+	KindSort
 )
 
 func (k NodeKind) String() string {
@@ -63,6 +70,10 @@ func (k NodeKind) String() string {
 		return "Aggregate"
 	case KindUnion:
 		return "Union"
+	case KindHaving:
+		return "Having"
+	case KindSort:
+		return "Sort"
 	}
 	return fmt.Sprintf("NodeKind(%d)", uint8(k))
 }
@@ -141,6 +152,12 @@ type Node struct {
 	// GroupBy order followed by the aggregate outputs.
 	Aggs    []relational.AggSpec
 	GroupBy []string
+
+	// Sort fields (KindSort). OrderBy holds the resolved sort keys with
+	// direction; Limit is the row cutoff, negative for none. Having nodes
+	// (KindHaving) carry their predicate in Pred.
+	OrderBy []relational.SortKey
+	Limit   int
 }
 
 // Graph is a rooted IR tree plus an ID allocator.
@@ -240,6 +257,7 @@ func (g *Graph) Clone() *Graph {
 		c.SQLExprs = append([]relational.NamedExpr(nil), n.SQLExprs...)
 		c.Aggs = append([]relational.AggSpec(nil), n.Aggs...)
 		c.GroupBy = append([]string(nil), n.GroupBy...)
+		c.OrderBy = append([]relational.SortKey(nil), n.OrderBy...)
 		if n.InputMap != nil {
 			c.InputMap = make(map[string]string, len(n.InputMap))
 			for k, v := range n.InputMap {
@@ -275,7 +293,7 @@ func OutputColumns(n *Node, cat Catalog) ([]string, error) {
 			out[i] = Qualify(n.Alias, c)
 		}
 		return out, nil
-	case KindFilter, KindUnion:
+	case KindFilter, KindUnion, KindHaving, KindSort:
 		if len(n.Children) == 0 {
 			return nil, fmt.Errorf("ir: %v node %d has no child", n.Kind, n.ID)
 		}
@@ -415,6 +433,22 @@ func (g *Graph) Explain() string {
 			}
 		case KindUnion:
 			fmt.Fprintf(&b, "%sUnion\n", pad)
+		case KindHaving:
+			fmt.Fprintf(&b, "%sHaving %s\n", pad, n.Pred)
+		case KindSort:
+			keys := make([]string, len(n.OrderBy))
+			for i, k := range n.OrderBy {
+				keys[i] = k.String()
+			}
+			if len(keys) > 0 {
+				fmt.Fprintf(&b, "%sSort [%s]", pad, strings.Join(keys, ","))
+			} else {
+				fmt.Fprintf(&b, "%sLimit", pad)
+			}
+			if n.Limit >= 0 {
+				fmt.Fprintf(&b, " limit=%d", n.Limit)
+			}
+			b.WriteString("\n")
 		}
 		for _, c := range n.Children {
 			rec(c, depth+1)
@@ -441,9 +475,17 @@ func (g *Graph) Validate(cat Catalog) error {
 			if _, ok := cat.Table(n.Table); !ok {
 				firstErr = fmt.Errorf("ir: unknown table %q", n.Table)
 			}
-		case KindFilter, KindProject, KindAggregate:
+		case KindFilter, KindProject, KindAggregate, KindHaving, KindSort:
 			if len(n.Children) != 1 {
 				firstErr = fmt.Errorf("ir: %v node %d needs 1 child, has %d", n.Kind, n.ID, len(n.Children))
+				return
+			}
+			if n.Kind == KindHaving && n.Pred == nil {
+				firstErr = fmt.Errorf("ir: having node %d has no predicate", n.ID)
+				return
+			}
+			if n.Kind == KindSort && len(n.OrderBy) == 0 && n.Limit < 0 {
+				firstErr = fmt.Errorf("ir: sort node %d has neither keys nor a limit", n.ID)
 			}
 		case KindJoin:
 			if len(n.Children) != 2 {

@@ -56,9 +56,22 @@ func pushNeeded(n *ir.Node, needed map[string]bool, cat ir.Catalog, assumeFK boo
 		}
 		n.Children[0] = child
 		return n, nil
-	case ir.KindFilter:
+	case ir.KindFilter, ir.KindHaving:
 		childNeeded := cloneSet(needed)
 		relational.Columns(n.Pred, childNeeded)
+		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[0] = child
+		return n, nil
+	case ir.KindSort:
+		// Sort keys must stay live through pushdown even when a column
+		// pruner above would not otherwise request them.
+		childNeeded := cloneSet(needed)
+		for _, k := range n.OrderBy {
+			childNeeded[k.Col] = true
+		}
 		child, err := pushNeeded(n.Children[0], childNeeded, cat, assumeFK, rep)
 		if err != nil {
 			return nil, err

@@ -13,11 +13,14 @@ import (
 // join keys, NULL-free edge-value columns) are run through every
 // parallelizable plan shape — scan chains, single and chained hash
 // joins (integer- and string-keyed), string equality/IN filters, global
-// aggregates, and grouped aggregates (single/multi key, dense and
-// hash-forced grouping, grouped over joins) — under BOTH string
-// representations (raw and dictionary-encoded), and every execution must
-// be byte-identical to the raw serial baseline at DOP 1, 2, 4 and
-// NumCPU. The engine-level twin
+// aggregates, grouped aggregates (single/multi key, dense and
+// hash-forced grouping, grouped over joins), and ordered output (Sort
+// asc/desc over string/float keys, HAVING above groups, LIMITs smaller
+// than / equal to / larger than the input, the ranked top-k-groups
+// shape) — under BOTH string representations (raw and
+// dictionary-encoded), and every execution must be byte-identical to
+// the raw serial baseline at DOP 1, 2, 4 and NumCPU — for the ordered
+// shapes that includes the row order itself. The engine-level twin
 // (internal/engine/differential_test.go) drives the same property
 // through SQL planning, optimization and ML predict plans over the
 // datagen datasets.
@@ -224,6 +227,66 @@ func diffShapes(f *diffFixture, batch int) map[string]func() Operator {
 			return &GroupAggregate{Child: joinStr(),
 				Keys: []string{"grp", "dim3_s"}, Aggs: aggs}
 		},
+		// Ordered output: row order is now semantically asserted — the
+		// parallel PartialSort runs k-way merged at MergeSortRuns must
+		// reproduce the serial stable sort byte-for-byte, for ascending
+		// and descending keys over both string representations, with
+		// LIMITs smaller than, equal to and larger than the input.
+		"sort-str-asc": func() Operator {
+			return &Sort{Child: scanChain(),
+				Keys: []SortKey{{Col: "sk"}, {Col: "id", Desc: true}}, Limit: -1}
+		},
+		"sort-str-desc-limit": func() Operator {
+			return &Sort{Child: scanChain(),
+				Keys: []SortKey{{Col: "sk", Desc: true}, {Col: "v"}}, Limit: 50}
+		},
+		"sort-float-desc": func() Operator {
+			return &Sort{Child: joinStr(),
+				Keys: []SortKey{{Col: "dim3_v", Desc: true}, {Col: "id"}}, Limit: 25}
+		},
+		"limit-only": func() Operator {
+			return &Limit{Child: scanChain(), N: 777}
+		},
+		"having-avg-group": func() Operator {
+			return &HavingFilter{
+				Child: &GroupAggregate{Child: scanChain(), Keys: []string{"grp"}, Aggs: aggs},
+				Pred:  NewBinOp(OpGt, Col("avg_edge"), Num(-1e14)),
+			}
+		},
+		// The canonical ranking shape: groups whose aggregate passes a
+		// threshold, top-k by that aggregate. grp has 4 groups, so the
+		// three limits are smaller than, equal to and larger than the
+		// group count.
+		"topk-groups-small": func() Operator {
+			return rankShape(scanChain(), aggs, 2)
+		},
+		"topk-groups-equal": func() Operator {
+			return rankShape(scanChain(), aggs, 4)
+		},
+		"topk-groups-larger": func() Operator {
+			return rankShape(scanChain(), aggs, 100)
+		},
+		"sort-group-key-asc": func() Operator {
+			return &Sort{
+				Child: &GroupAggregate{Child: scanChain(),
+					Keys: []string{"grp", "k2"}, Aggs: aggs},
+				Keys: []SortKey{{Col: "grp"}, {Col: "sum_v", Desc: true}}, Limit: -1,
+			}
+		},
+	}
+}
+
+// rankShape builds Sort(Having(GroupAggregate)) — "groups whose average
+// exceeds a threshold, top-k by that average", the Hydro-style canonical
+// ML-query shape.
+func rankShape(child Operator, aggs []AggSpec, limit int) Operator {
+	return &Sort{
+		Child: &HavingFilter{
+			Child: &GroupAggregate{Child: child, Keys: []string{"grp"}, Aggs: aggs},
+			Pred:  NewBinOp(OpGt, Col("n"), Num(0)),
+		},
+		Keys:  []SortKey{{Col: "avg_edge", Desc: true}, {Col: "grp"}},
+		Limit: limit,
 	}
 }
 

@@ -150,12 +150,12 @@ type batchSource struct {
 	stats OpStats
 }
 
-func (b *batchSource) Columns() []string          { return b.cols }
-func (b *batchSource) Open() error                { return nil }
-func (b *batchSource) Close() error               { return nil }
-func (b *batchSource) Stats() *OpStats            { return &b.stats }
-func (b *batchSource) Children() []Operator       { return nil }
-func (b *batchSource) reset(t *data.Table)        { b.batch = t }
+func (b *batchSource) Columns() []string    { return b.cols }
+func (b *batchSource) Open() error          { return nil }
+func (b *batchSource) Close() error         { return nil }
+func (b *batchSource) Stats() *OpStats      { return &b.stats }
+func (b *batchSource) Children() []Operator { return nil }
+func (b *batchSource) reset(t *data.Table)  { b.batch = t }
 func (b *batchSource) Next() (*data.Table, error) {
 	t := b.batch
 	b.batch = nil
@@ -603,6 +603,27 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 		} else if ok {
 			return &MergeGroupAggregate{Child: seg, Keys: o.Keys, Aggs: o.Aggs}, nil
 		}
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *Sort:
+		// Parallel sort: per-worker sorted runs (one per morsel, truncated
+		// to the limit) inside the exchange, k-way merged in morsel order
+		// at the breaker — byte-identical to the serial stable sort.
+		if seg, ok, serr := exchangeSegment(&PartialSort{
+			Child: o.Child, Keys: o.Keys, Limit: o.Limit,
+		}, dop, morselSize); serr != nil {
+			return nil, serr
+		} else if ok {
+			return &MergeSortRuns{Child: seg, Keys: o.Keys, Limit: o.Limit}, nil
+		}
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *HavingFilter:
+		// HAVING stays above the grouped-aggregation breaker; only its
+		// input parallelizes.
+		o.Child, err = rewrite(o.Child, dop, morselSize)
+	case *Limit:
+		// LIMIT consumes the morsel-ordered batch stream serially; the
+		// cutoff is deterministic because that stream equals the serial
+		// one.
 		o.Child, err = rewrite(o.Child, dop, morselSize)
 	case *Materialize:
 		o.Child, err = rewrite(o.Child, dop, morselSize)

@@ -60,7 +60,6 @@ func segment(pt *data.PartitionedTable, batch int) Operator {
 	}}
 }
 
-
 func mustParallelize(t *testing.T, op Operator, dop, morselSize int) Operator {
 	t.Helper()
 	out, err := Parallelize(op, dop, morselSize)

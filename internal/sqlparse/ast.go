@@ -68,6 +68,12 @@ type JoinClause struct {
 	Left, Right ColName
 }
 
+// OrderItem is one ORDER BY key: an output column and a direction.
+type OrderItem struct {
+	Col  ColName
+	Desc bool
+}
+
 // SelectStmt is a (sub)query.
 type SelectStmt struct {
 	CTEs    []CTE
@@ -79,6 +85,13 @@ type SelectStmt struct {
 	// GroupBy lists the GROUP BY key columns; non-empty makes this a
 	// grouped aggregation (every plain select item must be a group key).
 	GroupBy []ColName
+	// Having holds the HAVING conjuncts (requires GROUP BY; columns must
+	// be group keys or aggregate outputs).
+	Having []Predicate
+	// OrderBy lists the ORDER BY keys; each must be an output column.
+	OrderBy []OrderItem
+	// Limit is the LIMIT row count, or -1 when absent.
+	Limit int
 }
 
 // CTE is one WITH name AS (SELECT …) binding.

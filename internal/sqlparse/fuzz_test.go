@@ -52,6 +52,30 @@ var fuzzSeeds = []string{
 	"SELECT COUNT(*) FROM t GROUP BY",
 	"SELECT COUNT(*) FROM t GROUP BY grp,",
 	"SELECT COUNT(*) FROM t GROUP BY t.*",
+	// HAVING / ORDER BY / LIMIT shapes: the ranked prediction queries the
+	// planner now lowers, plus semantically invalid ones that parse fine
+	// (ORDER BY on a non-output column, HAVING without GROUP BY — the
+	// rejection is the planner's).
+	"SELECT key, AVG(score) AS s FROM t GROUP BY key HAVING s > 0.5 ORDER BY s DESC LIMIT 10",
+	"SELECT d.market, AVG(p.score) AS avg_score FROM PREDICT(MODEL = m, DATA = d) WITH (score FLOAT) AS p" +
+		" GROUP BY d.market HAVING avg_score > 0.05 ORDER BY avg_score DESC LIMIT 5",
+	"SELECT grp, COUNT(*) AS n FROM t GROUP BY grp HAVING n > 3 AND grp <> 'x' ORDER BY n DESC, grp ASC",
+	"SELECT * FROM t ORDER BY a",
+	"SELECT * FROM t ORDER BY a DESC, b ASC, c LIMIT 0",
+	"SELECT * FROM t LIMIT 25",
+	"SELECT a FROM t ORDER BY notoutput",
+	"SELECT id FROM t HAVING id > 3",
+	"SELECT id, predict(m, *) AS s FROM t WHERE s > 0.5 ORDER BY s DESC LIMIT 3",
+	// Malformed ORDER BY / HAVING / LIMIT shapes the parser must reject.
+	"SELECT * FROM t LIMIT -1",
+	"SELECT * FROM t LIMIT 2.5",
+	"SELECT * FROM t LIMIT",
+	"SELECT * FROM t ORDER a",
+	"SELECT * FROM t ORDER BY",
+	"SELECT * FROM t ORDER BY a,",
+	"SELECT * FROM t ORDER BY t.*",
+	"SELECT COUNT(*) AS n FROM t GROUP BY g HAVING",
+	"SELECT COUNT(*) AS n FROM t GROUP BY g HAVING n >",
 	// Malformed shapes the parser must reject gracefully.
 	"SELECT",
 	"SELECT * FROM t WHERE a >",

@@ -85,10 +85,11 @@ func (p *parser) ident() (string, error) {
 var reservedAfterFrom = map[string]bool{
 	"JOIN": true, "ON": true, "WHERE": true, "AS": true, "WITH": true,
 	"AND": true, "SELECT": true, "FROM": true, "GROUP": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true,
 }
 
 func (p *parser) parseSelectStmt() (*SelectStmt, error) {
-	stmt := &SelectStmt{}
+	stmt := &SelectStmt{Limit: -1}
 	if p.keyword("WITH") {
 		for {
 			name, err := p.ident()
@@ -195,7 +196,69 @@ func (p *parser) parseSelectStmt() (*SelectStmt, error) {
 			}
 		}
 	}
+	if p.keyword("HAVING") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, pred)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			if col.Name == "*" {
+				return nil, fmt.Errorf("sqlparse: cannot ORDER BY %s", col)
+			}
+			item := OrderItem{Col: col}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC") // the default direction, optional
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		n, err := p.parseLimitCount()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
 	return stmt, nil
+}
+
+// parseLimitCount parses the LIMIT operand: a non-negative integer
+// literal (LIMIT -1 and fractional counts are rejected).
+func (p *parser) parseLimitCount() (int, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlparse: LIMIT requires a non-negative integer, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: bad LIMIT count %q: %v", t.text, err)
+	}
+	n := int(v)
+	if float64(n) != v || n < 0 {
+		return 0, fmt.Errorf("sqlparse: LIMIT requires a non-negative integer, got %q", t.text)
+	}
+	p.pos++
+	return n, nil
 }
 
 var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}

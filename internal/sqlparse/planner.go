@@ -96,7 +96,7 @@ func (p *planner) planRelational(stmt *SelectStmt) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.applySelectList(node, stmt.Items, stmt.GroupBy)
+	return p.applySelectList(node, stmt.Items, stmt)
 }
 
 // planFromItem plans a table or CTE reference.
@@ -201,7 +201,7 @@ func (p *planner) planPredictTVF(stmt *SelectStmt) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.applySelectList(node, stmt.Items, stmt.GroupBy)
+	return p.applySelectList(node, stmt.Items, stmt)
 }
 
 // planPredictUDF plans SELECT …, predict(model, *) AS s FROM … WHERE ….
@@ -288,7 +288,7 @@ func (p *planner) planPredictUDF(stmt *SelectStmt) (*ir.Node, error) {
 			items[i] = SelectItem{Col: ColName{Name: items[i].Alias}}
 		}
 	}
-	return p.applySelectList(node, items, stmt.GroupBy)
+	return p.applySelectList(node, items, stmt)
 }
 
 func (p *planner) buildPredictNode(child *ir.Node, modelName string, outMap map[string]string) (*ir.Node, error) {
@@ -402,7 +402,7 @@ var cmpOps = map[string]relational.BinOpKind{
 	">": relational.OpGt, ">=": relational.OpGe,
 }
 
-func (p *planner) applySelectList(node *ir.Node, items []SelectItem, groupBy []ColName) (*ir.Node, error) {
+func (p *planner) applySelectList(node *ir.Node, items []SelectItem, stmt *SelectStmt) (*ir.Node, error) {
 	cols, err := ir.OutputColumns(node, p.cat)
 	if err != nil {
 		return nil, err
@@ -415,12 +415,21 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem, groupBy []C
 			hasAgg = true
 		}
 	}
-	if hasAgg || len(groupBy) > 0 {
-		return p.applyAggregate(node, cols, items, groupBy)
+	// HAVING filters grouped results; without GROUP BY there are no
+	// groups to filter (use WHERE for row predicates).
+	if len(stmt.Having) > 0 && len(stmt.GroupBy) == 0 {
+		return nil, fmt.Errorf("sqlparse: HAVING requires GROUP BY")
+	}
+	if hasAgg || len(stmt.GroupBy) > 0 {
+		agg, err := p.applyAggregate(node, cols, items, stmt.GroupBy, stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		return p.applyOrderLimit(agg, stmt)
 	}
 	// Pure star select: no projection needed.
 	if len(items) == 1 && items[0].Star && items[0].Qualifier == "" {
-		return node, nil
+		return p.applyOrderLimit(node, stmt)
 	}
 	proj := p.g.NewNode(ir.KindProject, node)
 	for _, it := range items {
@@ -447,15 +456,46 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem, groupBy []C
 	if len(proj.Exprs) == 0 {
 		return nil, fmt.Errorf("sqlparse: empty select list after resolution")
 	}
-	return proj, nil
+	return p.applyOrderLimit(proj, stmt)
+}
+
+// applyOrderLimit wraps node with a Sort node for ORDER BY / LIMIT. Sort
+// keys must resolve among the node's output columns (the select list's
+// aliases, after any reorder projection) — sorting by a column the query
+// does not return is rejected, which keeps ordered results independent
+// of pruned-away columns. LIMIT without ORDER BY lowers to a pure row
+// cutoff over the (deterministic) batch stream.
+func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, error) {
+	if len(stmt.OrderBy) == 0 && stmt.Limit < 0 {
+		return node, nil
+	}
+	outCols, err := ir.OutputColumns(node, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	sortNode := p.g.NewNode(ir.KindSort, node)
+	sortNode.Limit = stmt.Limit
+	for _, item := range stmt.OrderBy {
+		col, err := resolveCol(outCols, item.Col)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: ORDER BY %s: must be an output column of the query (have %v)",
+				item.Col, outCols)
+		}
+		sortNode.OrderBy = append(sortNode.OrderBy, relational.SortKey{Col: col, Desc: item.Desc})
+	}
+	return sortNode, nil
 }
 
 // applyAggregate lowers an aggregation select list — global, or grouped
 // when GROUP BY keys are present. Every plain select item must resolve to
 // a group key; the aggregate node emits keys (in GROUP BY order) then
 // aggregates, and a projection restores the select-list order and aliases
-// when they differ from that canonical layout.
-func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectItem, groupBy []ColName) (*ir.Node, error) {
+// when they differ from that canonical layout. HAVING conjuncts are
+// planned as a Having node directly above the aggregate (below the
+// reorder projection), where the canonical keys-then-aggregates columns
+// exist; their columns may be group keys, aggregate aliases, or
+// select-list aliases of group keys.
+func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectItem, groupBy []ColName, having []Predicate) (*ir.Node, error) {
 	keys := make([]string, 0, len(groupBy))
 	keySet := make(map[string]bool, len(groupBy))
 	for _, g := range groupBy {
@@ -474,9 +514,12 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 	// outNames is the select-list output in order (key column or
 	// aggregate alias), used to decide whether a reorder/rename
 	// projection is needed above the canonical keys-then-aggs layout.
+	// aliasOf maps select-list aliases back to the canonical aggregate
+	// output they name, so HAVING can reference either.
 	outNames := make([]string, 0, len(items))
 	outExprs := make([]relational.NamedExpr, 0, len(items))
 	seenOut := make(map[string]bool, len(items))
+	aliasOf := make(map[string]string, len(items))
 	for _, it := range items {
 		switch {
 		case it.Star:
@@ -523,6 +566,7 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 			if name == "" {
 				name = col
 			}
+			aliasOf[name] = col
 			outNames = append(outNames, name)
 			outExprs = append(outExprs, relational.NamedExpr{Name: name, E: relational.Col(col)})
 		}
@@ -537,12 +581,52 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 	for _, a := range agg.Aggs {
 		canonical = append(canonical, a.As)
 	}
-	if slices.Equal(outNames, canonical) {
-		return agg, nil
+	out := agg
+	if len(having) > 0 {
+		h, err := p.applyHaving(agg, canonical, aliasOf, having)
+		if err != nil {
+			return nil, err
+		}
+		out = h
 	}
-	proj := p.g.NewNode(ir.KindProject, agg)
+	if slices.Equal(outNames, canonical) {
+		return out, nil
+	}
+	proj := p.g.NewNode(ir.KindProject, out)
 	proj.Exprs = outExprs
 	return proj, nil
+}
+
+// applyHaving plans the HAVING conjuncts over the aggregate's canonical
+// output (group keys then aggregate aliases). A predicate column must be
+// a group key, an aggregate output, or a select-list alias of a group
+// key; anything else — in particular a non-aggregated input column — is
+// rejected.
+func (p *planner) applyHaving(agg *ir.Node, canonical []string, aliasOf map[string]string, having []Predicate) (*ir.Node, error) {
+	var expr relational.Expr
+	for _, pred := range having {
+		col, err := resolveCol(canonical, pred.Col)
+		if err != nil {
+			if c, ok := aliasOf[pred.Col.String()]; ok {
+				col = c
+			} else {
+				return nil, fmt.Errorf("sqlparse: HAVING column %s must be a group key or aggregate output (have %v)",
+					pred.Col, canonical)
+			}
+		}
+		e, err := predExpr(col, pred)
+		if err != nil {
+			return nil, err
+		}
+		if expr == nil {
+			expr = e
+		} else {
+			expr = relational.NewBinOp(relational.OpAnd, expr, e)
+		}
+	}
+	h := p.g.NewNode(ir.KindHaving, agg)
+	h.Pred = expr
+	return h, nil
 }
 
 // resolveUnder resolves a column name against a node's output columns.

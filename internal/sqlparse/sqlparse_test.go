@@ -570,3 +570,182 @@ GROUP BY d.asthma`, cat)
 		t.Fatalf("counts = %v", res.Table.Col("n").F64)
 	}
 }
+
+func TestParseHavingOrderByLimit(t *testing.T) {
+	stmt, err := Parse("SELECT key, AVG(score) AS s FROM t GROUP BY key" +
+		" HAVING s > 0.5 AND key <> 'x' ORDER BY s DESC, key ASC LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Having) != 2 || stmt.Having[0].Col.Name != "s" || stmt.Having[0].Op != ">" ||
+		stmt.Having[1].Col.Name != "key" || stmt.Having[1].Op != "<>" {
+		t.Fatalf("Having = %+v", stmt.Having)
+	}
+	if len(stmt.OrderBy) != 2 || stmt.OrderBy[0].Col.Name != "s" || !stmt.OrderBy[0].Desc ||
+		stmt.OrderBy[1].Col.Name != "key" || stmt.OrderBy[1].Desc {
+		t.Fatalf("OrderBy = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Fatalf("Limit = %d", stmt.Limit)
+	}
+	// Absent clauses: Limit is -1, not 0 (LIMIT 0 is a valid empty cutoff).
+	stmt, err = Parse("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Limit != -1 || stmt.OrderBy != nil || stmt.Having != nil {
+		t.Fatalf("defaults: limit=%d order=%v having=%v", stmt.Limit, stmt.OrderBy, stmt.Having)
+	}
+	if stmt, err := Parse("SELECT * FROM t LIMIT 0"); err != nil || stmt.Limit != 0 {
+		t.Fatalf("LIMIT 0: stmt=%+v err=%v", stmt, err)
+	}
+	// ORDER/HAVING/LIMIT must not be swallowed as table aliases.
+	stmt, err = Parse("SELECT a FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Alias != "t" {
+		t.Fatalf("alias = %q (ORDER eaten as alias)", stmt.From.Alias)
+	}
+	for _, bad := range []string{
+		"SELECT * FROM t LIMIT -1",                        // negative
+		"SELECT * FROM t LIMIT 2.5",                       // fractional
+		"SELECT * FROM t LIMIT x",                         // not a number
+		"SELECT * FROM t LIMIT",                           // missing count
+		"SELECT * FROM t ORDER a",                         // missing BY
+		"SELECT * FROM t ORDER BY",                        // missing key
+		"SELECT * FROM t ORDER BY a,",                     // trailing comma
+		"SELECT * FROM t ORDER BY t.*",                    // star key
+		"SELECT COUNT(*) AS n FROM t GROUP BY g HAVING",   // missing predicate
+		"SELECT COUNT(*) AS n FROM t GROUP BY g HAVING n", // missing operator
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestPlanRankedGroupQuery(t *testing.T) {
+	cat := covidCatalog(t)
+	// ages: yes → 30,45,80 (avg 51.67); no → 72,65,25 (avg 54).
+	g, err := ParseAndPlan("SELECT asthma, AVG(age) AS avg_age FROM patient_info"+
+		" GROUP BY asthma HAVING avg_age > 52 ORDER BY avg_age DESC LIMIT 10", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindSort || len(g.Root.OrderBy) != 1 ||
+		g.Root.OrderBy[0].Col != "avg_age" || !g.Root.OrderBy[0].Desc || g.Root.Limit != 10 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	if h := ir.Find(g.Root, func(n *ir.Node) bool { return n.Kind == ir.KindHaving }); h == nil {
+		t.Fatalf("no Having node in plan:\n%s", g.Explain())
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 || res.Table.Col("patient_info.asthma").AsString(0) != "no" {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+	if got := res.Table.Col("avg_age").F64[0]; got != 54 {
+		t.Fatalf("avg_age = %v", got)
+	}
+}
+
+func TestPlanHavingOnKeyAlias(t *testing.T) {
+	cat := covidCatalog(t)
+	// HAVING may reference a select-list alias of a group key, and ORDER BY
+	// resolves against the aliased output columns.
+	g, err := ParseAndPlan("SELECT asthma AS a, COUNT(*) AS n FROM patient_info"+
+		" GROUP BY asthma HAVING a = 'no' ORDER BY a", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 || res.Table.Col("a").AsString(0) != "no" ||
+		res.Table.Col("n").F64[0] != 3 {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+}
+
+func TestPlanLimitWithoutOrderBy(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan("SELECT id, age FROM patient_info LIMIT 2", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindSort || len(g.Root.OrderBy) != 0 || g.Root.Limit != 2 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.Table.Col("patient_info.id")
+	if res.Table.NumRows() != 2 || ids.I64[0] != 1 || ids.I64[1] != 2 {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+}
+
+func TestPlanOrderLimitHavingErrorPaths(t *testing.T) {
+	cat := covidCatalog(t)
+	for _, c := range []struct{ sql, want string }{
+		// HAVING needs groups to filter.
+		{"SELECT id FROM patient_info HAVING id > 3",
+			"HAVING requires GROUP BY"},
+		{"SELECT AVG(age) AS m FROM patient_info HAVING m > 1",
+			"HAVING requires GROUP BY"},
+		// HAVING over a non-aggregated input column.
+		{"SELECT asthma, COUNT(*) AS n FROM patient_info GROUP BY asthma HAVING age > 40",
+			"must be a group key or aggregate output"},
+		// ORDER BY on a column the query does not return.
+		{"SELECT id FROM patient_info ORDER BY age",
+			"must be an output column"},
+		// ORDER BY on a column dropped by the grouped projection.
+		{"SELECT COUNT(*) AS n FROM patient_info GROUP BY asthma ORDER BY asthma",
+			"must be an output column"},
+		// ORDER BY on an unknown column.
+		{"SELECT id FROM patient_info ORDER BY ghost",
+			"must be an output column"},
+	} {
+		_, err := ParseAndPlan(c.sql, cat)
+		if err == nil {
+			t.Errorf("expected plan error for %q", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestPlanOrderByOverPredict(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan(`
+WITH d AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+)
+SELECT d.id, p.score
+FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p
+ORDER BY p.score DESC LIMIT 3`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	scores := res.Table.Col("p.score").F64
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[i-1] {
+			t.Fatalf("scores not descending: %v", scores)
+		}
+	}
+}

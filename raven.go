@@ -47,6 +47,17 @@
 // are merged by key VALUE at a breaker in morsel order, so grouped
 // results are byte-identical across serial/parallel execution and raw/
 // dictionary representations, with rows in first-occurrence order.
+// Ordered queries (HAVING / ORDER BY / LIMIT — "groups whose average
+// score passes a threshold, top-k by that score") extend the guarantee
+// to the row order itself: ORDER BY runs as a sort breaker with typed
+// multi-key comparators (dictionary keys compare through cached
+// code→rank tables; NaNs collapse to one key sorting last ascending),
+// per-worker sorted runs are k-way merged in morsel order with ties
+// broken by serial first-occurrence row order, and a LIMIT turns the
+// sort into a bounded top-k heap (per worker and at the merge), so
+// ordered parallel results are byte-identical to serial ones too.
+// HAVING evaluates above the grouped-aggregation breaker with the same
+// dict-aware expression kernels as WHERE.
 // Materializations and unions stay serial but consume parallel
 // input. Reported times charge the measured parallel wall time of
 // exchanged segments instead of modeling a division by DOP.
