@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"raven/internal/data"
 	"raven/internal/datagen"
@@ -727,5 +730,101 @@ func BenchmarkTopKOverPredict(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkConcurrentServing measures the serving path end to end: one
+// session — its plan cache, shared ML session pool and the process-wide
+// morsel scheduler — serving a mixed workload (full predict scan +
+// grouped ranking) from 8 concurrent clients. Each sub-benchmark reports
+// qps and p99_ms across all client-observed latencies. "plancache=off"
+// replans every query (the cold-planning baseline WithPlanCacheSize(-1)
+// exists for); "plancache=on" asserts the cache actually hits and
+// reports plancache_speedup vs that baseline at the same concurrency.
+func BenchmarkConcurrentServing(b *testing.B) {
+	const rows = 20000
+	const clients = 8
+	ds := datagen.Hospital(rows, 7)
+	pipe, err := ds.Train(train.KindLogistic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{
+		ds.Query(pipe.Name),
+		ds.RankedGroupedQuery(pipe.Name, 0.05, 5),
+	}
+	newSession := func(b *testing.B, cacheSize int) *Session {
+		s := NewSession(WithParallelism(4), WithPlanCacheSize(cacheSize))
+		for _, t := range ds.Tables {
+			s.RegisterTable(t)
+		}
+		if err := s.RegisterModel(pipe); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	var coldNs float64
+	for _, mode := range []struct {
+		name  string
+		cache int
+	}{
+		{"plancache=off", -1},
+		{"plancache=on", defaultPlanCacheSize},
+	} {
+		b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+			s := newSession(b, mode.cache)
+			// Warm run of each shape: primes the ML session pool (and
+			// the plan cache when enabled) so the timed section measures
+			// steady-state serving, not cold start.
+			for _, q := range queries {
+				if _, err := s.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perClient := make([][]time.Duration, clients)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						q := queries[(c+i)%len(queries)]
+						start := time.Now()
+						if _, err := s.Query(q); err != nil {
+							b.Error(err)
+							return
+						}
+						perClient[c] = append(perClient[c], time.Since(start))
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if b.Failed() {
+				return
+			}
+			var lat []time.Duration
+			for _, l := range perClient {
+				lat = append(lat, l...)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99 := lat[len(lat)*99/100]
+			b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "qps")
+			b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99_ms")
+			if mode.cache > 0 {
+				hits, misses := s.PlanCacheStats()
+				if hits == 0 {
+					b.Fatalf("plan cache never hit (hits=%d misses=%d)", hits, misses)
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if mode.cache < 0 {
+				coldNs = perOp
+			} else if coldNs > 0 {
+				b.ReportMetric(coldNs/perOp, "plancache_speedup")
+			}
+		})
 	}
 }

@@ -1,16 +1,29 @@
-// Command ravensql runs a prediction query over CSV tables and a model
-// file, printing the result as CSV — the smallest end-to-end deployment of
-// the library.
+// Command ravensql runs prediction queries over CSV tables and a model
+// file — one-shot to stdout, or as a concurrent serving front end.
 //
-// Usage:
+// One-shot usage:
 //
 //	ravensql -csv patients.csv -model risk.onnx.json \
 //	  -query "SELECT d.id, p.score FROM PREDICT(MODEL = risk, DATA = patients AS d) WITH (score FLOAT) AS p"
+//
+// Serving usage:
+//
+//	ravensql -csv patients.csv -model risk.onnx.json -serve :8080 -parallelism 0
+//
+// The server answers POST /query (SQL in the body, CSV out) and GET
+// /stats (plan cache and scheduler counters as JSON). All requests share
+// one session: plans come from the plan cache, ML sessions from the
+// catalog pool, and morsels from every in-flight query multiplex over the
+// process-wide scheduler with fair round-robin scheduling and admission
+// control.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"raven"
@@ -26,14 +39,16 @@ func main() {
 	var csvs csvList
 	flag.Var(&csvs, "csv", "CSV table file (repeatable)")
 	var (
-		modelPath = flag.String("model", "", "model file (.onnx.json)")
-		query     = flag.String("query", "", "prediction query")
-		explain   = flag.Bool("explain", false, "print the optimized plan instead of executing")
-		noOpt     = flag.Bool("no-opt", false, "disable Raven optimizations")
+		modelPath   = flag.String("model", "", "model file (.onnx.json)")
+		query       = flag.String("query", "", "prediction query")
+		explain     = flag.Bool("explain", false, "print the optimized plan instead of executing")
+		noOpt       = flag.Bool("no-opt", false, "disable Raven optimizations")
+		serveAddr   = flag.String("serve", "", "serve queries over HTTP on this address instead of one-shot mode")
+		parallelism = flag.Int("parallelism", 1, "morsel parallelism per query (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
-	if *query == "" || *modelPath == "" || len(csvs) == 0 {
-		fmt.Fprintln(os.Stderr, "ravensql: -csv, -model and -query are required")
+	if *modelPath == "" || len(csvs) == 0 || (*query == "" && *serveAddr == "") {
+		fmt.Fprintln(os.Stderr, "ravensql: -csv, -model and one of -query/-serve are required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -41,6 +56,9 @@ func main() {
 	var options []raven.Option
 	if *noOpt {
 		options = append(options, raven.WithoutOptimizations())
+	}
+	if *parallelism != 1 {
+		options = append(options, raven.WithParallelism(*parallelism))
 	}
 	s := raven.NewSession(options...)
 	for _, path := range csvs {
@@ -50,6 +68,12 @@ func main() {
 	}
 	if _, err := s.RegisterModelFile(*modelPath); err != nil {
 		fatal(err)
+	}
+	if *serveAddr != "" {
+		if err := serve(s, *serveAddr); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *explain {
 		plan, rep, err := s.Explain(*query)
@@ -69,6 +93,51 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d rows in %v (optimizations: %v)\n",
 		res.Table.NumRows(), res.Wall, res.Report.Fired)
+}
+
+// serve runs the HTTP serving front end over one shared session.
+func serve(s *raven.Session, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		sql := r.URL.Query().Get("q")
+		if sql == "" && r.Body != nil {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			sql = string(body)
+		}
+		if sql == "" {
+			http.Error(w, "ravensql: empty query (POST the SQL or pass ?q=)", http.StatusBadRequest)
+			return
+		}
+		res, err := s.Query(sql)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.Header().Set("X-Raven-Wall", res.Wall.String())
+		if err := data.WriteCSV(res.Table, w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses := s.PlanCacheStats()
+		sch := s.Scheduler()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"plan_cache_hits":   hits,
+			"plan_cache_misses": misses,
+			"sched_workers":     sch.Workers(),
+			"sched_admitted":    sch.Admitted(),
+			"tables":            s.Tables(),
+			"models":            s.Models(),
+		})
+	})
+	fmt.Fprintf(os.Stderr, "ravensql: serving on %s (workers=%d)\n", addr, s.Scheduler().Workers())
+	return http.ListenAndServe(addr, mux)
 }
 
 func fatal(err error) {

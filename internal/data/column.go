@@ -184,17 +184,17 @@ func (c *Column) FilterCount(keep []bool, n int) *Column {
 		out := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
 		switch c.Type {
 		case Float64:
-			out.F64 = c.F64[:0:0]
+			out.F64 = clipEmpty(c.F64)
 		case Int64:
-			out.I64 = c.I64[:0:0]
+			out.I64 = clipEmpty(c.I64)
 		case String:
 			if c.Dict != nil {
-				out.Codes = c.Codes[:0:0]
+				out.Codes = clipEmpty(c.Codes)
 			} else {
-				out.Str = c.Str[:0:0]
+				out.Str = clipEmpty(c.Str)
 			}
 		case Bool:
-			out.B = c.B[:0:0]
+			out.B = clipEmpty(c.B)
 		}
 		return out
 	}
@@ -239,6 +239,17 @@ func (c *Column) FilterCount(keep []bool, n int) *Column {
 		}
 	}
 	return out
+}
+
+// clipEmpty returns a zero-length, zero-capacity view of s that is never
+// nil: the empty-view invariant requires storage present even when the
+// source column was itself created without backing storage (a nil slice),
+// which s[:0:0] alone would preserve as nil.
+func clipEmpty[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s[:0:0]
 }
 
 // AppendFrom appends all rows of src (same type) to c. Dictionary-encoded

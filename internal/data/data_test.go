@@ -438,3 +438,40 @@ func TestGatherOverZeroRowView(t *testing.T) {
 		t.Fatal("single-row gather dropped the shared dictionary")
 	}
 }
+
+// TestFilterCountNilStorageSource closes the remaining no-row-storage
+// gap: filtering a column that itself has NO backing storage (created
+// with nil values — e.g. a typed empty result, or a zero-row view
+// filtered again) must still produce storage-present empty views, and
+// the zero-row table fast path must not bypass that materialization.
+func TestFilterCountNilStorageSource(t *testing.T) {
+	tb := MustNewTable("t",
+		NewInt("id", nil),
+		NewFloat("v", nil),
+		NewBool("b", nil),
+		NewString("s", nil))
+	for name, view := range map[string]*Table{
+		"empty mask":     tb.FilterCount([]bool{}, 0),
+		"nil mask":       tb.FilterCount(nil, 0),
+		"all-false mask": tb.FilterCount([]bool{false}, 0),
+	} {
+		if view.NumRows() != 0 || view.NumCols() != 4 {
+			t.Fatalf("%s: shape = %dx%d", name, view.NumRows(), view.NumCols())
+		}
+		if view.Col("id").I64 == nil || view.Col("v").F64 == nil ||
+			view.Col("b").B == nil || view.Col("s").Str == nil {
+			t.Fatalf("%s: filter over nil-storage columns returned columns with no row storage", name)
+		}
+		// The view must behave like any zero-row table downstream.
+		if err := view.AppendFrom(tb); err != nil {
+			t.Fatalf("%s: append into view: %v", name, err)
+		}
+	}
+	// Double filtering (an all-false view filtered again) keeps storage.
+	src := MustNewTable("s", NewFloat("x", []float64{1, 2}))
+	once := src.FilterCount([]bool{false, false}, 0)
+	twice := once.FilterCount([]bool{}, 0)
+	if twice.Col("x").F64 == nil {
+		t.Fatal("double-filtered view lost row storage")
+	}
+}

@@ -156,7 +156,10 @@ func (t *Table) Filter(keep []bool) *Table {
 // partitioning, scans and (grouped) aggregation over them produce their
 // identity results.
 func (t *Table) FilterCount(keep []bool, n int) *Table {
-	if n == len(keep) && t.NumRows() == n {
+	// The all-true fast path requires n > 0: a zero-row input must take the
+	// per-column path so columns created without backing storage come back
+	// as empty views with storage present (the empty-view invariant).
+	if n > 0 && n == len(keep) && t.NumRows() == n {
 		return t.Slice(0, n)
 	}
 	out := &Table{Name: t.Name, byName: make(map[string]int, len(t.Cols))}

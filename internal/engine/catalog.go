@@ -7,60 +7,103 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"raven/internal/data"
 	"raven/internal/ir"
+	"raven/internal/mlruntime"
 	"raven/internal/model"
 )
 
 // Catalog maps names to tables and trained pipelines. It implements
-// ir.Catalog.
+// ir.Catalog. It also owns the engine-level ML session pool (sessions are
+// shared across every query planned against this catalog) and a version
+// counter: every registration bumps it, which is what invalidates plan
+// caches keyed on catalog identity. Lookups and registrations are safe to
+// interleave from concurrent queries.
 type Catalog struct {
-	tables map[string]*data.PartitionedTable
-	models map[string]*model.Pipeline
+	mu       sync.RWMutex
+	tables   map[string]*data.PartitionedTable
+	models   map[string]*model.Pipeline
+	version  uint64
+	sessions *mlruntime.Pool
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*data.PartitionedTable),
-		models: make(map[string]*model.Pipeline),
+		tables:   make(map[string]*data.PartitionedTable),
+		models:   make(map[string]*model.Pipeline),
+		sessions: mlruntime.NewPool(),
 	}
 }
 
 // RegisterTable registers a table as a single partition (stats computed).
 func (c *Catalog) RegisterTable(t *data.Table) {
-	c.tables[t.Name] = data.SinglePartition(t)
+	pt := data.SinglePartition(t)
+	c.mu.Lock()
+	c.tables[t.Name] = pt
+	c.version++
+	c.mu.Unlock()
 }
 
 // RegisterPartitioned registers an already partitioned table.
 func (c *Catalog) RegisterPartitioned(pt *data.PartitionedTable) {
+	c.mu.Lock()
 	c.tables[pt.Name] = pt
+	c.version++
+	c.mu.Unlock()
 }
 
-// RegisterModel registers a trained pipeline under its name.
+// RegisterModel registers a trained pipeline under its name. Re-registering
+// a name evicts the replaced pipeline's pooled sessions, so no query can
+// check out a session serving the stale model.
 func (c *Catalog) RegisterModel(p *model.Pipeline) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("engine: registering model %q: %w", p.Name, err)
 	}
+	c.mu.Lock()
+	old := c.models[p.Name]
 	c.models[p.Name] = p
+	c.version++
+	c.mu.Unlock()
+	if old != nil && old != p {
+		c.sessions.Evict(old)
+	}
 	return nil
 }
 
+// Version returns the catalog's registration counter. Cached plans carry
+// the version they were planned under and are invalid once it moves.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Sessions returns the catalog's shared ML session pool.
+func (c *Catalog) Sessions() *mlruntime.Pool { return c.sessions }
+
 // Table implements ir.Catalog.
 func (c *Catalog) Table(name string) (*data.PartitionedTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	return t, ok
 }
 
 // Model implements ir.Catalog.
 func (c *Catalog) Model(name string) (*model.Pipeline, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.models[name]
 	return m, ok
 }
 
 // TableNames returns the registered table names, sorted.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
@@ -71,6 +114,8 @@ func (c *Catalog) TableNames() []string {
 
 // ModelNames returns the registered model names, sorted.
 func (c *Catalog) ModelNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.models))
 	for n := range c.models {
 		out = append(out, n)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"raven/internal/device"
+	"raven/internal/sched"
 )
 
 // This file centralizes every modeled (as opposed to measured) cost
@@ -83,6 +84,23 @@ type Profile struct {
 	// byte-identical results — this knob trades the dense array's memory
 	// (4 bytes × cardinality × workers) for the hash probe cost.
 	DenseGroupLimit int
+	// Sched is the morsel scheduler the plan's exchanges run on. Nil uses
+	// the process-wide shared pool (sched.Default()), so every concurrent
+	// query multiplexes over one bounded set of workers; tests inject
+	// private schedulers for isolation.
+	Sched *sched.Scheduler
+	// PrivateMLSessions disables the catalog-level shared ML session pool,
+	// giving every query run its own sessions (the pre-serving behaviour;
+	// kept as a benchmark baseline for the pooling win).
+	PrivateMLSessions bool
+}
+
+// scheduler resolves the profile's scheduler.
+func (p *Profile) scheduler() *sched.Scheduler {
+	if p.Sched != nil {
+		return p.Sched
+	}
+	return sched.Default()
 }
 
 // SparkSKL is the paper's "Spark+SKL" baseline: the Spark cluster invoking

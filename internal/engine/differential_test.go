@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"raven/internal/data"
@@ -168,6 +169,99 @@ func TestDifferentialDatagenPlans(t *testing.T) {
 					diffAssertIdentical(t, serial.Table, res.Table,
 						fmt.Sprintf("%s/%s %s dop=%d", c.name, q.kind, repr, dop))
 				}
+			}
+		}
+	}
+}
+
+// tablesIdentical is the goroutine-safe twin of diffAssertIdentical: it
+// returns an error instead of failing the test, so concurrent executors
+// can report mismatches with t.Error from worker goroutines.
+func tablesIdentical(want, got *data.Table) error {
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		return fmt.Errorf("shape %dx%d, want %dx%d",
+			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for _, wc := range want.Cols {
+		gc := got.Col(wc.Name)
+		if gc == nil {
+			return fmt.Errorf("missing column %q", wc.Name)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			if wc.AsString(i) != gc.AsString(i) {
+				return fmt.Errorf("column %q row %d: %s != %s",
+					wc.Name, i, gc.AsString(i), wc.AsString(i))
+			}
+		}
+	}
+	return nil
+}
+
+// TestDifferentialConcurrentExecution is the concurrency twin of
+// TestDifferentialDatagenPlans: N goroutines execute the SAME optimized
+// plan against the SAME catalog simultaneously — the cached-plan serving
+// contract — and every execution must be byte-identical to the serial
+// baseline. Run under -race in CI, this pins down that optimized IR
+// graphs, shared ML session pools and the process-wide morsel scheduler
+// are safe to share across concurrent queries at any DOP.
+func TestDifferentialConcurrentExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is not short")
+	}
+	c := diffCase{name: "expedia-concurrent", ds: datagen.Expedia(2500, 17), opts: opt.DefaultOptions()}
+	dictCat, _, model := diffCatalogs(t, c)
+	type planned struct {
+		kind string
+		g    *ir.Graph
+		want *data.Table
+	}
+	var plans []planned
+	for _, q := range []struct{ kind, sql string }{
+		{"predict", c.ds.Query("%s", "d.channel IN ('v1', 'v3')")},
+		{"ranked", c.ds.RankedGroupedQuery("%s", 0.05, 5)},
+		// The positional window ties OFFSET into the concurrent harness:
+		// groups ordered by string key descending, rows 2..4 of them.
+		{"offset-window", c.ds.OrderedGroupedQuery("%s", true) + " LIMIT 3 OFFSET 2"},
+	} {
+		sql := fmt.Sprintf(q.sql, model)
+		g := diffPlan(t, c, dictCat, sql)
+		serial, err := engine.Run(g, dictCat, engine.Local)
+		if err != nil {
+			t.Fatalf("%s serial baseline: %v", q.kind, err)
+		}
+		if serial.Table.NumRows() == 0 {
+			t.Fatalf("%s: serial baseline is empty, test would be vacuous", q.kind)
+		}
+		plans = append(plans, planned{q.kind, g, serial.Table})
+	}
+	dops := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	for _, conc := range []int{2, 4, 8} {
+		for _, dop := range dops {
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for _, p := range plans {
+						prof := engine.Local
+						prof.ExecDOP = dop
+						res, err := engine.Run(p.g, dictCat, prof)
+						if err != nil {
+							t.Errorf("conc=%d dop=%d worker=%d %s: %v", conc, dop, w, p.kind, err)
+							return
+						}
+						if err := tablesIdentical(p.want, res.Table); err != nil {
+							t.Errorf("conc=%d dop=%d worker=%d %s: %v", conc, dop, w, p.kind, err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.Fatalf("conc=%d dop=%d: concurrent executions diverged from serial", conc, dop)
 			}
 		}
 	}

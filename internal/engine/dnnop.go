@@ -64,6 +64,26 @@ func (d *DNNOp) Columns() []string {
 	return out
 }
 
+// OutputSchema implements relational.SchemaProvider: pass-through columns
+// keep the child's types and every mapped prediction output is a Float64
+// score column.
+func (d *DNNOp) OutputSchema() (data.Schema, bool) {
+	var out data.Schema
+	if d.KeepInput {
+		child, ok := relational.SchemaOf(d.Child)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, child...)
+	}
+	for _, v := range d.Pipeline.Outputs {
+		if name, ok := d.OutputMap[v]; ok {
+			out = append(out, data.Field{Name: name, Type: data.Float64})
+		}
+	}
+	return out, true
+}
+
 // Open compiles the pipeline to a tensor program.
 func (d *DNNOp) Open() error {
 	d.stats = relational.OpStats{

@@ -21,8 +21,12 @@ type Result struct {
 	Reported time.Duration
 	// Ops holds per-operator statistics (pre-order).
 	Ops []*relational.OpStats
-	// Sessions is the number of ML runtime sessions initialized.
+	// Sessions is the number of ML runtime sessions checked out (one per
+	// chain that actually executed predictions).
 	Sessions int
+	// ColdSessions is the subset of Sessions that had to be initialized
+	// from scratch rather than reused warm from the engine-level pool.
+	ColdSessions int
 	// PredictBatches counts batches that crossed the UDF boundary.
 	PredictBatches int64
 	// BytesConverted counts bytes converted at the boundary.
@@ -40,8 +44,17 @@ func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
 	return Execute(root, prof)
 }
 
-// Execute drains a physical plan and assembles the Result.
+// Execute drains a physical plan and assembles the Result. Parallel plans
+// pass admission control first: the scheduler bounds how many parallel
+// queries are in flight at once, so morsel queue depth (and tail latency)
+// stays bounded under overload. Admission is held by the query thread
+// only — scheduler workers never admit — so it cannot deadlock with
+// morsel scheduling.
 func Execute(root Operator, prof Profile) (*Result, error) {
+	if prof.ExecDOP > 1 {
+		release := prof.scheduler().Admit()
+		defer release()
+	}
 	t0 := time.Now()
 	table, err := relational.Drain(root)
 	if err != nil {
@@ -156,6 +169,7 @@ func reportedTime(root Operator, prof Profile, res *Result) time.Duration {
 		switch o := op.(type) {
 		case *PredictOp:
 			res.Sessions += o.Sessions
+			res.ColdSessions += o.ColdSessions
 			res.PredictBatches += s.Batches
 			res.BytesConverted += o.BytesConverted
 			initDiv := 1.0

@@ -419,12 +419,14 @@ func TestParallelPredictMatchesSerial(t *testing.T) {
 		if res.BytesConverted != serial.BytesConverted {
 			t.Errorf("dop=%d: bytes=%d, serial=%d", dop, res.BytesConverted, serial.BytesConverted)
 		}
-		wantSessions := dop
-		if dop == 1 {
-			wantSessions = 1
+		// The shared scheduler is work-conserving: short queries may run on
+		// fewer than DOP clones, each engaged clone checking out exactly
+		// one session. More than DOP can never be engaged.
+		if res.Sessions < 1 || res.Sessions > dop {
+			t.Errorf("dop=%d: sessions=%d, want within [1,%d] (one per engaged clone)", dop, res.Sessions, dop)
 		}
-		if res.Sessions != wantSessions {
-			t.Errorf("dop=%d: sessions=%d, want %d (one per worker)", dop, res.Sessions, wantSessions)
+		if res.ColdSessions > res.Sessions {
+			t.Errorf("dop=%d: cold sessions %d exceed checkouts %d", dop, res.ColdSessions, res.Sessions)
 		}
 	}
 }
@@ -471,9 +473,9 @@ func TestParallelJoinPlanMatchesSerial(t *testing.T) {
 	}
 	// The join is no longer a pipeline breaker: the probe side and the
 	// predict above the join run inside one exchange (one ML session per
-	// worker), probing a shared build table.
+	// engaged clone), probing a shared build table.
 	assertResultsIdentical(t, serial.Table, res.Table, "join plan")
-	if res.Sessions != 4 {
-		t.Errorf("sessions = %d, want 4 (predict above the join parallelizes across the exchange workers)", res.Sessions)
+	if res.Sessions < 1 || res.Sessions > 4 {
+		t.Errorf("sessions = %d, want within [1,4] (predict above the join parallelizes across the exchange clones)", res.Sessions)
 	}
 }

@@ -35,7 +35,7 @@ func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
 		return nil, err
 	}
 	if prof.ExecDOP > 1 {
-		root, err = relational.Parallelize(root, prof.ExecDOP, prof.BatchSize)
+		root, err = relational.ParallelizeOn(root, prof.ExecDOP, prof.BatchSize, prof.Sched)
 		if err != nil {
 			return nil, err
 		}
@@ -116,15 +116,16 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 			return nil, err
 		}
 		if len(n.OrderBy) == 0 {
-			// LIMIT without ORDER BY: a pure row cutoff over the
-			// deterministic batch stream.
-			return &relational.Limit{Child: child, N: n.Limit}, nil
+			// LIMIT/OFFSET without ORDER BY: a pure positional window over
+			// the deterministic batch stream.
+			return &relational.Limit{Child: child, N: n.Limit, Offset: n.Offset}, nil
 		}
-		// ORDER BY [LIMIT]: a sort breaker with a typed multi-key
-		// comparator; a non-negative limit turns it into a top-k heap.
-		// Under ExecDOP > 1 the Parallelize rewrite splits it into
-		// per-worker PartialSorts merged k-way at a MergeSortRuns breaker.
-		return &relational.Sort{Child: child, Keys: n.OrderBy, Limit: n.Limit}, nil
+		// ORDER BY [LIMIT] [OFFSET]: a sort breaker with a typed multi-key
+		// comparator; a non-negative limit turns it into a top-k heap (an
+		// offset widens the heap to offset+limit rows). Under ExecDOP > 1
+		// the Parallelize rewrite splits it into per-worker PartialSorts
+		// merged k-way at a MergeSortRuns breaker.
+		return &relational.Sort{Child: child, Keys: n.OrderBy, Limit: n.Limit, Offset: n.Offset}, nil
 	case ir.KindUnion:
 		inputs := make([]Operator, len(n.Children))
 		for i, c := range n.Children {
@@ -172,6 +173,11 @@ func (l *lowerer) lowerPredict(n *ir.Node) (Operator, error) {
 			OutputMap:           n.OutputMap,
 			KeepInput:           n.KeepInput,
 			MaterializeFeatures: l.prof.MaterializeFeaturization,
+		}
+		if !l.prof.PrivateMLSessions {
+			// Sessions for this pipeline+binding are checked out of the
+			// catalog's engine-level pool, shared across queries.
+			op.Shared = l.cat.Sessions()
 		}
 		return op, nil
 	}

@@ -68,16 +68,26 @@ type PredictOp struct {
 	// materialized as one column per feature, then a model-only pipeline
 	// consumes the wide table. Fails beyond MaxMaterializedColumns.
 	MaterializeFeatures bool
+	// Shared is the engine-level session pool (normally the catalog's):
+	// sessions for this pipeline+binding are checked out across queries
+	// instead of rebuilt per query. Nil falls back to an op-private pool
+	// shared only with this op's exchange clones.
+	Shared *mlruntime.Pool
 
 	stats    relational.OpStats
-	pool     *sessionPool // shared with worker clones
+	pool     *sessionPool // op-private fallback, shared with worker clones
+	key      mlruntime.PoolKey
 	sess     *mlruntime.Session
 	featSess *mlruntime.Session // featurization-only session (MADlib mode)
 	mdlSess  *mlruntime.Session // model-only session (MADlib mode)
 	matBuf   []float64          // reused transpose buffer (MADlib mode)
 	matNames []string           // cached materialized column names
-	// Boundary accounting, charged by the profile cost model.
+	// Boundary accounting, charged by the profile cost model. Sessions
+	// counts sessions checked out by this op (the concurrency the profile
+	// charges initialization for); ColdSessions counts the subset that had
+	// to be newly initialized rather than reused warm from the pool.
 	Sessions       int
+	ColdSessions   int
 	BytesConverted int64
 }
 
@@ -98,17 +108,70 @@ func (p *PredictOp) Columns() []string {
 	return out
 }
 
-// Open initializes the ML runtime session(s).
+// OutputSchema implements relational.SchemaProvider: pass-through columns
+// keep the child's types and every mapped prediction output is a Float64
+// score column, so empty results stay correctly typed.
+func (p *PredictOp) OutputSchema() (data.Schema, bool) {
+	var out data.Schema
+	if p.KeepInput {
+		child, ok := relational.SchemaOf(p.Child)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, child...)
+	}
+	for _, v := range p.Pipeline.Outputs {
+		if name, ok := p.OutputMap[v]; ok {
+			out = append(out, data.Field{Name: name, Type: data.Float64})
+		}
+	}
+	return out, true
+}
+
+// Open opens the child and resets the boundary counters. The ML session is
+// acquired lazily on the first Next: an exchange's template chain is
+// opened and closed during plan setup without ever pulling a batch, so
+// eager acquisition would charge a phantom session checkout per exchange.
+// Lazy acquisition keeps Sessions exactly "one per chain actually
+// executing", whether the session comes warm from the shared pool or is
+// initialized cold. MADlib mode stays eager (its two sessions are part of
+// the modeled setup cost and it never runs inside an exchange).
 func (p *PredictOp) Open() error {
 	p.stats = relational.OpStats{Name: "Predict(" + p.Pipeline.Name + ")", Parallel: true}
 	defer timeOp(&p.stats)()
 	p.Sessions = 0
+	p.ColdSessions = 0
 	p.BytesConverted = 0
 	if err := p.Child.Open(); err != nil {
 		return err
 	}
 	if p.MaterializeFeatures {
 		return p.openMaterialized()
+	}
+	return nil
+}
+
+// ensureSession checks a session out of the shared pool (or the op-private
+// fallback pool) on the first batch.
+func (p *PredictOp) ensureSession() error {
+	if p.sess != nil {
+		return nil
+	}
+	if p.Shared != nil {
+		p.key = mlruntime.PoolKey{
+			Pipeline: p.Pipeline,
+			Binding:  mlruntime.BindingKey(p.InputMap, p.OutputMap),
+		}
+		sess, cold, err := p.Shared.Acquire(p.key, p.boundPipeline)
+		if err != nil {
+			return err
+		}
+		p.sess = sess
+		p.Sessions++
+		if cold {
+			p.ColdSessions++
+		}
+		return nil
 	}
 	if p.pool == nil {
 		p.pool = &sessionPool{}
@@ -119,7 +182,8 @@ func (p *PredictOp) Open() error {
 	}
 	p.sess = sess
 	if created {
-		p.Sessions = 1
+		p.Sessions++
+		p.ColdSessions++
 	}
 	return nil
 }
@@ -164,6 +228,7 @@ func (p *PredictOp) CloneWorker(child Operator) (Operator, error) {
 		// plan rewrite also uses CloneWorker to rebuild an op over a
 		// rewritten child — the mode must survive that.
 		MaterializeFeatures: p.MaterializeFeatures,
+		Shared:              p.Shared,
 		pool:                p.pool,
 	}, nil
 }
@@ -173,6 +238,7 @@ func (p *PredictOp) CloneWorker(child Operator) (Operator, error) {
 func (p *PredictOp) AbsorbWorker(clone Operator) {
 	c := clone.(*PredictOp)
 	p.Sessions += c.Sessions
+	p.ColdSessions += c.ColdSessions
 	p.BytesConverted += c.BytesConverted
 	p.stats.Absorb(&c.stats)
 }
@@ -243,6 +309,9 @@ func (p *PredictOp) Next() (*data.Table, error) {
 	if p.MaterializeFeatures {
 		outs, err = p.runMaterialized(b)
 	} else {
+		if err := p.ensureSession(); err != nil {
+			return nil, err
+		}
 		in, berr := p.sess.Bind(b)
 		if berr != nil {
 			return nil, berr
@@ -340,10 +409,15 @@ func (p *PredictOp) runMaterialized(b *data.Table) (map[string]mlruntime.Value, 
 	return p.mdlSess.Run(bound, n)
 }
 
-// Close returns the session to the shared pool and closes the child.
+// Close returns the session to its pool (warm for the next query when the
+// engine-level pool is attached) and closes the child.
 func (p *PredictOp) Close() error {
-	if p.sess != nil && p.pool != nil {
-		p.pool.release(p.sess)
+	if p.sess != nil {
+		if p.Shared != nil {
+			p.Shared.Release(p.key, p.sess)
+		} else if p.pool != nil {
+			p.pool.release(p.sess)
+		}
 		p.sess = nil
 	}
 	return p.Child.Close()

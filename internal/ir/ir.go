@@ -154,10 +154,12 @@ type Node struct {
 	GroupBy []string
 
 	// Sort fields (KindSort). OrderBy holds the resolved sort keys with
-	// direction; Limit is the row cutoff, negative for none. Having nodes
+	// direction; Limit is the row cutoff, negative for none; Offset is the
+	// count of leading ordered rows to skip, zero for none. Having nodes
 	// (KindHaving) carry their predicate in Pred.
 	OrderBy []relational.SortKey
 	Limit   int
+	Offset  int
 }
 
 // Graph is a rooted IR tree plus an ID allocator.
@@ -448,6 +450,9 @@ func (g *Graph) Explain() string {
 			if n.Limit >= 0 {
 				fmt.Fprintf(&b, " limit=%d", n.Limit)
 			}
+			if n.Offset > 0 {
+				fmt.Fprintf(&b, " offset=%d", n.Offset)
+			}
 			b.WriteString("\n")
 		}
 		for _, c := range n.Children {
@@ -484,8 +489,8 @@ func (g *Graph) Validate(cat Catalog) error {
 				firstErr = fmt.Errorf("ir: having node %d has no predicate", n.ID)
 				return
 			}
-			if n.Kind == KindSort && len(n.OrderBy) == 0 && n.Limit < 0 {
-				firstErr = fmt.Errorf("ir: sort node %d has neither keys nor a limit", n.ID)
+			if n.Kind == KindSort && len(n.OrderBy) == 0 && n.Limit < 0 && n.Offset <= 0 {
+				firstErr = fmt.Errorf("ir: sort node %d has neither keys, a limit nor an offset", n.ID)
 			}
 		case KindJoin:
 			if len(n.Children) != 2 {

@@ -1,0 +1,130 @@
+package mlruntime
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"raven/internal/model"
+)
+
+// PoolKey identifies one bound-pipeline configuration: the catalog
+// pipeline plus the canonical rendering of its column binding. Two predict
+// operators with the same key run interchangeable sessions.
+type PoolKey struct {
+	Pipeline *model.Pipeline
+	Binding  string
+}
+
+// BindingKey canonicalizes a predict operator's input/output binding.
+// Input renames change the bound pipeline, as does the set of requested
+// output values; output column names do not (they only label the result),
+// so only the OutputMap keys participate.
+func BindingKey(inputMap, outputMap map[string]string) string {
+	ins := make([]string, 0, len(inputMap))
+	for k, v := range inputMap {
+		ins = append(ins, k+"="+v)
+	}
+	sort.Strings(ins)
+	outs := make([]string, 0, len(outputMap))
+	for k := range outputMap {
+		outs = append(outs, k)
+	}
+	sort.Strings(outs)
+	return strings.Join(ins, ";") + "|" + strings.Join(outs, ";")
+}
+
+type poolEntry struct {
+	proto *Session
+	free  []*Session
+}
+
+// Pool is the engine-level ML session pool: sessions are checked out
+// across queries (and across the exchange clones within one query) instead
+// of being rebuilt per query. The first Acquire for a key builds and
+// validates the bound pipeline once; later Acquires pop a warm released
+// session or clone the prototype. The free list per key is capped so a
+// burst of concurrent queries does not pin unbounded scratch memory.
+type Pool struct {
+	mu      sync.Mutex
+	entries map[PoolKey]*poolEntry
+	maxFree int
+}
+
+// NewPool returns an empty pool keeping at most 2×NumCPU warm sessions
+// per key.
+func NewPool() *Pool {
+	return &Pool{
+		entries: make(map[PoolKey]*poolEntry),
+		maxFree: 2 * runtime.NumCPU(),
+	}
+}
+
+// Acquire returns a ready session for the key and whether it had to be
+// newly initialized (a cold start). build is called only when the key has
+// no prototype yet.
+func (p *Pool) Acquire(k PoolKey, build func() (*model.Pipeline, error)) (*Session, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[k]
+	if e == nil {
+		e = &poolEntry{}
+		p.entries[k] = e
+	}
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return s, false, nil
+	}
+	if e.proto == nil {
+		bound, err := build()
+		if err != nil {
+			return nil, false, err
+		}
+		s, err := NewSession(bound)
+		if err != nil {
+			return nil, false, err
+		}
+		e.proto = s
+		return s, true, nil
+	}
+	return e.proto.Clone(), true, nil
+}
+
+// Release returns a session to the key's warm list (dropped when the list
+// is full or the key was evicted meanwhile).
+func (p *Pool) Release(k PoolKey, s *Session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[k]
+	if e == nil || len(e.free) >= p.maxFree {
+		return
+	}
+	e.free = append(e.free, s)
+}
+
+// Evict drops every entry bound to the given catalog pipeline (called when
+// a model is re-registered under the same name, so stale sessions cannot
+// serve the replaced model).
+func (p *Pool) Evict(pipe *model.Pipeline) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.entries {
+		if k.Pipeline == pipe {
+			delete(p.entries, k)
+		}
+	}
+}
+
+// Warm returns the number of idle warm sessions across all keys.
+func (p *Pool) Warm() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		n += len(e.free)
+	}
+	return n
+}

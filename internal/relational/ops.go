@@ -674,8 +674,15 @@ func Drain(root Operator) (*data.Table, error) {
 		}
 	}
 	if out == nil {
+		// Zero batches: synthesize an empty result carrying the plan's real
+		// column types (SchemaOf), falling back to all-Float64 only when an
+		// operator's schema cannot be derived statically.
 		var err error
-		out, err = emptyLike(root.Columns())
+		if schema, ok := SchemaOf(root); ok {
+			out, err = emptyTyped(schema)
+		} else {
+			out, err = emptyLike(root.Columns())
+		}
 		if err != nil {
 			return nil, err
 		}

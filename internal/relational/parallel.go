@@ -3,18 +3,21 @@ package relational
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"raven/internal/data"
+	"raven/internal/sched"
 )
 
 // This file implements morsel-driven parallel execution: partitioned scans
-// are split into fixed-size morsels (partition, row-range) that a pool of
-// worker goroutines pulls from a shared queue, each worker driving its own
-// clone of the partition-parallel operator chain (Filter/Project/Predict).
+// are split into fixed-size morsels (partition, row-range) whose tasks run
+// on the shared engine-level scheduler (internal/sched) — one fixed worker
+// pool multiplexing morsels from every running query. Each task drives a
+// private clone of the partition-parallel operator chain
+// (Filter/Project/Predict) checked out from the exchange's clone set.
 // Results are merged back in morsel order at the Exchange, so parallel
 // plans produce byte-identical output to serial ones and the operators
-// above the Exchange (joins, aggregates) stay oblivious.
+// above the Exchange (joins, aggregates) stay oblivious — at any DOP and
+// any concurrency level.
 
 // Morsel is one unit of parallel work: a row range of one partition.
 type Morsel struct {
@@ -180,44 +183,55 @@ type worker struct {
 }
 
 // Exchange executes a partition-parallel operator segment — a chain of
-// ParallelOp operators over a partitioned Scan — across DOP worker
-// goroutines pulling morsels from a shared queue. Batches are re-emitted
+// ParallelOp operators over a partitioned Scan — as morsel tasks on the
+// shared scheduler, at most DOP of them in flight. Batches are re-emitted
 // in morsel order, so downstream operators observe exactly the serial
 // batch stream. The Template chain is never executed directly; it is
-// cloned per worker and kept as the merge target for statistics (its
-// post-run WallNs is aggregate worker CPU time, while the Exchange's own
-// stats carry the measured parallel wall time the cost model charges).
+// cloned DOP times (one clone chain per concurrently running task) and
+// kept as the merge target for statistics (its post-run WallNs is
+// aggregate across-task CPU time, while the Exchange's own stats carry
+// the measured parallel wall time the cost model charges).
+//
+// Flow control replaces a dedicated worker pool's ticket loop with
+// drip-feed submission: at most `window` morsels are ever submitted ahead
+// of consumption (the initial burst, then one new submission per sequence
+// slot Next consumes), and the result channel has capacity for the whole
+// window — so a task's result send NEVER blocks and tasks never wait on
+// each other, keeping the fixed shared pool deadlock-free.
 type Exchange struct {
 	Template   Operator
 	DOP        int
 	MorselSize int
+	// Sched is the scheduler to run on; nil means the process-wide shared
+	// pool (sched.Default()).
+	Sched *sched.Scheduler
 
 	stats   OpStats
 	scan    *Scan
 	chain   []ParallelOp // template ops root-first, excluding the scan
 	morsels []Morsel
-	cursor  atomic.Int64
 	out     chan seqBatch
-	// tickets bounds the reorder window: a worker takes a ticket before
-	// claiming a morsel and Next returns it once the morsel's sequence
-	// slot has been consumed, so under skew at most cap(tickets) result
-	// batches are buffered (in the channel plus the pending map) instead
-	// of materializing the whole segment output.
-	tickets chan struct{}
-	cancel  chan struct{}
-	cancelO sync.Once
+	job     *sched.Job
+	// idle holds the clone chains not currently executing a task. The
+	// job's parallelism cap equals len(workers), so a starting task always
+	// finds an idle clone.
+	idleMu  sync.Mutex
+	idle    []*worker
 	absorbO sync.Once
-	wg      sync.WaitGroup
 	workers []*worker
-	// started marks the worker pool as launched. Workers start lazily on
+	// started marks the job as registered. Tasks are submitted lazily on
 	// the first Next so that a failure while Opening a sibling operator
 	// (e.g. a hash-join build side erroring after this exchange opened)
-	// cannot leak running goroutines — an opened-but-never-pulled
-	// exchange holds no resources beyond memory.
+	// cannot leak scheduled work — an opened-but-never-pulled exchange
+	// holds no scheduler resources.
 	started bool
-	pending map[int64]*data.Table
-	nextSeq int64
-	failed  error
+	// submitted counts morsels handed to the scheduler; window bounds
+	// submitted-minus-consumed so at most window results are buffered.
+	submitted int
+	window    int
+	pending   map[int64]*data.Table
+	nextSeq   int64
+	failed    error
 }
 
 // NewExchange wraps a parallelizable segment: a chain of single-child
@@ -276,19 +290,17 @@ func (e *Exchange) Open() error {
 		return err
 	}
 	e.morsels = e.scan.Morsels(e.MorselSize)
-	e.cursor.Store(0)
 	e.pending = make(map[int64]*data.Table)
 	e.nextSeq = 0
+	e.submitted = 0
 	e.failed = nil
-	e.cancel = make(chan struct{})
-	e.cancelO = sync.Once{}
+	e.job = nil
 	e.absorbO = sync.Once{}
-	e.out = make(chan seqBatch, e.DOP*2)
-	window := e.DOP * 4
-	e.tickets = make(chan struct{}, window)
-	for i := 0; i < window; i++ {
-		e.tickets <- struct{}{}
-	}
+	// The reorder window bounds buffered results under skew: at most
+	// window morsels are outstanding, and the channel holds the whole
+	// window so task sends never block.
+	e.window = e.DOP * 4
+	e.out = make(chan seqBatch, e.window)
 	e.workers = e.workers[:0]
 	// failWorkers closes the chains already opened for earlier workers,
 	// returning their pooled resources (ML sessions) on a partial failure.
@@ -318,41 +330,56 @@ func (e *Exchange) Open() error {
 		}
 		e.workers = append(e.workers, w)
 	}
+	e.idle = append(e.idle[:0], e.workers...)
 	e.started = false
 	return nil
 }
 
-// start launches the worker pool (first Next call).
+// scheduler resolves the scheduler this exchange runs on.
+func (e *Exchange) scheduler() *sched.Scheduler {
+	if e.Sched != nil {
+		return e.Sched
+	}
+	return sched.Default()
+}
+
+// start registers the job and submits the initial morsel window (first
+// Next call).
 func (e *Exchange) start() {
 	e.started = true
-	e.wg.Add(len(e.workers))
-	for _, w := range e.workers {
-		go e.runWorker(w)
+	e.job = e.scheduler().NewJob(len(e.workers))
+	burst := e.window
+	if burst > len(e.morsels) {
+		burst = len(e.morsels)
+	}
+	for i := 0; i < burst; i++ {
+		e.submitMorsel()
 	}
 }
 
-func (e *Exchange) runWorker(w *worker) {
-	defer e.wg.Done()
-	for {
-		select {
-		case <-e.tickets:
-		case <-e.cancel:
-			return
-		}
-		i := e.cursor.Add(1) - 1
-		if i >= int64(len(e.morsels)) {
-			return
-		}
-		t, err := e.execMorsel(w, e.morsels[i])
-		select {
-		case e.out <- seqBatch{seq: i, t: t, err: err}:
-		case <-e.cancel:
-			return
-		}
-		if err != nil {
-			return
-		}
+// submitMorsel schedules the next unsubmitted morsel as one task. The task
+// checks a clone chain out of the idle set (never empty: the job cap
+// equals the clone count), runs the morsel through it, and delivers the
+// result on the buffered channel (never blocks: outstanding results are
+// bounded by the window, which is the channel capacity).
+func (e *Exchange) submitMorsel() {
+	if e.submitted >= len(e.morsels) {
+		return
 	}
+	seq := int64(e.submitted)
+	m := e.morsels[e.submitted]
+	e.submitted++
+	e.job.Submit(func() {
+		e.idleMu.Lock()
+		w := e.idle[len(e.idle)-1]
+		e.idle = e.idle[:len(e.idle)-1]
+		e.idleMu.Unlock()
+		t, err := e.execMorsel(w, m)
+		e.idleMu.Lock()
+		e.idle = append(e.idle, w)
+		e.idleMu.Unlock()
+		e.out <- seqBatch{seq: seq, t: t, err: err}
+	})
 }
 
 // execMorsel drives the worker's chain over one morsel and returns the
@@ -406,12 +433,9 @@ func (e *Exchange) Next() (*data.Table, error) {
 		if t, ok := e.pending[e.nextSeq]; ok {
 			delete(e.pending, e.nextSeq)
 			e.nextSeq++
-			// Return the consumed slot's ticket (cannot block: tickets
-			// outstanding never exceed the channel capacity).
-			select {
-			case e.tickets <- struct{}{}:
-			default:
-			}
+			// A consumed sequence slot frees one window slot: drip-feed the
+			// next morsel to the scheduler.
+			e.submitMorsel()
 			if t != nil && t.NumRows() > 0 {
 				e.stats.Rows += int64(t.NumRows())
 				e.stats.Batches++
@@ -433,14 +457,20 @@ func (e *Exchange) Next() (*data.Table, error) {
 	}
 }
 
+// stop drops the exchange's queued scheduler tasks; in-flight tasks finish
+// into the buffered channel.
 func (e *Exchange) stop() {
-	e.cancelO.Do(func() { close(e.cancel) })
+	if e.job != nil {
+		e.job.Cancel()
+	}
 }
 
-// finish joins the workers and merges their statistics into the template
-// chain exactly once.
+// finish waits for the exchange's scheduler job to go quiescent and merges
+// the clone statistics into the template chain exactly once.
 func (e *Exchange) finish() {
-	e.wg.Wait()
+	if e.job != nil {
+		e.job.Wait()
+	}
 	e.absorbO.Do(func() {
 		for _, w := range e.workers {
 			e.scan.stats.Absorb(&w.scanStats)
@@ -451,7 +481,8 @@ func (e *Exchange) finish() {
 	})
 }
 
-// Close stops the workers, merges statistics and closes the worker chains.
+// Close stops the scheduled work, merges statistics and closes the clone
+// chains.
 func (e *Exchange) Close() error {
 	e.stop()
 	e.finish()
@@ -496,16 +527,16 @@ func segmentable(op Operator) bool {
 // worker chain (its build side is independently parallelized), and the
 // operators above a converted join are rebuilt over the new child via
 // their worker-clone hook. Segments without joins are returned unchanged.
-func chainify(op Operator, dop, morselSize int) (Operator, error) {
+func chainify(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
 	switch o := op.(type) {
 	case *Scan:
 		return o, nil
 	case *HashJoin:
-		child, err := chainify(o.Left, dop, morselSize)
+		child, err := chainify(o.Left, dop, morselSize, s)
 		if err != nil {
 			return nil, err
 		}
-		build, err := rewrite(o.Right, dop, morselSize)
+		build, err := rewrite(o.Right, dop, morselSize, s)
 		if err != nil {
 			return nil, err
 		}
@@ -515,7 +546,7 @@ func chainify(op Operator, dop, morselSize int) (Operator, error) {
 	if !ok || len(p.Children()) != 1 {
 		return nil, fmt.Errorf("relational: cannot chainify operator %T", op)
 	}
-	child, err := chainify(p.Children()[0], dop, morselSize)
+	child, err := chainify(p.Children()[0], dop, morselSize, s)
 	if err != nil {
 		return nil, err
 	}
@@ -536,18 +567,24 @@ func chainify(op Operator, dop, morselSize int) (Operator, error) {
 // breaker. Materializations and unions stay serial but
 // pull from parallel children. dop <= 1 returns the plan unchanged.
 func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
+	return ParallelizeOn(root, dop, morselSize, nil)
+}
+
+// ParallelizeOn is Parallelize with an explicit scheduler for the plan's
+// exchanges; nil uses the process-wide shared pool.
+func ParallelizeOn(root Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
 	if dop <= 1 {
 		return root, nil
 	}
 	if morselSize <= 0 {
 		morselSize = 10000
 	}
-	return rewrite(root, dop, morselSize)
+	return rewrite(root, dop, morselSize, s)
 }
 
 // exchangeSegment wraps op in an Exchange when it roots a segment whose
 // probe-most scan is big enough to split; ok reports whether it did.
-func exchangeSegment(op Operator, dop, morselSize int) (Operator, bool, error) {
+func exchangeSegment(op Operator, dop, morselSize int, sch *sched.Scheduler) (Operator, bool, error) {
 	if !segmentable(op) {
 		return nil, false, nil
 	}
@@ -558,15 +595,17 @@ func exchangeSegment(op Operator, dop, morselSize int) (Operator, bool, error) {
 	if s.Table.NumRows() <= morselSize {
 		return nil, false, nil
 	}
-	chain, err := chainify(op, dop, morselSize)
+	chain, err := chainify(op, dop, morselSize, sch)
 	if err != nil {
 		return nil, false, err
 	}
-	return NewExchange(chain, dop, morselSize), true, nil
+	ex := NewExchange(chain, dop, morselSize)
+	ex.Sched = sch
+	return ex, true, nil
 }
 
-func rewrite(op Operator, dop, morselSize int) (Operator, error) {
-	if ex, ok, err := exchangeSegment(op, dop, morselSize); err != nil {
+func rewrite(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
+	if ex, ok, err := exchangeSegment(op, dop, morselSize, s); err != nil {
 		return nil, err
 	} else if ok {
 		return ex, nil
@@ -574,62 +613,69 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 	var err error
 	switch o := op.(type) {
 	case *Filter:
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *Project:
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *HashJoin:
-		if o.Left, err = rewrite(o.Left, dop, morselSize); err != nil {
+		if o.Left, err = rewrite(o.Left, dop, morselSize, s); err != nil {
 			return nil, err
 		}
-		o.Right, err = rewrite(o.Right, dop, morselSize)
+		o.Right, err = rewrite(o.Right, dop, morselSize, s)
 	case *Aggregate:
 		// Partial aggregation: when the input is a big-enough segment,
 		// fold per-batch accumulators inside the exchange workers and
 		// merge them (in morsel order) above it.
-		if seg, ok, serr := exchangeSegment(&PartialAggregate{Child: o.Child, Aggs: o.Aggs}, dop, morselSize); serr != nil {
+		if seg, ok, serr := exchangeSegment(&PartialAggregate{Child: o.Child, Aggs: o.Aggs}, dop, morselSize, s); serr != nil {
 			return nil, serr
 		} else if ok {
 			return &MergeAggregate{Child: seg, Aggs: o.Aggs}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *GroupAggregate:
 		// Grouped partial aggregation: per-worker grouped accumulators
 		// (dense arrays or hash tables) inside the exchange, merged by
 		// key value in morsel order at the breaker.
 		if seg, ok, serr := exchangeSegment(&PartialGroupAggregate{
 			Child: o.Child, Keys: o.Keys, Aggs: o.Aggs, DenseLimit: o.DenseLimit,
-		}, dop, morselSize); serr != nil {
+		}, dop, morselSize, s); serr != nil {
 			return nil, serr
 		} else if ok {
 			return &MergeGroupAggregate{Child: seg, Keys: o.Keys, Aggs: o.Aggs}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *Sort:
 		// Parallel sort: per-worker sorted runs (one per morsel, truncated
 		// to the limit) inside the exchange, k-way merged in morsel order
-		// at the breaker — byte-identical to the serial stable sort.
+		// at the breaker — byte-identical to the serial stable sort. With
+		// an OFFSET the runs keep offset+limit rows (a row outside a run's
+		// top-(offset+limit) cannot be in the global window); the merge
+		// drops the leading offset rows.
+		partialLimit := o.Limit
+		if o.Limit >= 0 && o.Offset > 0 {
+			partialLimit = o.Limit + o.Offset
+		}
 		if seg, ok, serr := exchangeSegment(&PartialSort{
-			Child: o.Child, Keys: o.Keys, Limit: o.Limit,
-		}, dop, morselSize); serr != nil {
+			Child: o.Child, Keys: o.Keys, Limit: partialLimit,
+		}, dop, morselSize, s); serr != nil {
 			return nil, serr
 		} else if ok {
-			return &MergeSortRuns{Child: seg, Keys: o.Keys, Limit: o.Limit}, nil
+			return &MergeSortRuns{Child: seg, Keys: o.Keys, Limit: o.Limit, Offset: o.Offset}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *HavingFilter:
 		// HAVING stays above the grouped-aggregation breaker; only its
 		// input parallelizes.
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *Limit:
 		// LIMIT consumes the morsel-ordered batch stream serially; the
 		// cutoff is deterministic because that stream equals the serial
 		// one.
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *Materialize:
-		o.Child, err = rewrite(o.Child, dop, morselSize)
+		o.Child, err = rewrite(o.Child, dop, morselSize, s)
 	case *Union:
 		for i, in := range o.Inputs {
-			if o.Inputs[i], err = rewrite(in, dop, morselSize); err != nil {
+			if o.Inputs[i], err = rewrite(in, dop, morselSize, s); err != nil {
 				return nil, err
 			}
 		}
@@ -638,7 +684,7 @@ func rewrite(op Operator, dop, morselSize int) (Operator, error) {
 		// non-parallelizable child: rebuild them over the rewritten child
 		// via their worker-clone hook.
 		if p, ok := op.(ParallelOp); ok && len(p.Children()) == 1 {
-			child, err := rewrite(p.Children()[0], dop, morselSize)
+			child, err := rewrite(p.Children()[0], dop, morselSize, s)
 			if err != nil {
 				return nil, err
 			}

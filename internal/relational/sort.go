@@ -359,16 +359,19 @@ func (h *HavingFilter) Stats() *OpStats { return &h.stats }
 // Children returns the single child.
 func (h *HavingFilter) Children() []Operator { return []Operator{h.Child} }
 
-// Limit emits at most N rows and then stops pulling from its child — the
-// LIMIT clause without an ORDER BY. Because serial batches and the
-// Exchange's morsel-ordered merge produce the identical batch stream,
-// cutting it after N rows is deterministic at any DOP.
+// Limit emits at most N rows after skipping the first Offset rows, then
+// stops pulling from its child — the LIMIT/OFFSET clauses without an
+// ORDER BY. A negative N means no row cap (bare OFFSET). Because serial
+// batches and the Exchange's morsel-ordered merge produce the identical
+// batch stream, cutting it by position is deterministic at any DOP.
 type Limit struct {
-	Child Operator
-	N     int
+	Child  Operator
+	N      int // max rows to emit; negative means unlimited
+	Offset int // leading rows to skip
 
 	stats   OpStats
 	emitted int
+	skipped int
 }
 
 // Columns returns the child's columns.
@@ -376,16 +379,21 @@ func (l *Limit) Columns() []string { return l.Child.Columns() }
 
 // Open opens the child.
 func (l *Limit) Open() error {
-	l.stats = OpStats{Name: fmt.Sprintf("Limit(%d)", l.N)}
+	name := fmt.Sprintf("Limit(%d)", l.N)
+	if l.Offset > 0 {
+		name = fmt.Sprintf("Limit(%d offset=%d)", l.N, l.Offset)
+	}
+	l.stats = OpStats{Name: name}
 	l.emitted = 0
+	l.skipped = 0
 	return l.Child.Open()
 }
 
-// Next forwards batches until the limit is reached, slicing the batch
-// that crosses it.
+// Next forwards batches until the limit is reached, slicing the batches
+// that cross the offset or the limit.
 func (l *Limit) Next() (*data.Table, error) {
 	defer startTimer(&l.stats)()
-	if l.emitted >= l.N {
+	if l.N >= 0 && l.emitted >= l.N {
 		return nil, nil
 	}
 	for {
@@ -397,9 +405,20 @@ func (l *Limit) Next() (*data.Table, error) {
 		if n == 0 {
 			continue
 		}
-		if rem := l.N - l.emitted; n > rem {
-			b = b.Slice(0, rem)
-			n = rem
+		if skip := l.Offset - l.skipped; skip > 0 {
+			if n <= skip {
+				l.skipped += n
+				continue
+			}
+			l.skipped += skip
+			b = b.Slice(skip, n)
+			n -= skip
+		}
+		if l.N >= 0 {
+			if rem := l.N - l.emitted; n > rem {
+				b = b.Slice(0, rem)
+				n = rem
+			}
 		}
 		l.emitted += n
 		l.stats.Rows += int64(n)
@@ -431,6 +450,9 @@ type Sort struct {
 	// Limit is the row cutoff folded into the sort; negative means no
 	// limit (sort everything).
 	Limit int
+	// Offset skips the first Offset ordered rows (the OFFSET clause); the
+	// top-(Offset+Limit) heap finds the window without sorting the rest.
+	Offset int
 
 	stats   OpStats
 	done    bool
@@ -464,7 +486,7 @@ func (s *Sort) Next() (*data.Table, error) {
 	if buf == nil {
 		return nil, nil
 	}
-	out, err := sortTable(buf, s.Keys, s.Limit, &s.scratch)
+	out, err := sortTable(buf, s.Keys, s.Limit, s.Offset, &s.scratch)
 	if err != nil || out == nil {
 		return nil, err
 	}
@@ -517,31 +539,45 @@ func drainConcat(child Operator) (*data.Table, error) {
 	}
 }
 
-// sortTable orders buf's rows under keys (row-order tie-break), cutting
-// to limit when non-negative. Key columns are validated before the
-// early-outs, so a missing sort key errors identically for zero-row,
-// single-row and multi-row inputs; beyond that check, zero- and
-// single-row inputs return without building comparators or allocating —
-// the empty-view invariant extended to sorting. nil is returned for an
-// empty result (the caller emits no batch).
-func sortTable(buf *data.Table, keys []SortKey, limit int, scratch *sortScratch) (*data.Table, error) {
+// sortTable orders buf's rows under keys (row-order tie-break), skipping
+// the first offset ordered rows and cutting to limit when non-negative.
+// Key columns are validated before the early-outs, so a missing sort key
+// errors identically for zero-row, single-row and multi-row inputs;
+// beyond that check, zero- and single-row inputs return without building
+// comparators or allocating — the empty-view invariant extended to
+// sorting. nil is returned for an empty result (the caller emits no
+// batch).
+func sortTable(buf *data.Table, keys []SortKey, limit, offset int, scratch *sortScratch) (*data.Table, error) {
 	for _, k := range keys {
 		if buf.Col(k.Col) == nil {
 			return nil, fmt.Errorf("relational: sort key column %q missing", k.Col)
 		}
 	}
 	n := buf.NumRows()
-	if n == 0 || limit == 0 {
+	if n == 0 || limit == 0 || offset >= n {
 		return nil, nil
 	}
 	if n == 1 {
 		return buf, nil
 	}
+	// An OFFSET widens the top-k window: the heap finds the first
+	// offset+limit ordered rows and the leading offset rows are dropped
+	// from the permutation.
+	fetch := limit
+	if limit >= 0 && offset > 0 {
+		fetch = limit + offset
+	}
 	cmp, err := scratch.comparator(buf, keys)
 	if err != nil {
 		return nil, err
 	}
-	idx := scratch.sortIndexes(n, limit, cmp)
+	idx := scratch.sortIndexes(n, fetch, cmp)
+	if offset > 0 {
+		if offset >= len(idx) {
+			return nil, nil
+		}
+		idx = idx[offset:]
+	}
 	if identityPerm(idx) {
 		if len(idx) < n {
 			return buf.Slice(0, len(idx)), nil
@@ -593,7 +629,7 @@ func (p *PartialSort) Next() (*data.Table, error) {
 	if err != nil || buf == nil {
 		return nil, err
 	}
-	out, err := sortTable(buf, p.Keys, p.Limit, &p.scratch)
+	out, err := sortTable(buf, p.Keys, p.Limit, 0, &p.scratch)
 	if err != nil || out == nil {
 		return nil, err
 	}
@@ -626,11 +662,13 @@ func (p *PartialSort) AbsorbWorker(clone Operator) { p.stats.Absorb(clone.Stats(
 // equal keys. Runs arrive in serial batch order and are each internally
 // stable, so the merged permutation equals the serial Sort's stable sort
 // of the whole input — ordered parallel results are byte-identical to
-// serial ones. With a limit, the merge stops after limit rows.
+// serial ones. With a limit, the merge stops after offset+limit rows and
+// the leading offset rows are dropped — the serial Sort's OFFSET window.
 type MergeSortRuns struct {
-	Child Operator
-	Keys  []SortKey
-	Limit int
+	Child  Operator
+	Keys   []SortKey
+	Limit  int
+	Offset int
 
 	stats   OpStats
 	done    bool
@@ -709,9 +747,18 @@ func (m *MergeSortRuns) merge(buf *data.Table, runs [][2]int) (*data.Table, erro
 		}
 	}
 	if len(runs) == 1 {
-		// A single run is already the serial order; only the limit applies.
-		if m.Limit >= 0 && m.Limit < buf.NumRows() {
-			return buf.Slice(0, m.Limit), nil
+		// A single run is already the serial order; only the offset/limit
+		// window applies.
+		n := buf.NumRows()
+		if m.Offset >= n {
+			return nil, nil
+		}
+		end := n
+		if m.Limit >= 0 && m.Offset+m.Limit < n {
+			end = m.Offset + m.Limit
+		}
+		if m.Offset > 0 || end < n {
+			return buf.Slice(m.Offset, end), nil
 		}
 		return buf, nil
 	}
@@ -763,8 +810,8 @@ func (m *MergeSortRuns) merge(buf *data.Table, runs [][2]int) (*data.Table, erro
 	}
 	total := buf.NumRows()
 	want := total
-	if m.Limit >= 0 && m.Limit < total {
-		want = m.Limit
+	if m.Limit >= 0 && m.Offset+m.Limit < total {
+		want = m.Offset + m.Limit
 	}
 	perm := make([]int, 0, want)
 	for len(perm) < want && len(heap) > 0 {
@@ -776,6 +823,12 @@ func (m *MergeSortRuns) merge(buf *data.Table, runs [][2]int) (*data.Table, erro
 			heap = heap[:len(heap)-1]
 		}
 		down(0)
+	}
+	if m.Offset > 0 {
+		if m.Offset >= len(perm) {
+			return nil, nil
+		}
+		perm = perm[m.Offset:]
 	}
 	if len(perm) == 0 {
 		return nil, nil

@@ -319,7 +319,7 @@ func TestSortEmptyAndZeroRowViews(t *testing.T) {
 		data.NewString("s", []string{"a", "b"}), data.NewFloat("f", []float64{1, 2})))
 	view := tbl.FilterCount([]bool{false, false}, 0)
 	var scratch sortScratch
-	out, err := sortTable(view, []SortKey{{Col: "s"}}, -1, &scratch)
+	out, err := sortTable(view, []SortKey{{Col: "s"}}, -1, 0, &scratch)
 	if err != nil || out != nil {
 		t.Fatalf("sortTable over zero-row view: out=%v err=%v (want nil, nil)", out, err)
 	}
@@ -482,7 +482,7 @@ func TestSortMissingKeyErrorsUniformly(t *testing.T) {
 		return data.MustNewTable("t", data.NewFloat("v", vals))
 	}
 	for _, n := range []int{0, 1, 5} {
-		_, err := sortTable(mk(n), []SortKey{{Col: "ghost"}}, -1, &scratch)
+		_, err := sortTable(mk(n), []SortKey{{Col: "ghost"}}, -1, 0, &scratch)
 		if err == nil || !strings.Contains(err.Error(), `sort key column "ghost" missing`) {
 			t.Fatalf("n=%d: err = %v", n, err)
 		}
@@ -525,5 +525,99 @@ func TestPartialSortDrainsMultiBatchInput(t *testing.T) {
 	}
 	if next, err := ps.Next(); err != nil || next != nil {
 		t.Fatalf("second Next = (%v, %v), want end of stream", next, err)
+	}
+}
+
+// TestSortOffsetMatchesReference pins OFFSET semantics on the sort
+// breaker: the result is the [offset, offset+limit) window of the full
+// stable sort, serial and parallel byte-identical at every DOP.
+func TestSortOffsetMatchesReference(t *testing.T) {
+	for _, encode := range []bool{false, true} {
+		pt := sortFixture(2000, encode)
+		keys := []SortKey{{Col: "s"}, {Col: "f", Desc: true}}
+		full := refSort(t, NewScan(pt, "", nil, 128), keys, -1)
+		n := full.NumRows()
+		for _, c := range []struct{ limit, offset int }{
+			{-1, 1}, {-1, 500}, {-1, 2000}, {-1, 5000},
+			{10, 1}, {10, 500}, {10, 1995}, {0, 7}, {3000, 40},
+		} {
+			lo := c.offset
+			if lo > n {
+				lo = n
+			}
+			hi := n
+			if c.limit >= 0 && lo+c.limit < n {
+				hi = lo + c.limit
+			}
+			want := full.Slice(lo, hi)
+			serial, err := Drain(&Sort{Child: NewScan(pt, "", nil, 128), Keys: keys, Limit: c.limit, Offset: c.offset})
+			if err != nil {
+				t.Fatalf("enc=%v limit=%d offset=%d: %v", encode, c.limit, c.offset, err)
+			}
+			if want.NumRows() == 0 {
+				if serial.NumRows() != 0 {
+					t.Fatalf("enc=%v limit=%d offset=%d: got %d rows, want 0", encode, c.limit, c.offset, serial.NumRows())
+				}
+			} else {
+				assertTablesEqual(t, want, serial)
+			}
+			for _, dop := range []int{2, 5} {
+				root := mustParallelize(t,
+					&Sort{Child: NewScan(pt, "", nil, 128), Keys: keys, Limit: c.limit, Offset: c.offset}, dop, 128)
+				got, err := Drain(root)
+				if err != nil {
+					t.Fatalf("enc=%v limit=%d offset=%d dop=%d: %v", encode, c.limit, c.offset, dop, err)
+				}
+				if got.NumRows() != serial.NumRows() {
+					t.Fatalf("enc=%v limit=%d offset=%d dop=%d: %d rows, want %d",
+						encode, c.limit, c.offset, dop, got.NumRows(), serial.NumRows())
+				}
+				if serial.NumRows() > 0 {
+					assertTablesEqual(t, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLimitOffsetOperator pins the positional window without ORDER BY:
+// skip-then-cut over the deterministic batch stream, serial == parallel.
+func TestLimitOffsetOperator(t *testing.T) {
+	pt := sortFixture(1000, true)
+	full, err := Drain(NewScan(pt, "", nil, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := full.NumRows()
+	for _, c := range []struct{ limit, offset int }{
+		{5, 0}, {5, 3}, {5, 997}, {5, 1000}, {5, 1500},
+		{-1, 0}, {-1, 400}, {-1, 1000}, {0, 10}, {2000, 130},
+	} {
+		lo := c.offset
+		if lo > n {
+			lo = n
+		}
+		hi := n
+		if c.limit >= 0 && lo+c.limit < n {
+			hi = lo + c.limit
+		}
+		want := full.Slice(lo, hi)
+		for _, dop := range []int{1, 4} {
+			var root Operator = &Limit{Child: NewScan(pt, "", nil, 128), N: c.limit, Offset: c.offset}
+			if dop > 1 {
+				root = mustParallelize(t, root, dop, 128)
+			}
+			got, err := Drain(root)
+			if err != nil {
+				t.Fatalf("limit=%d offset=%d dop=%d: %v", c.limit, c.offset, dop, err)
+			}
+			if got.NumRows() != want.NumRows() {
+				t.Fatalf("limit=%d offset=%d dop=%d: %d rows, want %d",
+					c.limit, c.offset, dop, got.NumRows(), want.NumRows())
+			}
+			if want.NumRows() > 0 {
+				assertTablesEqual(t, want, got)
+			}
+		}
 	}
 }

@@ -1,0 +1,255 @@
+// Package sched provides the shared, engine-level morsel scheduler: one
+// fixed pool of worker goroutines multiplexing tasks from all running
+// queries. Each parallel plan segment registers a Job and submits its
+// morsel tasks to it; workers pick runnable jobs round-robin, so a long
+// analytical query cannot starve a concurrent point lookup — every job
+// with queued work gets a worker slot in turn, bounded per job by its
+// declared parallelism. Admission control bounds the number of parallel
+// queries in flight so queue depth (and therefore tail latency) stays
+// bounded under overload.
+//
+// Tasks must never block on other tasks: the exchange protocol guarantees
+// result channels have capacity for every outstanding task, and nested
+// (join build side) exchanges are drained by the query thread during Open,
+// never from inside a task. That makes the fixed pool deadlock-free.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of scheduled work (one morsel through one chain clone).
+type Task func()
+
+// Scheduler multiplexes tasks from many jobs over a fixed worker pool.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // workers wait here for runnable tasks
+	jobs   []*Job     // round-robin ring of registered jobs
+	rr     int        // next ring position to scan from
+	closed bool
+
+	workers int
+	wg      sync.WaitGroup
+
+	// Query admission: a counting semaphore bounding concurrent parallel
+	// queries. Held by the query thread for the duration of Execute, never
+	// by workers, so it cannot deadlock with task scheduling.
+	admitCond *sync.Cond
+	admitCap  int
+	admitted  int
+}
+
+// New creates a scheduler with the given number of workers (minimum 1) and
+// an admission cap of max(4, 2*workers) concurrent parallel queries.
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{workers: workers, admitCap: max(4, 2*workers)}
+	s.cond = sync.NewCond(&s.mu)
+	s.admitCond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.runWorker()
+	}
+	return s
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSch  *Scheduler
+)
+
+// Default returns the process-wide shared scheduler, created lazily with
+// one worker per CPU. All queries that do not override Profile.Sched run
+// their morsels on this single bounded pool.
+func Default() *Scheduler {
+	defaultOnce.Do(func() { defaultSch = New(runtime.NumCPU()) })
+	return defaultSch
+}
+
+// Workers returns the fixed pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// SetAdmissionLimit changes the admission cap (minimum 1).
+func (s *Scheduler) SetAdmissionLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.admitCap = n
+	s.mu.Unlock()
+	s.admitCond.Broadcast()
+}
+
+// Admit blocks until a query slot is free and returns its release func.
+// The release func is idempotent.
+func (s *Scheduler) Admit() func() {
+	s.mu.Lock()
+	for s.admitted >= s.admitCap && !s.closed {
+		s.admitCond.Wait()
+	}
+	s.admitted++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.admitted--
+			s.mu.Unlock()
+			s.admitCond.Signal()
+		})
+	}
+}
+
+// Admitted returns the number of currently admitted queries.
+func (s *Scheduler) Admitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitted
+}
+
+// Close stops the workers after the currently running tasks finish. Queued
+// tasks are dropped. Only tests close schedulers; Default lives forever.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.jobs {
+		j.queue = nil
+		j.canceled = true
+	}
+	s.jobs = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.admitCond.Broadcast()
+	s.wg.Wait()
+}
+
+// Job is one plan segment's stream of tasks. At most MaxPar of its tasks
+// run concurrently (the segment owns MaxPar chain clones), and its queued
+// tasks compete fairly with every other job's.
+type Job struct {
+	s        *Scheduler
+	queue    []Task
+	head     int // queue[head:] are pending (amortized O(1) pop-front)
+	running  int
+	maxPar   int
+	canceled bool
+	done     *sync.Cond // waiters for quiescence (running==0, no queue)
+}
+
+// NewJob registers a job with the given per-job parallelism cap (min 1).
+func (s *Scheduler) NewJob(maxPar int) *Job {
+	if maxPar < 1 {
+		maxPar = 1
+	}
+	j := &Job{s: s, maxPar: maxPar}
+	j.done = sync.NewCond(&s.mu)
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+	return j
+}
+
+// Submit queues one task. Submissions after Cancel are dropped.
+func (j *Job) Submit(t Task) {
+	s := j.s
+	s.mu.Lock()
+	if j.canceled || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	j.queue = append(j.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Cancel drops the job's queued tasks. Running tasks finish normally.
+func (j *Job) Cancel() {
+	s := j.s
+	s.mu.Lock()
+	j.canceled = true
+	j.queue, j.head = nil, 0
+	if j.running == 0 {
+		j.done.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Wait blocks until the job is quiescent (no queued or running tasks) and
+// deregisters it from the scheduler. After Wait the job accepts no tasks.
+func (j *Job) Wait() {
+	s := j.s
+	s.mu.Lock()
+	for (j.running > 0 || j.pendingLocked() > 0) && !s.closed {
+		j.done.Wait()
+	}
+	j.canceled = true
+	j.queue, j.head = nil, 0
+	for i, other := range s.jobs {
+		if other == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			if s.rr > i {
+				s.rr--
+			}
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (j *Job) pendingLocked() int { return len(j.queue) - j.head }
+
+// runWorker is the worker loop: pick a task from a runnable job
+// round-robin, run it, repeat.
+func (s *Scheduler) runWorker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t, j := s.pickLocked()
+		if t == nil {
+			s.cond.Wait()
+			continue
+		}
+		s.mu.Unlock()
+		t()
+		s.mu.Lock()
+		j.running--
+		if j.running == 0 && (j.pendingLocked() == 0 || j.canceled) {
+			j.done.Broadcast()
+		}
+		// The freed per-job slot may make one of this job's queued tasks
+		// runnable for an idle worker.
+		if j.pendingLocked() > 0 {
+			s.cond.Signal()
+		}
+	}
+}
+
+// pickLocked scans the job ring from the round-robin cursor and claims the
+// first runnable task (queued work, per-job cap not reached).
+func (s *Scheduler) pickLocked() (Task, *Job) {
+	n := len(s.jobs)
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		j := s.jobs[idx]
+		if j.pendingLocked() > 0 && j.running < j.maxPar {
+			t := j.queue[j.head]
+			j.queue[j.head] = nil
+			j.head++
+			if j.head == len(j.queue) {
+				j.queue, j.head = j.queue[:0], 0
+			}
+			j.running++
+			s.rr = (idx + 1) % n
+			return t, j
+		}
+	}
+	return nil, nil
+}

@@ -92,6 +92,8 @@ type SelectStmt struct {
 	OrderBy []OrderItem
 	// Limit is the LIMIT row count, or -1 when absent.
 	Limit int
+	// Offset is the OFFSET row count, or 0 when absent.
+	Offset int
 }
 
 // CTE is one WITH name AS (SELECT …) binding.

@@ -63,6 +63,10 @@ var fuzzSeeds = []string{
 	"SELECT * FROM t ORDER BY a",
 	"SELECT * FROM t ORDER BY a DESC, b ASC, c LIMIT 0",
 	"SELECT * FROM t LIMIT 25",
+	"SELECT * FROM t ORDER BY a LIMIT 10 OFFSET 5",
+	"SELECT * FROM t ORDER BY a DESC OFFSET 3",
+	"SELECT * FROM t LIMIT 10 OFFSET 0",
+	"SELECT * FROM t OFFSET 4",
 	"SELECT a FROM t ORDER BY notoutput",
 	"SELECT id FROM t HAVING id > 3",
 	"SELECT id, predict(m, *) AS s FROM t WHERE s > 0.5 ORDER BY s DESC LIMIT 3",
@@ -70,6 +74,10 @@ var fuzzSeeds = []string{
 	"SELECT * FROM t LIMIT -1",
 	"SELECT * FROM t LIMIT 2.5",
 	"SELECT * FROM t LIMIT",
+	"SELECT * FROM t OFFSET -2",
+	"SELECT * FROM t OFFSET 1.5",
+	"SELECT * FROM t LIMIT 5 OFFSET",
+	"SELECT * FROM t OFFSET 2 LIMIT 5",
 	"SELECT * FROM t ORDER a",
 	"SELECT * FROM t ORDER BY",
 	"SELECT * FROM t ORDER BY a,",

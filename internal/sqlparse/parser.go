@@ -85,7 +85,7 @@ func (p *parser) ident() (string, error) {
 var reservedAfterFrom = map[string]bool{
 	"JOIN": true, "ON": true, "WHERE": true, "AS": true, "WITH": true,
 	"AND": true, "SELECT": true, "FROM": true, "GROUP": true,
-	"HAVING": true, "ORDER": true, "LIMIT": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
 }
 
 func (p *parser) parseSelectStmt() (*SelectStmt, error) {
@@ -233,29 +233,37 @@ func (p *parser) parseSelectStmt() (*SelectStmt, error) {
 		}
 	}
 	if p.keyword("LIMIT") {
-		n, err := p.parseLimitCount()
+		n, err := p.parseCount("LIMIT")
 		if err != nil {
 			return nil, err
 		}
 		stmt.Limit = n
 	}
+	// OFFSET may follow a LIMIT or stand alone (a bare row skip).
+	if p.keyword("OFFSET") {
+		n, err := p.parseCount("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = n
+	}
 	return stmt, nil
 }
 
-// parseLimitCount parses the LIMIT operand: a non-negative integer
-// literal (LIMIT -1 and fractional counts are rejected).
-func (p *parser) parseLimitCount() (int, error) {
+// parseCount parses a LIMIT/OFFSET operand: a non-negative integer
+// literal (negative and fractional counts are rejected).
+func (p *parser) parseCount(clause string) (int, error) {
 	t := p.cur()
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("sqlparse: LIMIT requires a non-negative integer, got %q", t.text)
+		return 0, fmt.Errorf("sqlparse: %s requires a non-negative integer, got %q", clause, t.text)
 	}
 	v, err := strconv.ParseFloat(t.text, 64)
 	if err != nil {
-		return 0, fmt.Errorf("sqlparse: bad LIMIT count %q: %v", t.text, err)
+		return 0, fmt.Errorf("sqlparse: bad %s count %q: %v", clause, t.text, err)
 	}
 	n := int(v)
 	if float64(n) != v || n < 0 {
-		return 0, fmt.Errorf("sqlparse: LIMIT requires a non-negative integer, got %q", t.text)
+		return 0, fmt.Errorf("sqlparse: %s requires a non-negative integer, got %q", clause, t.text)
 	}
 	p.pos++
 	return n, nil

@@ -466,7 +466,7 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem, stmt *Selec
 // of pruned-away columns. LIMIT without ORDER BY lowers to a pure row
 // cutoff over the (deterministic) batch stream.
 func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, error) {
-	if len(stmt.OrderBy) == 0 && stmt.Limit < 0 {
+	if len(stmt.OrderBy) == 0 && stmt.Limit < 0 && stmt.Offset <= 0 {
 		return node, nil
 	}
 	outCols, err := ir.OutputColumns(node, p.cat)
@@ -475,6 +475,7 @@ func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, er
 	}
 	sortNode := p.g.NewNode(ir.KindSort, node)
 	sortNode.Limit = stmt.Limit
+	sortNode.Offset = stmt.Offset
 	for _, item := range stmt.OrderBy {
 		col, err := resolveCol(outCols, item.Col)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"raven/internal/data"
 	"raven/internal/engine"
 	"raven/internal/ir"
 	"raven/internal/testfix"
@@ -747,5 +748,98 @@ ORDER BY p.score DESC LIMIT 3`, cat)
 		if scores[i] > scores[i-1] {
 			t.Fatalf("scores not descending: %v", scores)
 		}
+	}
+}
+
+func TestParseOffset(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t ORDER BY a LIMIT 10 OFFSET 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Limit != 10 || stmt.Offset != 5 {
+		t.Fatalf("limit=%d offset=%d, want 10/5", stmt.Limit, stmt.Offset)
+	}
+	// Bare OFFSET without LIMIT is a pure row skip.
+	stmt, err = Parse("SELECT * FROM t ORDER BY a OFFSET 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Limit != -1 || stmt.Offset != 3 {
+		t.Fatalf("bare offset: limit=%d offset=%d, want -1/3", stmt.Limit, stmt.Offset)
+	}
+	// Absent OFFSET stays 0 (a no-op skip).
+	stmt, err = Parse("SELECT * FROM t LIMIT 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Offset != 0 {
+		t.Fatalf("default offset = %d, want 0", stmt.Offset)
+	}
+	// OFFSET must not be swallowed as a table alias.
+	stmt, err = Parse("SELECT a FROM t OFFSET 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Alias != "t" || stmt.Offset != 2 {
+		t.Fatalf("alias=%q offset=%d (OFFSET eaten as alias)", stmt.From.Alias, stmt.Offset)
+	}
+	for _, bad := range []string{
+		"SELECT * FROM t OFFSET -2",        // negative
+		"SELECT * FROM t OFFSET 1.5",       // fractional
+		"SELECT * FROM t OFFSET x",         // not a number
+		"SELECT * FROM t LIMIT 5 OFFSET",   // missing count
+		"SELECT * FROM t OFFSET 2 LIMIT 5", // wrong clause order
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestPlanOffset(t *testing.T) {
+	cat := covidCatalog(t)
+	g, err := ParseAndPlan("SELECT id, age FROM patient_info ORDER BY age DESC LIMIT 2 OFFSET 1", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindSort || g.Root.Limit != 2 || g.Root.Offset != 1 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	// Ages sorted desc: 80, 72, 65, 45, 30, 25 → offset 1 limit 2 = 72, 65.
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ages := res.Table.Col("patient_info.age")
+	if res.Table.NumRows() != 2 || ages.F64[0] != 72 || ages.F64[1] != 65 {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+	// OFFSET without ORDER BY is a positional window over the batch stream.
+	g, err = ParseAndPlan("SELECT id FROM patient_info LIMIT 2 OFFSET 3", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root.Kind != ir.KindSort || len(g.Root.OrderBy) != 0 || g.Root.Limit != 2 || g.Root.Offset != 3 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	res, err = engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.Table.Col("patient_info.id")
+	if res.Table.NumRows() != 2 || ids.I64[0] != 4 || ids.I64[1] != 5 {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+	// Bare OFFSET past the end returns an empty (typed) result.
+	g, err = ParseAndPlan("SELECT id FROM patient_info OFFSET 100", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 0 || res.Table.Col("patient_info.id").Type != data.Int64 {
+		t.Fatalf("offset-past-end result:\n%s", res.Table)
 	}
 }

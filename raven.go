@@ -167,7 +167,16 @@ type Session struct {
 	// options so it composes with WithProfile/WithOptimizerOptions in
 	// any order.
 	parallelism int
+	// plans caches optimized plans keyed on normalized SQL + catalog
+	// version (nil when disabled): serving workloads parse/plan/optimize
+	// once and execute many times.
+	plans *planCache
+	// planCacheSize is the WithPlanCacheSize request (0 = default).
+	planCacheSize int
 }
+
+// irGraph aliases the internal IR graph for the plan cache.
+type irGraph = ir.Graph
 
 // Option configures a session.
 type Option func(*Session)
@@ -209,6 +218,13 @@ func WithGPU(available bool) Option {
 	return func(s *Session) { s.opts.GPUAvailable = available }
 }
 
+// WithPlanCacheSize bounds the session's plan cache (default 256 plans).
+// n < 0 disables plan caching entirely — every Query replans, the
+// cold-planning baseline the serving benchmark compares against.
+func WithPlanCacheSize(n int) Option {
+	return func(s *Session) { s.planCacheSize = n }
+}
+
 // WithoutOptimizations disables all Raven rules (the "Raven (no-opt)"
 // baseline; the engine's own projection/zone pushdowns still run).
 func WithoutOptimizations() Option {
@@ -231,6 +247,14 @@ func NewSession(options ...Option) *Session {
 	if s.parallelism > 0 {
 		s.profile.ExecDOP = s.parallelism
 		s.opts.ExecDOP = s.parallelism
+	}
+	switch {
+	case s.planCacheSize < 0:
+		s.plans = nil
+	case s.planCacheSize == 0:
+		s.plans = newPlanCache(defaultPlanCacheSize)
+	default:
+		s.plans = newPlanCache(s.planCacheSize)
 	}
 	return s
 }
@@ -289,8 +313,13 @@ type Result struct {
 	Plan string
 }
 
-// Query parses, optimizes and executes a prediction query.
+// Query parses, optimizes and executes a prediction query. Plans are
+// served from the session plan cache (keyed on normalized SQL + catalog
+// version) when enabled, so repeated queries skip parse/plan/optimize.
 func (s *Session) Query(sql string) (*Result, error) {
+	if s.plans != nil {
+		return s.execPlanned(NormalizeSQL(sql))
+	}
 	g, rep, err := s.prepare(sql)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"raven/internal/data"
 	"raven/internal/testfix"
 )
 
@@ -261,6 +262,41 @@ func TestWithParallelismComposesWithProfileOrder(t *testing.T) {
 		}
 		if s.opts.ExecDOP != 4 {
 			t.Fatalf("opts %v: opts.ExecDOP = %d, want 4", opts, s.opts.ExecDOP)
+		}
+	}
+}
+
+// TestEmptyOrderedResultKeepsColumnTypes pins the typed-empty-result fix
+// end-to-end: an ordered prediction query matching zero rows must return
+// an empty table whose columns carry the real schema types (Int64 id,
+// String category, Float64 score), not all-Float64 placeholders.
+func TestEmptyOrderedResultKeepsColumnTypes(t *testing.T) {
+	s := covidSession(t)
+	res, err := s.Query(`
+WITH d AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+)
+SELECT d.id, d.asthma, p.score
+FROM PREDICT(MODEL = covid_risk, DATA = d) WITH (score FLOAT) AS p
+WHERE p.score > 2.0
+ORDER BY p.score DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0 (scores are sigmoid outputs < 1)", res.Table.NumRows())
+	}
+	want := map[string]data.Type{
+		"d.id": data.Int64, "d.asthma": data.String, "p.score": data.Float64,
+	}
+	for name, typ := range want {
+		c := res.Table.Col(name)
+		if c == nil {
+			t.Fatalf("missing column %q in %v", name, res.Table.Schema().Names())
+		}
+		if c.Type != typ {
+			t.Errorf("column %q: type = %v, want %v", name, c.Type, typ)
 		}
 	}
 }

@@ -1,0 +1,219 @@
+package raven
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"raven/internal/engine"
+	"raven/internal/opt"
+	"raven/internal/sched"
+)
+
+// This file is the serving side of a session: a plan cache so repeated
+// prediction queries parse/plan/optimize once and execute many times, and
+// prepared-query handles for the serving front end (cmd/ravensql -serve).
+//
+// The cache key is the normalized SQL text; every entry carries the
+// catalog version it was planned under, so any registration (table, model)
+// invalidates all earlier plans without coordination — the next execution
+// replans against the new catalog. Cached plans are safe to execute
+// concurrently: the optimized IR graph is immutable after optimization
+// (lowering builds fresh operators per execution, and shared expression
+// trees / pipelines are read-only at run time, which the concurrent
+// differential harness pins down under -race).
+
+// defaultPlanCacheSize bounds the number of cached plans per session.
+const defaultPlanCacheSize = 256
+
+type planEntry struct {
+	version uint64
+	graph   cachedGraph
+	report  *opt.Report
+	plan    string
+}
+
+// cachedGraph is the immutable optimized plan; a tiny alias-free wrapper
+// type keeps the door open for attaching more precomputed state later.
+type cachedGraph struct{ g *irGraph }
+
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*planEntry
+	order   []string // FIFO eviction order
+	cap     int
+	hits    uint64
+	misses  uint64
+}
+
+func newPlanCache(cap int) *planCache {
+	return &planCache{entries: make(map[string]*planEntry), cap: cap}
+}
+
+// lookup returns the entry when present and planned under the current
+// catalog version; stale entries are dropped so they cannot be served.
+func (pc *planCache) lookup(key string, version uint64) *planEntry {
+	if pc == nil {
+		return nil
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e := pc.entries[key]
+	if e == nil || e.version != version {
+		if e != nil {
+			delete(pc.entries, key)
+		}
+		pc.misses++
+		return nil
+	}
+	pc.hits++
+	return e
+}
+
+func (pc *planCache) store(key string, e *planEntry) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, exists := pc.entries[key]; !exists {
+		pc.order = append(pc.order, key)
+	}
+	pc.entries[key] = e
+	for len(pc.entries) > pc.cap && len(pc.order) > 0 {
+		victim := pc.order[0]
+		pc.order = pc.order[1:]
+		delete(pc.entries, victim)
+	}
+}
+
+func (pc *planCache) stats() (hits, misses uint64) {
+	if pc == nil {
+		return 0, 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// NormalizeSQL collapses whitespace runs to single spaces and trims the
+// ends: the plan-cache key, so formatting differences between otherwise
+// identical queries share one cached plan. Text inside quotes is
+// preserved verbatim.
+func NormalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inQuote := byte(0)
+	space := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inQuote != 0 {
+			b.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			inQuote = c
+			b.WriteByte(c)
+		case ' ', '\t', '\n', '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// PlanCacheStats returns the session's plan-cache hit/miss counters.
+func (s *Session) PlanCacheStats() (hits, misses uint64) {
+	return s.plans.stats()
+}
+
+// preparedPlan resolves the cached plan for normalized SQL, planning and
+// caching on miss. The catalog version is snapshotted BEFORE planning: if
+// a registration races in between, the entry records the older version and
+// the next lookup replans — conservative, never stale.
+func (s *Session) preparedPlan(norm string) (*planEntry, error) {
+	version := s.cat.Version()
+	if e := s.plans.lookup(norm, version); e != nil {
+		return e, nil
+	}
+	g, rep, err := s.prepare(norm)
+	if err != nil {
+		return nil, err
+	}
+	e := &planEntry{version: version, graph: cachedGraph{g: g}, report: rep, plan: g.Explain()}
+	s.plans.store(norm, e)
+	return e, nil
+}
+
+// Prepared is a reusable handle to a planned query. Execute runs the
+// cached plan; when the catalog has changed since planning, it transparently
+// replans first. Prepared handles are safe for concurrent use.
+type Prepared struct {
+	s    *Session
+	norm string
+}
+
+// Prepare parses, plans and optimizes the query once and returns a handle
+// for repeated execution. Planning errors surface here, not at Execute.
+func (s *Session) Prepare(sql string) (*Prepared, error) {
+	norm := NormalizeSQL(sql)
+	if _, err := s.preparedPlan(norm); err != nil {
+		return nil, err
+	}
+	return &Prepared{s: s, norm: norm}, nil
+}
+
+// Execute runs the prepared query.
+func (p *Prepared) Execute() (*Result, error) {
+	return p.s.execPlanned(p.norm)
+}
+
+// Plan returns the optimized plan text.
+func (p *Prepared) Plan() (string, error) {
+	e, err := p.s.preparedPlan(p.norm)
+	if err != nil {
+		return "", err
+	}
+	return e.plan, nil
+}
+
+// execPlanned executes the (cached) plan for normalized SQL.
+func (s *Session) execPlanned(norm string) (*Result, error) {
+	e, err := s.preparedPlan(norm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(e.graph.g, s.cat, s.profile)
+	if err != nil {
+		return nil, fmt.Errorf("raven: executing query: %w", err)
+	}
+	return &Result{
+		Table:    res.Table,
+		Wall:     res.Wall,
+		Reported: res.Reported,
+		Report:   e.report,
+		Plan:     e.plan,
+	}, nil
+}
+
+// Scheduler returns the morsel scheduler this session's parallel queries
+// run on (the process-wide shared pool unless the profile overrides it).
+func (s *Session) Scheduler() *sched.Scheduler {
+	if s.profile.Sched != nil {
+		return s.profile.Sched
+	}
+	return sched.Default()
+}

@@ -1,0 +1,172 @@
+package raven
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"raven/internal/testfix"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  a\n FROM\tt", "SELECT a FROM t"},
+		{"  SELECT a FROM t  ", "SELECT a FROM t"},
+		{"SELECT 'a  b' FROM t", "SELECT 'a  b' FROM t"},
+		{"SELECT a FROM t", "SELECT a FROM t"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPlanCacheHitsAndInvalidation pins the serving contract: repeated
+// queries skip parse/plan/optimize (hit counter moves), formatting
+// variants share one plan, and any catalog registration invalidates.
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	s := covidSession(t)
+	res1, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.PlanCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	res2, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.PlanCacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("after repeat query: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if res1.Table.NumRows() != res2.Table.NumRows() {
+		t.Fatal("cached plan changed the result")
+	}
+	// A formatting variant normalizes to the same cache key.
+	if _, err := s.Query("  " + strings.ReplaceAll(testfix.CovidQuery, " ", "\n") + "  "); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.PlanCacheStats(); hits != 2 {
+		t.Fatalf("formatting variant missed the cache (hits=%d)", hits)
+	}
+	// Registering anything bumps the catalog version and invalidates.
+	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(testfix.CovidQuery); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.PlanCacheStats(); hits != 2 || misses != 2 {
+		t.Fatalf("after catalog change: hits=%d misses=%d, want 2/2 (stale plan served?)", hits, misses)
+	}
+}
+
+func TestPreparedQuery(t *testing.T) {
+	s := covidSession(t)
+	p, err := s.Prepare(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan()
+	if err != nil || !strings.Contains(plan, "Predict") {
+		t.Fatalf("plan = %q, err = %v", plan, err)
+	}
+	var want int
+	for i := 0; i < 5; i++ {
+		res, err := p.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Table.NumRows()
+		} else if res.Table.NumRows() != want {
+			t.Fatalf("execution %d: rows=%d, want %d", i, res.Table.NumRows(), want)
+		}
+	}
+	// Prepare planned once; the five executions (and the Plan call) hit.
+	if hits, misses := s.PlanCacheStats(); misses != 1 || hits < 5 {
+		t.Fatalf("hits=%d misses=%d, want exactly one planning", hits, misses)
+	}
+	// Prepared handles survive catalog changes by replanning.
+	if err := s.RegisterModel(testfix.CovidPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != want {
+		t.Fatal("replanned execution changed the result")
+	}
+	// Planning errors surface at Prepare.
+	if _, err := s.Prepare("SELECT FROM nothing"); err == nil {
+		t.Fatal("Prepare accepted an invalid query")
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	s := covidSession(t, WithPlanCacheSize(-1))
+	for i := 0; i < 2; i++ {
+		if _, err := s.Query(testfix.CovidQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := s.PlanCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	s := covidSession(t, WithPlanCacheSize(1))
+	q2 := strings.Replace(testfix.CovidQuery, "0.5", "0.4", 1)
+	if _, err := s.Query(testfix.CovidQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	// The first plan was evicted (cap 1), so re-running it misses again.
+	if _, err := s.Query(testfix.CovidQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := s.PlanCacheStats(); misses != 3 {
+		t.Fatalf("misses=%d, want 3 (FIFO eviction at cap 1)", misses)
+	}
+}
+
+// TestConcurrentQueriesShareCache runs one cached plan from many
+// goroutines; run under -race this pins that cached-plan execution is
+// free of shared mutable state.
+func TestConcurrentQueriesShareCache(t *testing.T) {
+	s := covidSession(t)
+	base, err := s.Query(testfix.CovidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				res, err := s.Query(testfix.CovidQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Table.NumRows() != base.Table.NumRows() {
+					t.Error("concurrent cached execution diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
