@@ -23,7 +23,7 @@ test:
 # gate after an accepted perf change. Commit the refreshed file.
 bench-baseline:
 	go test -run xxx -benchmem \
-		-bench 'Fig7|ParallelSpeedup|JoinAggParallelSpeedup|StringHeavyJoinEncode|TopKOverPredict|ConcurrentServing' \
+		-bench 'Fig7|ParallelSpeedup|JoinAggParallelSpeedup|StringHeavyJoinEncode|TopKOverPredict|ConcurrentServing|AdaptiveReopt' \
 		-benchtime=1x . | tee $(BENCH_OUT)
 	go test -run xxx -benchmem \
 		-bench 'Filter|ProjectLiteral' \

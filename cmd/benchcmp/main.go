@@ -17,6 +17,12 @@
 //     micro-benches, whose counts are deterministic) fails the run.
 //     Parallel benchmarks are excluded by default because worker-pool
 //     scheduling perturbs their counts by a few allocations per run.
+//   - a regret_vs_static metric above 1.0 in the new report fails
+//     unconditionally: the metric is a ratio measured inside one run
+//     (adaptive re-optimized execution vs the static plan on the same
+//     host), so it needs no baseline and survives host changes. Above
+//     1.0 means mid-query re-optimization made the misestimated
+//     workload slower than just executing the static plan.
 //   - benchmarks present in the baseline but missing from the new report
 //     warn (renames should refresh the baseline deliberately).
 //
@@ -173,6 +179,16 @@ func compare(base, cur Report, maxRegress float64, allocsRe *regexp.Regexp) (fai
 			failures = append(failures, fmt.Sprintf(
 				"%s allocs/op grew: %.0f -> %.0f (hot-path allocations must not grow)",
 				b.Name, baseAllocs, curAllocs))
+		}
+	}
+	// The adaptivity gate is absolute: regret_vs_static compares two
+	// strategies inside one run on one host, so unlike ns/op it is valid
+	// without a baseline and regardless of host comparability.
+	for _, c := range cur.Benchmarks {
+		if regret, ok := c.Metrics["regret_vs_static"]; ok && regret > 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s regret_vs_static = %.3f: adaptive re-optimization lost to static execution (must stay <= 1.0)",
+				c.Name, regret))
 		}
 	}
 	// Benchmarks only in the new report are ungated until the baseline

@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"sync"
+
+	"raven/internal/data"
+	"raven/internal/device"
+	"raven/internal/ir"
+	"raven/internal/mlruntime"
+	"raven/internal/model"
+	"raven/internal/opt"
+	"raven/internal/relational"
+)
+
+// This file implements the predict half of mid-query re-optimization: the
+// plan-time runtime choice for a predict node (ML runtime, MLtoSQL
+// projection, or tensor compilation) is re-decided at the operator's Open,
+// after the pipeline breakers below it have recorded their true
+// cardinalities. Plan-time choices are made from table statistics; by Open
+// time the join builds under the predict segment have fully drained, so the
+// corrected input cardinality is known before a single prediction runs.
+// Switching is safe for byte-identity because all three physical forms of a
+// predict node produce identical bytes (the invariant the differential
+// harnesses assert); only the cost changes.
+
+// adaptivePredict reports whether predict nodes should lower to the
+// re-deciding operator under the current profile.
+func (l *lowerer) adaptivePredict() bool {
+	return l.rs != nil && l.prof.AdaptiveChooser != nil && !l.prof.MaterializeFeaturization
+}
+
+// lowerAdaptivePredict lowers a predict node to an AdaptivePredict carrying
+// the plan-time (static) choice plus everything needed to rebuild the
+// physical operator under a different choice at Open.
+func (l *lowerer) lowerAdaptivePredict(n *ir.Node, child Operator, static opt.Choice) Operator {
+	a := &AdaptivePredict{
+		Child:        child,
+		Pipeline:     n.Pipeline,
+		InputMap:     n.InputMap,
+		OutputMap:    n.OutputMap,
+		KeepInput:    n.KeepInput,
+		Static:       static,
+		GPU:          l.prof.GPU,
+		RStats:       l.rs,
+		EstRows:      l.est(n.Children[0]),
+		Chooser:      l.prof.AdaptiveChooser,
+		GPUAvailable: l.prof.AdaptiveGPU,
+		ExecDOP:      l.prof.ExecDOP,
+	}
+	if !l.prof.PrivateMLSessions {
+		a.Shared = l.cat.Sessions()
+	}
+	return a
+}
+
+// adaptiveDecision is the once-per-query runtime decision shared between an
+// AdaptivePredict template and all of its exchange worker clones: the first
+// Open (always the exchange template's, or the sole serial instance's)
+// re-costs with the observed cardinality and fixes the choice; every clone
+// then builds its inner operator under the same choice, so all workers emit
+// identical layouts. It also carries the cross-clone shared state the
+// non-adaptive operators would have shared through CloneWorker: the
+// op-private ML session pool and the compiled tensor program.
+type adaptiveDecision struct {
+	once     sync.Once
+	choice   opt.Choice
+	sqlExprs []relational.NamedExpr
+
+	mu   sync.Mutex
+	pool *sessionPool
+	dnn  *dnnShared
+}
+
+// privatePool lazily creates the op-private session pool shared across
+// clones (used only when no engine-level shared pool is attached).
+func (d *adaptiveDecision) privatePool() *sessionPool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pool == nil {
+		d.pool = &sessionPool{}
+	}
+	return d.pool
+}
+
+// dnnState lazily creates the shared compile-once holder for the tensor
+// path (pre-seeded by decide when the switch itself validated a program).
+func (d *adaptiveDecision) dnnState() *dnnShared {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dnn == nil {
+		d.dnn = &dnnShared{}
+	}
+	return d.dnn
+}
+
+// AdaptivePredict is the physical predict operator under mid-query
+// re-optimization: at Open — after its child subtree has opened, which
+// drains and observes every join build below — it re-costs the predict
+// segment with the observed cardinalities and picks the cheapest physical
+// form (ML runtime session, MLtoSQL projection, or Hummingbird tensor
+// program), then executes batches through that inner operator via a
+// single-batch feed. The decision is made once per query and shared with
+// all exchange worker clones.
+type AdaptivePredict struct {
+	Child     Operator
+	Pipeline  *model.Pipeline
+	InputMap  map[string]string
+	OutputMap map[string]string
+	KeepInput bool
+	// Static is the plan-time choice; it stands unless the observed
+	// cardinality contradicts the estimate by the re-opt factor.
+	Static opt.Choice
+	// GPU is the device for a DNN-GPU inner (nil: simulated Tesla P100).
+	GPU *device.Device
+	// Shared is the engine-level ML session pool (nil: op-private pool
+	// shared across this operator's clones).
+	Shared *mlruntime.Pool
+	// RStats is the per-query adaptive context the breakers feed.
+	RStats *opt.RuntimeStats
+	// EstRows is the plan-time input-cardinality estimate.
+	EstRows float64
+	// Chooser re-picks the runtime from features + corrected cardinality.
+	Chooser      opt.CardinalityAwareStrategy
+	GPUAvailable bool
+	ExecDOP      int
+
+	dec   *adaptiveDecision
+	feed  *predictFeed
+	inner Operator
+	stats relational.OpStats
+}
+
+// predictFeed is the single-batch leaf the inner operator reads from: each
+// AdaptivePredict.Next loads one child batch into it, pulls the inner
+// result, and the feed reports end-of-stream until reloaded.
+type predictFeed struct {
+	cols   []string
+	schema data.Schema
+	typed  bool
+	batch  *data.Table
+	stats  relational.OpStats
+}
+
+func (f *predictFeed) Columns() []string          { return f.cols }
+func (f *predictFeed) Open() error                { return nil }
+func (f *predictFeed) Close() error               { return nil }
+func (f *predictFeed) Stats() *relational.OpStats { return &f.stats }
+func (f *predictFeed) Children() []Operator       { return nil }
+func (f *predictFeed) Next() (*data.Table, error) {
+	t := f.batch
+	f.batch = nil
+	return t, nil
+}
+
+// OutputSchema forwards the child's schema so typed empty results survive
+// the feed indirection.
+func (f *predictFeed) OutputSchema() (data.Schema, bool) { return f.schema, f.typed }
+
+// Columns returns pass-through columns plus mapped prediction outputs —
+// identical under every choice, which is what makes switching invisible to
+// the operators above.
+func (a *AdaptivePredict) Columns() []string {
+	var out []string
+	if a.KeepInput {
+		out = append(out, a.Child.Columns()...)
+	}
+	for _, v := range a.Pipeline.Outputs {
+		if name, ok := a.OutputMap[v]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// OutputSchema implements relational.SchemaProvider (prediction outputs are
+// Float64 score columns under every choice).
+func (a *AdaptivePredict) OutputSchema() (data.Schema, bool) {
+	var out data.Schema
+	if a.KeepInput {
+		child, ok := relational.SchemaOf(a.Child)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, child...)
+	}
+	for _, v := range a.Pipeline.Outputs {
+		if name, ok := a.OutputMap[v]; ok {
+			out = append(out, data.Field{Name: name, Type: data.Float64})
+		}
+	}
+	return out, true
+}
+
+// Open opens the child (draining the join builds below and populating the
+// adaptive context), fixes the runtime decision, and opens the chosen
+// inner operator over the feed.
+func (a *AdaptivePredict) Open() error {
+	a.stats = relational.OpStats{Name: "AdaptivePredict(" + a.Pipeline.Name + ")", Parallel: true}
+	defer timeOp(&a.stats)()
+	if a.dec == nil {
+		a.dec = &adaptiveDecision{}
+	}
+	if err := a.Child.Open(); err != nil {
+		return err
+	}
+	a.decide()
+	return a.openInner()
+}
+
+// decide fixes the runtime choice once per query. A switch happens only
+// when (a) the observed cardinalities contradict the plan-time estimate by
+// the re-opt factor, (b) the chooser picks a different runtime for the
+// corrected cardinality, and (c) the new physical form validates (MLtoSQL
+// translation or tensor compilation succeeds) — otherwise the plan-time
+// choice stands, so a failed switch can never break a running query.
+func (a *AdaptivePredict) decide() {
+	a.dec.once.Do(func() {
+		a.dec.choice = a.Static
+		adj, trigger := a.RStats.Reoptimize(a.EstRows)
+		if !trigger || a.Chooser == nil {
+			return
+		}
+		next := a.Chooser.ChooseWithCardinality(
+			opt.ExtractFeatures(a.Pipeline), a.GPUAvailable, a.ExecDOP, adj)
+		if next == a.dec.choice {
+			return
+		}
+		switch next {
+		case opt.ChoiceSQL:
+			exprs, err := opt.CompileToSQL(a.Pipeline, a.InputMap, a.OutputMap)
+			if err != nil {
+				return
+			}
+			a.dec.sqlExprs = exprs
+		case opt.ChoiceDNNCPU, opt.ChoiceDNNGPU:
+			// Validate by compiling now; the program is kept and shared so
+			// the switch pays compilation exactly once.
+			probe := &DNNOp{Pipeline: a.Pipeline, InputMap: a.InputMap,
+				OutputMap: a.OutputMap, Device: a.deviceFor(next)}
+			if err := probe.compile(); err != nil {
+				return
+			}
+			a.dec.dnn = &dnnShared{prog: probe.prog,
+				labelVal: probe.labelVal, scoreVal: probe.scoreVal}
+		}
+		a.RStats.RecordSwitch("predict", a.dec.choice.String(), next.String())
+		a.dec.choice = next
+	})
+}
+
+// deviceFor resolves the execution device for a DNN choice.
+func (a *AdaptivePredict) deviceFor(c opt.Choice) *device.Device {
+	if c == opt.ChoiceDNNGPU {
+		if a.GPU != nil {
+			return a.GPU
+		}
+		return &device.TeslaP100
+	}
+	return &device.CPUDevice
+}
+
+// openInner builds and opens the physical operator for the decided choice.
+func (a *AdaptivePredict) openInner() error {
+	a.feed = &predictFeed{cols: a.Child.Columns()}
+	if s, ok := relational.SchemaOf(a.Child); ok {
+		a.feed.schema, a.feed.typed = s, true
+	}
+	switch a.dec.choice {
+	case opt.ChoiceSQL:
+		var exprs []relational.NamedExpr
+		if a.KeepInput {
+			for _, c := range a.feed.cols {
+				exprs = append(exprs, relational.NamedExpr{Name: c, E: relational.Col(c)})
+			}
+		}
+		exprs = append(exprs, a.dec.sqlExprs...)
+		a.inner = &relational.Project{Child: a.feed, Exprs: exprs}
+	case opt.ChoiceDNNCPU, opt.ChoiceDNNGPU:
+		a.inner = &DNNOp{
+			Child:     a.feed,
+			Pipeline:  a.Pipeline,
+			InputMap:  a.InputMap,
+			OutputMap: a.OutputMap,
+			KeepInput: a.KeepInput,
+			Device:    a.deviceFor(a.dec.choice),
+			shared:    a.dec.dnnState(),
+		}
+	default:
+		op := &PredictOp{
+			Child:     a.feed,
+			Pipeline:  a.Pipeline,
+			InputMap:  a.InputMap,
+			OutputMap: a.OutputMap,
+			KeepInput: a.KeepInput,
+			Shared:    a.Shared,
+		}
+		if a.Shared == nil {
+			op.pool = a.dec.privatePool()
+		}
+		a.inner = op
+	}
+	return a.inner.Open()
+}
+
+// Next pushes the next child batch through the decided inner operator.
+func (a *AdaptivePredict) Next() (*data.Table, error) {
+	defer timeOp(&a.stats)()
+	for {
+		b, err := a.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		a.feed.batch = b
+		out, err := a.inner.Next()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			continue
+		}
+		a.stats.Rows += int64(out.NumRows())
+		a.stats.Batches++
+		return out, nil
+	}
+}
+
+// Close closes the inner operator (returning any pooled session) and the
+// child.
+func (a *AdaptivePredict) Close() error {
+	var err error
+	if a.inner != nil {
+		err = a.inner.Close()
+	}
+	if cerr := a.Child.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns the operator statistics.
+func (a *AdaptivePredict) Stats() *relational.OpStats { return &a.stats }
+
+// Children exposes the inner operator (once decided) so statistics
+// collection and boundary accounting see the physical predict operator,
+// plus the real child.
+func (a *AdaptivePredict) Children() []Operator {
+	if a.inner != nil {
+		return []Operator{a.inner, a.Child}
+	}
+	return []Operator{a.Child}
+}
+
+// ChainChild implements the exchange chain protocol: morsel flow passes
+// through the real child; the inner operator is private to this operator.
+func (a *AdaptivePredict) ChainChild() Operator { return a.Child }
+
+// CloneWorker implements relational.ParallelOp: clones share the decision
+// (and through it the session pool / compiled program), each building a
+// private inner operator at Open under the already-fixed choice.
+func (a *AdaptivePredict) CloneWorker(child Operator) (Operator, error) {
+	if a.dec == nil {
+		a.dec = &adaptiveDecision{}
+	}
+	return &AdaptivePredict{
+		Child:        child,
+		Pipeline:     a.Pipeline,
+		InputMap:     a.InputMap,
+		OutputMap:    a.OutputMap,
+		KeepInput:    a.KeepInput,
+		Static:       a.Static,
+		GPU:          a.GPU,
+		Shared:       a.Shared,
+		RStats:       a.RStats,
+		EstRows:      a.EstRows,
+		Chooser:      a.Chooser,
+		GPUAvailable: a.GPUAvailable,
+		ExecDOP:      a.ExecDOP,
+		dec:          a.dec,
+	}, nil
+}
+
+// AbsorbWorker folds a worker clone's statistics — and its inner
+// operator's boundary counters — back into the template.
+func (a *AdaptivePredict) AbsorbWorker(clone Operator) {
+	c := clone.(*AdaptivePredict)
+	if t, ok := a.inner.(relational.ParallelOp); ok && c.inner != nil {
+		t.AbsorbWorker(c.inner)
+	}
+	a.stats.Absorb(&c.stats)
+}
+
+// CanParallelize reports that the operator may run inside an exchange (the
+// serial-only MADlib mode never lowers to AdaptivePredict).
+func (a *AdaptivePredict) CanParallelize() bool { return true }

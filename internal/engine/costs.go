@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"raven/internal/device"
+	"raven/internal/opt"
 	"raven/internal/sched"
 )
 
@@ -93,6 +94,26 @@ type Profile struct {
 	// giving every query run its own sessions (the pre-serving behaviour;
 	// kept as a benchmark baseline for the pooling win).
 	PrivateMLSessions bool
+	// Adaptive enables mid-query re-optimization: the pipeline breakers
+	// (join build, grouped-aggregation merge, sort merge) record observed
+	// cardinalities into a per-query opt.RuntimeStats, and at each breaker
+	// boundary the remaining plan segment is re-costed with the observed
+	// numbers — switching the ML runtime choice for downstream predict
+	// segments, the dense-vs-hash grouping path, and the worker count of
+	// the next exchange segment when the plan-time estimate was off by
+	// ReoptFactor. Every switch preserves byte-identity to the serial plan.
+	Adaptive bool
+	// ReoptFactor is the estimate-vs-observed mismatch factor that triggers
+	// re-optimization at a breaker boundary; 0 applies
+	// opt.DefaultReoptFactor.
+	ReoptFactor float64
+	// AdaptiveChooser re-picks the ML runtime for a predict segment given
+	// the corrected input cardinality; nil disables runtime switching
+	// (breaker observations and DOP/grouping adaptation still apply).
+	AdaptiveChooser opt.CardinalityAwareStrategy
+	// AdaptiveGPU tells the adaptive chooser whether a GPU target is
+	// available for a mid-query switch to MLtoDNN-GPU.
+	AdaptiveGPU bool
 }
 
 // scheduler resolves the profile's scheduler.

@@ -6,6 +6,7 @@ import (
 	"raven/internal/data"
 	"raven/internal/device"
 	"raven/internal/ir"
+	"raven/internal/opt"
 	"raven/internal/relational"
 )
 
@@ -33,15 +34,28 @@ type Result struct {
 	BytesConverted int64
 	// PartitionsScanned counts partitions actually read (after pruning).
 	PartitionsScanned int
+	// Adaptive holds the mid-query re-optimization trace (breaker
+	// observations and strategy switches) when Profile.Adaptive is set;
+	// nil otherwise.
+	Adaptive *opt.RuntimeStats
 }
 
 // Run lowers and executes an IR plan under the profile.
 func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
-	root, err := Lower(g, cat, prof)
+	var rs *opt.RuntimeStats
+	if prof.Adaptive {
+		rs = opt.NewRuntimeStats(prof.ReoptFactor)
+	}
+	root, err := lowerAdaptive(g, cat, prof, rs)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(root, prof)
+	res, err := Execute(root, prof)
+	if err != nil {
+		return nil, err
+	}
+	res.Adaptive = rs
+	return res, nil
 }
 
 // Execute drains a physical plan and assembles the Result. Parallel plans

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"raven/internal/ir"
+	"raven/internal/opt"
 	"raven/internal/relational"
 )
 
@@ -29,13 +30,27 @@ import (
 // unoptimized plans stay byte-identical across representations (asserted
 // by the differential harnesses).
 func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
-	l := &lowerer{cat: cat, prof: prof}
+	return lowerAdaptive(g, cat, prof, nil)
+}
+
+// lowerAdaptive is Lower with an optional per-query adaptive context: when
+// rs is non-nil the lowered pipeline breakers carry plan-time cardinality
+// estimates and record their observed counterparts into rs, predict nodes
+// lower to AdaptivePredict (re-deciding the runtime at Open from the
+// corrected cardinality), and the parallel rewrite's exchanges clamp their
+// worker counts adaptively.
+func lowerAdaptive(g *ir.Graph, cat *Catalog, prof Profile, rs *opt.RuntimeStats) (Operator, error) {
+	l := &lowerer{cat: cat, prof: prof, rs: rs}
 	root, err := l.lower(g.Root)
 	if err != nil {
 		return nil, err
 	}
 	if prof.ExecDOP > 1 {
-		root, err = relational.ParallelizeOn(root, prof.ExecDOP, prof.BatchSize, prof.Sched)
+		var obs relational.AdaptiveContext
+		if rs != nil {
+			obs = rs
+		}
+		root, err = relational.ParallelizeAdaptive(root, prof.ExecDOP, prof.BatchSize, prof.Sched, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -46,6 +61,16 @@ func Lower(g *ir.Graph, cat *Catalog, prof Profile) (Operator, error) {
 type lowerer struct {
 	cat  *Catalog
 	prof Profile
+	rs   *opt.RuntimeStats // nil unless Profile.Adaptive
+}
+
+// est returns the plan-time cardinality estimate for a node, 0 when the
+// query is not running adaptively (unused then).
+func (l *lowerer) est(n *ir.Node) float64 {
+	if l.rs == nil {
+		return 0
+	}
+	return opt.EstimateRows(n, l.cat)
 }
 
 func (l *lowerer) lower(n *ir.Node) (Operator, error) {
@@ -82,8 +107,13 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &relational.HashJoin{Left: left, Right: right,
-			LeftKey: n.LeftKey, RightKey: n.RightKey}, nil
+		hj := &relational.HashJoin{Left: left, Right: right,
+			LeftKey: n.LeftKey, RightKey: n.RightKey}
+		if l.rs != nil {
+			hj.Observe = l.rs
+			hj.EstBuildRows = l.est(n.Children[1])
+		}
+		return hj, nil
 	case ir.KindAggregate:
 		child, err := l.lower(n.Children[0])
 		if err != nil {
@@ -97,8 +127,14 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 			// MergeGroupAggregate breaker, whose serial merge work the
 			// reported-time walk charges fully (it is coordinator work,
 			// like the global aggregate's merge).
-			return &relational.GroupAggregate{Child: child, Keys: n.GroupBy,
-				Aggs: n.Aggs, DenseLimit: l.prof.DenseGroupLimit}, nil
+			ga := &relational.GroupAggregate{Child: child, Keys: n.GroupBy,
+				Aggs: n.Aggs, DenseLimit: l.prof.DenseGroupLimit}
+			if l.rs != nil {
+				ga.Observe = l.rs
+				ga.EstRows = l.est(n.Children[0])
+				ga.EstGroups = l.est(n)
+			}
+			return ga, nil
 		}
 		return &relational.Aggregate{Child: child, Aggs: n.Aggs}, nil
 	case ir.KindHaving:
@@ -125,7 +161,12 @@ func (l *lowerer) lower(n *ir.Node) (Operator, error) {
 		// offset widens the heap to offset+limit rows). Under ExecDOP > 1
 		// the Parallelize rewrite splits it into per-worker PartialSorts
 		// merged k-way at a MergeSortRuns breaker.
-		return &relational.Sort{Child: child, Keys: n.OrderBy, Limit: n.Limit, Offset: n.Offset}, nil
+		st := &relational.Sort{Child: child, Keys: n.OrderBy, Limit: n.Limit, Offset: n.Offset}
+		if l.rs != nil {
+			st.Observe = l.rs
+			st.EstRows = l.est(n.Children[0])
+		}
+		return st, nil
 	case ir.KindUnion:
 		inputs := make([]Operator, len(n.Children))
 		for i, c := range n.Children {
@@ -164,8 +205,18 @@ func (l *lowerer) lowerPredict(n *ir.Node) (Operator, error) {
 		exprs = append(exprs, n.SQLExprs...)
 		return &relational.Project{Child: child, Exprs: exprs}, nil
 	case ir.TargetDNNCPU, ir.TargetDNNGPU:
+		if l.adaptivePredict() {
+			static := opt.ChoiceDNNCPU
+			if n.Target == ir.TargetDNNGPU {
+				static = opt.ChoiceDNNGPU
+			}
+			return l.lowerAdaptivePredict(n, child, static), nil
+		}
 		return l.lowerDNN(n, child)
 	default:
+		if l.adaptivePredict() {
+			return l.lowerAdaptivePredict(n, child, opt.ChoiceNone), nil
+		}
 		op := &PredictOp{
 			Child:               child,
 			Pipeline:            n.Pipeline,

@@ -1,0 +1,9 @@
+package opt
+
+import "raven/internal/model"
+
+// PruneTreeWithIntervalsForTest exposes pruneTreeWithIntervals to the
+// external test package.
+func PruneTreeWithIntervalsForTest(t *model.Tree, ivs []Interval) (model.Tree, bool) {
+	return pruneTreeWithIntervals(t, ivs)
+}

@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 import (
 	"math"
@@ -13,6 +13,7 @@ import (
 	"raven/internal/engine"
 	"raven/internal/ir"
 	"raven/internal/model"
+	"raven/internal/opt"
 	"raven/internal/sqlparse"
 	"raven/internal/testfix"
 	"raven/internal/train"
@@ -87,20 +88,20 @@ func TestOptimizedPlanSameResults(t *testing.T) {
 	g := planCovid(t, cat)
 	baseline := runPlan(t, g, cat)
 
-	for _, opts := range []Options{
-		NoOpt(),
+	for _, opts := range []opt.Options{
+		opt.NoOpt(),
 		{PredicatePruning: true, EngineOnly: true, AssumeFK: true},
 		{ModelProjection: true, EngineOnly: true, AssumeFK: true},
-		DefaultOptions(),
-		func() Options {
-			o := DefaultOptions()
-			o.Strategy = FixedStrategy{C: ChoiceSQL}
+		opt.DefaultOptions(),
+		func() opt.Options {
+			o := opt.DefaultOptions()
+			o.Strategy = opt.FixedStrategy{C: opt.ChoiceSQL}
 			return o
 		}(),
 		// The MLtoDNN path computes in float32 and is compared with a
 		// tolerance in TestMLtoDNNTargets instead.
 	} {
-		og, rep, err := New(cat, opts).Optimize(g)
+		og, rep, err := opt.New(cat, opts).Optimize(g)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
@@ -115,7 +116,7 @@ func TestOptimizedPlanSameResults(t *testing.T) {
 func TestPredicatePruningEffects(t *testing.T) {
 	cat := bigCovidCatalog(t, 1)
 	g := planCovid(t, cat)
-	og, rep, err := New(cat, Options{PredicatePruning: true, EngineOnly: true}).Optimize(g)
+	og, rep, err := opt.New(cat, opt.Options{PredicatePruning: true, EngineOnly: true}).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestOutputPredicatePruning(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := runPlan(t, g, cat)
-	og, rep, err := New(cat, Options{PredicatePruning: true, EngineOnly: true}).Optimize(g)
+	og, rep, err := opt.New(cat, opt.Options{PredicatePruning: true, EngineOnly: true}).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,8 +201,8 @@ func TestOutputPredicatePruning(t *testing.T) {
 func TestModelProjectionEffects(t *testing.T) {
 	cat := bigCovidCatalog(t, 1)
 	g := planCovid(t, cat)
-	o := DefaultOptions()
-	og, rep, err := New(cat, o).Optimize(g)
+	o := opt.DefaultOptions()
+	og, rep, err := opt.New(cat, o).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestOHECategoriesRestricted(t *testing.T) {
 	// hypertension OHE must shrink to the used category only.
 	cat := bigCovidCatalog(t, 1)
 	g := planCovid(t, cat)
-	og, _, err := New(cat, DefaultOptions()).Optimize(g)
+	og, _, err := opt.New(cat, opt.DefaultOptions()).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,9 +254,9 @@ func TestOHECategoriesRestricted(t *testing.T) {
 }
 
 func TestIntervalAlgebra(t *testing.T) {
-	iv := Unbounded()
-	iv = iv.Intersect(Interval{Lo: 3, Hi: math.Inf(1), LoStrict: true})
-	iv = iv.Intersect(Interval{Lo: math.Inf(-1), Hi: 10})
+	iv := opt.Unbounded()
+	iv = iv.Intersect(opt.Interval{Lo: 3, Hi: math.Inf(1), LoStrict: true})
+	iv = iv.Intersect(opt.Interval{Lo: math.Inf(-1), Hi: 10})
 	if iv.Lo != 3 || !iv.LoStrict || iv.Hi != 10 || iv.HiStrict {
 		t.Fatalf("intersect = %+v", iv)
 	}
@@ -268,15 +269,15 @@ func TestIntervalAlgebra(t *testing.T) {
 	if !iv.AlwaysLeft(10) {
 		t.Fatal("(3,10] must be left of threshold 10")
 	}
-	af := Interval{Lo: 0, Hi: 10}.Affine(5, 2)
+	af := opt.Interval{Lo: 0, Hi: 10}.Affine(5, 2)
 	if af.Lo != -10 || af.Hi != 10 {
 		t.Fatalf("affine = %+v", af)
 	}
-	neg := Interval{Lo: 0, Hi: 10, HiStrict: true}.Affine(0, -1)
+	neg := opt.Interval{Lo: 0, Hi: 10, HiStrict: true}.Affine(0, -1)
 	if neg.Lo != -10 || !neg.LoStrict || neg.Hi != 0 {
 		t.Fatalf("negative-scale affine = %+v", neg)
 	}
-	if !Point(4).IsPoint() || Unbounded().IsPoint() {
+	if !opt.Point(4).IsPoint() || opt.Unbounded().IsPoint() {
 		t.Fatal("IsPoint wrong")
 	}
 }
@@ -286,13 +287,13 @@ func TestPruneTreeWithIntervalsSound(t *testing.T) {
 	// original trees agree.
 	pipe := testfix.CovidPipeline()
 	ens := pipe.FinalModel().(*model.TreeEnsemble)
-	ivs := make([]Interval, 6)
+	ivs := make([]opt.Interval, 6)
 	for i := range ivs {
-		ivs[i] = Unbounded()
+		ivs[i] = opt.Unbounded()
 	}
-	ivs[testfix.FAsthmaYes] = Point(1)
-	ivs[testfix.FAsthmaNo] = Point(0)
-	pruned, changed := pruneTreeWithIntervals(&ens.Trees[0], ivs)
+	ivs[testfix.FAsthmaYes] = opt.Point(1)
+	ivs[testfix.FAsthmaNo] = opt.Point(0)
+	pruned, changed := opt.PruneTreeWithIntervalsForTest(&ens.Trees[0], ivs)
 	if !changed {
 		t.Fatal("expected pruning")
 	}
@@ -323,12 +324,12 @@ func TestMLtoSQLMatchesRuntime(t *testing.T) {
 	cat := bigCovidCatalog(t, 5)
 	g := planCovid(t, cat)
 	base := runPlan(t, g, cat)
-	o := Options{EngineOnly: true, AssumeFK: true, Strategy: FixedStrategy{C: ChoiceSQL}}
-	og, rep, err := New(cat, o).Optimize(g)
+	o := opt.Options{EngineOnly: true, AssumeFK: true, Strategy: opt.FixedStrategy{C: opt.ChoiceSQL}}
+	og, rep, err := opt.New(cat, o).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Choice != ChoiceSQL || rep.SQLSize == 0 {
+	if rep.Choice != opt.ChoiceSQL || rep.SQLSize == 0 {
 		t.Fatalf("MLtoSQL not applied: %s", rep)
 	}
 	pr := ir.Find(og.Root, func(n *ir.Node) bool { return n.Kind == ir.KindPredict })
@@ -369,13 +370,13 @@ func TestMLtoSQLUnsupportedFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := DefaultOptions()
-	o.Strategy = FixedStrategy{C: ChoiceSQL}
-	og, rep, err := New(cat, o).Optimize(g)
+	o := opt.DefaultOptions()
+	o.Strategy = opt.FixedStrategy{C: opt.ChoiceSQL}
+	og, rep, err := opt.New(cat, o).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Choice != ChoiceNone {
+	if rep.Choice != opt.ChoiceNone {
 		t.Fatalf("choice = %v, want fallback to none", rep.Choice)
 	}
 	if _, err := engine.Run(og, cat, engine.Local); err != nil {
@@ -404,8 +405,8 @@ SELECT d.id, p.score FROM PREDICT(MODEL = covid_risk, DATA = patients AS d) WITH
 		t.Fatal(err)
 	}
 	base := runPlan(t, g, cat)
-	o := Options{DataInduced: true, EngineOnly: true}
-	og, rep, err := New(cat, o).Optimize(g)
+	o := opt.Options{DataInduced: true, EngineOnly: true}
+	og, rep, err := opt.New(cat, o).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ SELECT d.id, p.score FROM PREDICT(MODEL = covid_risk, DATA = patients AS d) WITH
 		t.Fatal(err)
 	}
 	base := runPlan(t, g, cat)
-	og, rep, err := New(cat, DefaultOptions()).Optimize(g)
+	og, rep, err := opt.New(cat, opt.DefaultOptions()).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +502,7 @@ SELECT d.id, p.score FROM PREDICT(MODEL = covid_risk, DATA = patients AS d) WITH
 func TestZonePredicatePushdown(t *testing.T) {
 	cat := bigCovidCatalog(t, 1)
 	g := planCovid(t, cat)
-	og, rep, err := New(cat, DefaultOptions()).Optimize(g)
+	og, rep, err := opt.New(cat, opt.DefaultOptions()).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +519,7 @@ func TestZonePredicatePushdown(t *testing.T) {
 
 func TestExtractFeatures(t *testing.T) {
 	p := testfix.CovidPipeline()
-	f := ExtractFeatures(p)
+	f := opt.ExtractFeatures(p)
 	if f.Get("num_inputs") != 4 {
 		t.Fatalf("num_inputs = %v", f.Get("num_inputs"))
 	}
@@ -541,7 +542,7 @@ func TestExtractFeatures(t *testing.T) {
 	if !math.IsNaN(f.Get("nonexistent")) {
 		t.Fatal("unknown feature should be NaN")
 	}
-	if len(f.Slice()) != NumFeatures {
+	if len(f.Slice()) != opt.NumFeatures {
 		t.Fatal("Slice length wrong")
 	}
 	// Sparse linear model: unused fraction reflects zero weights.
@@ -555,24 +556,24 @@ func TestExtractFeatures(t *testing.T) {
 		},
 		Outputs: []string{"score"},
 	}
-	lf := ExtractFeatures(lin)
+	lf := opt.ExtractFeatures(lin)
 	if lf.Get("is_linear") != 1 || lf.Get("frac_unused_features") != 0.5 {
 		t.Fatalf("linear features wrong: %v", lf.V)
 	}
 }
 
 func TestFixedStrategy(t *testing.T) {
-	s := FixedStrategy{C: ChoiceDNNGPU}
-	if s.Choose(nil, false) != ChoiceDNNCPU {
+	s := opt.FixedStrategy{C: opt.ChoiceDNNGPU}
+	if s.Choose(nil, false) != opt.ChoiceDNNCPU {
 		t.Fatal("GPU choice without GPU should degrade to CPU")
 	}
-	if s.Choose(nil, true) != ChoiceDNNGPU {
+	if s.Choose(nil, true) != opt.ChoiceDNNGPU {
 		t.Fatal("GPU choice with GPU should stay")
 	}
 	if !strings.Contains(s.Name(), "MLtoDNN-GPU") {
 		t.Fatalf("name = %s", s.Name())
 	}
-	for _, c := range []Choice{ChoiceNone, ChoiceSQL, ChoiceDNNCPU, ChoiceDNNGPU} {
+	for _, c := range []opt.Choice{opt.ChoiceNone, opt.ChoiceSQL, opt.ChoiceDNNCPU, opt.ChoiceDNNGPU} {
 		if c.String() == "" {
 			t.Fatal("empty choice name")
 		}
@@ -583,14 +584,14 @@ func TestMLtoDNNTargets(t *testing.T) {
 	cat := bigCovidCatalog(t, 2)
 	g := planCovid(t, cat)
 	base := runPlan(t, g, cat)
-	o := DefaultOptions()
-	o.Strategy = FixedStrategy{C: ChoiceDNNGPU}
+	o := opt.DefaultOptions()
+	o.Strategy = opt.FixedStrategy{C: opt.ChoiceDNNGPU}
 	o.GPUAvailable = true
-	og, rep, err := New(cat, o).Optimize(g)
+	og, rep, err := opt.New(cat, o).Optimize(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Choice != ChoiceDNNGPU {
+	if rep.Choice != opt.ChoiceDNNGPU {
 		t.Fatalf("choice = %v", rep.Choice)
 	}
 	pr := ir.Find(og.Root, func(n *ir.Node) bool { return n.Kind == ir.KindPredict })
@@ -613,9 +614,9 @@ func TestMLtoDNNTargets(t *testing.T) {
 // unoptimized plan row for row.
 func TestQuickOptimizerEquivalence(t *testing.T) {
 	cat := bigCovidCatalog(t, 8)
-	opt := New(cat, func() Options {
-		o := DefaultOptions()
-		o.Strategy = FixedStrategy{C: ChoiceSQL}
+	optm := opt.New(cat, func() opt.Options {
+		o := opt.DefaultOptions()
+		o.Strategy = opt.FixedStrategy{C: opt.ChoiceSQL}
 		return o
 	}())
 	queries := []string{
@@ -634,7 +635,7 @@ func TestQuickOptimizerEquivalence(t *testing.T) {
 			t.Fatalf("%s: %v", q, err)
 		}
 		base := runPlan(t, g, cat)
-		og, rep, err := opt.Optimize(g)
+		og, rep, err := optm.Optimize(g)
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
@@ -684,10 +685,10 @@ func TestTrainedPipelineOptimizationEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := runPlan(t, g, cat)
-	for _, choice := range []Choice{ChoiceNone, ChoiceSQL} {
-		o := DefaultOptions()
-		o.Strategy = FixedStrategy{C: choice}
-		og, rep, err := New(cat, o).Optimize(g)
+	for _, choice := range []opt.Choice{opt.ChoiceNone, opt.ChoiceSQL} {
+		o := opt.DefaultOptions()
+		o.Strategy = opt.FixedStrategy{C: choice}
+		og, rep, err := opt.New(cat, o).Optimize(g)
 		if err != nil {
 			t.Fatal(err)
 		}

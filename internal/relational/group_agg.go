@@ -359,13 +359,9 @@ func (m *groupedMerge) foldBatch(bg *batchGroups) error {
 
 // finalize renders the accumulated groups: key columns (first-occurrence
 // order) followed by one float column per aggregate, AVG divided only
-// here. Zero groups returns nil — the caller emits no batch and the
-// terminal Drain synthesizes the empty result. (Like every zero-batch
-// plan, that synthesized table types all columns Float64: with no input
-// batches the operator never observes the key columns, and Operator
-// carries output names, not a typed schema. Typed empty grouped results
-// need schema propagation through Operator — a known limitation shared
-// with projections over filtered-out inputs.)
+// here. Zero groups returns nil — the operator synthesizes a typed empty
+// batch from its static schema instead (SchemaOf), so empty grouped
+// results keep their real key column types.
 func (m *groupedMerge) finalize() (*data.Table, error) {
 	if len(m.parts) == 0 {
 		return nil, nil
@@ -420,10 +416,18 @@ type GroupAggregate struct {
 	// path: 0 means DefaultDenseGroupLimit, negative disables the dense
 	// path entirely (always hash). The engine sets it from the Profile.
 	DenseLimit int
+	// Observe, when set, receives the true group cardinality at the
+	// breaker ("group_merge") and drives the adaptive dense-vs-hash
+	// decision at Open. EstRows/EstGroups are the plan-time estimates for
+	// the input rows and the group count.
+	Observe   AdaptiveContext
+	EstRows   float64
+	EstGroups float64
 
-	stats   OpStats
-	done    bool
-	scratch groupScratch
+	stats      OpStats
+	done       bool
+	denseLimit int // DenseLimit after the adaptive Open decision
+	scratch    groupScratch
 }
 
 // Columns returns the group keys followed by the aggregate outputs.
@@ -436,7 +440,13 @@ func (a *GroupAggregate) Open() error {
 	}
 	a.stats = OpStats{Name: fmt.Sprintf("GroupAggregate(%d keys)", len(a.Keys))}
 	a.done = false
-	return a.Child.Open()
+	if err := a.Child.Open(); err != nil {
+		return err
+	}
+	// The child's Open drained any join build below, so the adaptive
+	// context already holds its observed cardinality here.
+	a.denseLimit = resolveDenseLimit(a.Observe, a.DenseLimit, a.EstRows, "group_agg")
+	return nil
 }
 
 // Next drains the child and emits the grouped result as one batch.
@@ -455,7 +465,7 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 		if b == nil {
 			break
 		}
-		bg, err := a.scratch.accumulateGroupedBatch(b, a.Keys, a.Aggs, a.DenseLimit)
+		bg, err := a.scratch.accumulateGroupedBatch(b, a.Keys, a.Aggs, a.denseLimit)
 		if err != nil {
 			return nil, err
 		}
@@ -463,9 +473,19 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 			return nil, err
 		}
 	}
+	if a.Observe != nil {
+		a.Observe.ObserveCardinality("group_merge", a.EstGroups, float64(len(acc.parts)))
+	}
 	out, err := acc.finalize()
-	if err != nil || out == nil {
+	if err != nil {
 		return nil, err
+	}
+	if out == nil {
+		// Zero groups: emit a typed empty batch so downstream operators
+		// (and the terminal Drain) see the real key column types.
+		if out, err = emptyGrouped(a); err != nil || out == nil {
+			return nil, err
+		}
 	}
 	a.stats.Rows += int64(out.NumRows())
 	a.stats.Batches++
@@ -495,9 +515,16 @@ type PartialGroupAggregate struct {
 	// DenseLimit is the dense-path bound, as on GroupAggregate. Every
 	// worker clone owns a private dense array ("per-worker dense arrays").
 	DenseLimit int
+	// Observe/EstRows drive the adaptive dense-vs-hash decision at the
+	// exchange template's Open; worker clones inherit the resolved limit
+	// so the decision is made (and recorded) exactly once.
+	Observe AdaptiveContext
+	EstRows float64
 
-	stats   OpStats
-	scratch groupScratch
+	stats      OpStats
+	resolved   bool
+	denseLimit int
+	scratch    groupScratch
 }
 
 // Columns returns the partial schema: key columns then encoded state.
@@ -505,10 +532,18 @@ func (a *PartialGroupAggregate) Columns() []string {
 	return append(append([]string{}, a.Keys...), partialColumns(len(a.Aggs))...)
 }
 
-// Open opens the child.
+// Open opens the child and resolves the adaptive dense-vs-hash decision
+// (once, on the exchange template; worker clones inherit the result).
 func (a *PartialGroupAggregate) Open() error {
 	a.stats = OpStats{Name: "PartialGroupAggregate", Parallel: true}
-	return a.Child.Open()
+	if err := a.Child.Open(); err != nil {
+		return err
+	}
+	if !a.resolved {
+		a.denseLimit = resolveDenseLimit(a.Observe, a.DenseLimit, a.EstRows, "group_agg")
+		a.resolved = true
+	}
+	return nil
 }
 
 // Next folds the next child batch into a partial table (one row per
@@ -519,7 +554,7 @@ func (a *PartialGroupAggregate) Next() (*data.Table, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	bg, err := a.scratch.accumulateGroupedBatch(b, a.Keys, a.Aggs, a.DenseLimit)
+	bg, err := a.scratch.accumulateGroupedBatch(b, a.Keys, a.Aggs, a.denseLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -566,9 +601,18 @@ func (a *PartialGroupAggregate) Stats() *OpStats { return &a.stats }
 func (a *PartialGroupAggregate) Children() []Operator { return []Operator{a.Child} }
 
 // CloneWorker implements ParallelOp: clones share the immutable specs and
-// own a private scratch (dense array, buffers).
+// own a private scratch (dense array, buffers). Worker clones (created
+// after the template's Open) inherit the resolved adaptive dense limit;
+// pre-Open clones (the chainify rebuild) keep the adaptive context so the
+// template resolves it once at Open.
 func (a *PartialGroupAggregate) CloneWorker(child Operator) (Operator, error) {
-	return &PartialGroupAggregate{Child: child, Keys: a.Keys, Aggs: a.Aggs, DenseLimit: a.DenseLimit}, nil
+	c := &PartialGroupAggregate{Child: child, Keys: a.Keys, Aggs: a.Aggs, DenseLimit: a.DenseLimit}
+	if a.resolved {
+		c.resolved, c.denseLimit = true, a.denseLimit
+	} else {
+		c.Observe, c.EstRows = a.Observe, a.EstRows
+	}
+	return c, nil
 }
 
 // AbsorbWorker merges a worker clone's statistics.
@@ -584,6 +628,10 @@ type MergeGroupAggregate struct {
 	Child Operator
 	Keys  []string
 	Aggs  []AggSpec
+	// Observe/EstGroups mirror GroupAggregate: the breaker reports the
+	// true group cardinality ("group_merge") for downstream re-costing.
+	Observe   AdaptiveContext
+	EstGroups float64
 
 	stats OpStats
 	done  bool
@@ -639,13 +687,32 @@ func (m *MergeGroupAggregate) Next() (*data.Table, error) {
 			}
 		}
 	}
+	if m.Observe != nil {
+		m.Observe.ObserveCardinality("group_merge", m.EstGroups, float64(len(acc.parts)))
+	}
 	out, err := acc.finalize()
-	if err != nil || out == nil {
+	if err != nil {
 		return nil, err
+	}
+	if out == nil {
+		if out, err = emptyGrouped(m); err != nil || out == nil {
+			return nil, err
+		}
 	}
 	m.stats.Rows += int64(out.NumRows())
 	m.stats.Batches++
 	return out, nil
+}
+
+// emptyGrouped synthesizes a typed zero-row grouped result from the
+// operator's static schema; nil (without error) when the schema cannot be
+// derived, leaving the terminal Drain's name-only fallback to apply.
+func emptyGrouped(op Operator) (*data.Table, error) {
+	s, ok := SchemaOf(op)
+	if !ok {
+		return nil, nil
+	}
+	return emptyTyped(s)
 }
 
 // Close closes the child.

@@ -330,6 +330,79 @@ func TestGroupAggregateEmptyViews(t *testing.T) {
 	}
 }
 
+// TestGroupAggregateEmptyTyped pins the zero-group regression: an empty
+// grouped result must carry the operator's static schema — typed key and
+// aggregate columns — not a name-only fallback, so downstream operators
+// (sorts, filters, appends) see the same layout as the non-empty case.
+func TestGroupAggregateEmptyTyped(t *testing.T) {
+	tb := data.DictEncodeTable(data.MustNewTable("t",
+		data.NewString("g", []string{"a", "b"}),
+		data.NewInt("k", []int64{1, 2}),
+		data.NewFloat("v", []float64{1, 2})))
+	aggs := []AggSpec{{Fn: AggCount, As: "n"}, {Fn: AggAvg, Col: "v", As: "m"}}
+	src := func() Operator {
+		return &Filter{Child: NewScan(data.SinglePartition(tb), "", nil, 1),
+			Pred: NewBinOp(OpEq, Col("g"), Str("absent"))}
+	}
+	wantTypes := map[string]data.Type{
+		"g": data.String, "k": data.Int64, "n": data.Float64, "m": data.Float64}
+	for _, dop := range []int{1, 2} { // dop 2 exercises the partial/merge path
+		out, err := Drain(mustParallelize(t,
+			&GroupAggregate{Child: src(), Keys: []string{"g", "k"}, Aggs: aggs}, dop, 1))
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		if out.NumRows() != 0 {
+			t.Fatalf("dop=%d: %d groups over empty input", dop, out.NumRows())
+		}
+		for col, want := range wantTypes {
+			c := out.Col(col)
+			if c == nil {
+				t.Fatalf("dop=%d: empty grouped result lacks column %q:\n%s", dop, col, out)
+			}
+			if c.Type != want {
+				t.Fatalf("dop=%d: %s type = %v, want %v", dop, col, c.Type, want)
+			}
+		}
+	}
+}
+
+// TestJoinEmptyBuildTyped pins the companion regression at the join
+// breaker: a parallel hash join whose build side produces no batches must
+// still emit a typed (empty) result covering both input schemas.
+func TestJoinEmptyBuildTyped(t *testing.T) {
+	left := data.MustNewTable("l",
+		data.NewInt("l.id", []int64{1, 2, 3}),
+		data.NewFloat("l.v", []float64{10, 20, 30}))
+	right := data.MustNewTable("r",
+		data.NewInt("r.id", []int64{4, 5}),
+		data.NewString("r.tag", []string{"x", "y"}))
+	buildSide := func() Operator {
+		return &Filter{Child: NewScan(data.SinglePartition(right), "", nil, 2),
+			Pred: NewBinOp(OpEq, Col("r.tag"), Str("absent"))}
+	}
+	join := &HashJoin{Left: NewScan(data.SinglePartition(left), "", nil, 2),
+		Right: buildSide(), LeftKey: "l.id", RightKey: "r.id"}
+	out, err := Drain(mustParallelize(t, join, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d over empty build side", out.NumRows())
+	}
+	for col, want := range map[string]data.Type{
+		"l.id": data.Int64, "l.v": data.Float64,
+		"r.id": data.Int64, "r.tag": data.String} {
+		c := out.Col(col)
+		if c == nil {
+			t.Fatalf("empty join result lacks column %q:\n%s", col, out)
+		}
+		if c.Type != want {
+			t.Fatalf("%s type = %v, want %v", col, c.Type, want)
+		}
+	}
+}
+
 // TestGroupAggregateDenseMatchesHash pins the dense code-indexed path
 // against hash grouping on a dictionary whose cardinality straddles the
 // limit, including a dictionary switch mid-stream (two tables sharing no

@@ -357,6 +357,12 @@ func (p *Project) Children() []Operator { return []Operator{p.Child} }
 type HashJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey string
+	// Observe, when set, receives the build side's true cardinality
+	// ("join_build") as soon as it materializes at Open — before any
+	// probe row flows, so every downstream operator can re-cost itself
+	// against it. EstBuildRows is the plan-time estimate.
+	Observe      AdaptiveContext
+	EstBuildRows float64
 
 	stats OpStats
 	build *joinBuild
@@ -377,9 +383,12 @@ func (j *HashJoin) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	rows, err := drainBuild(j.Right, j.Right.Columns())
+	rows, err := drainBuild(j.Right)
 	if err != nil {
 		return err
+	}
+	if j.Observe != nil {
+		j.Observe.ObserveCardinality("join_build", j.EstBuildRows, float64(rows.NumRows()))
 	}
 	j.build, err = newJoinBuild(rows, j.RightKey, 1)
 	return err

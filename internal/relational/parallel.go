@@ -205,6 +205,12 @@ type Exchange struct {
 	// Sched is the scheduler to run on; nil means the process-wide shared
 	// pool (sched.Default()).
 	Sched *sched.Scheduler
+	// Observe, when set, enables adaptive DOP: the worker count for this
+	// exchange is clamped at Open to the morsels actually available (and
+	// the scheduler's worker pool), and the decision is recorded as an
+	// "exchange_dop" observation. Morsel-order merging makes any worker
+	// count byte-identical, so the clamp is always safe.
+	Observe AdaptiveContext
 
 	stats   OpStats
 	scan    *Scan
@@ -296,10 +302,29 @@ func (e *Exchange) Open() error {
 	e.failed = nil
 	e.job = nil
 	e.absorbO = sync.Once{}
+	// Adaptive DOP: the morsel queue is the true amount of splittable
+	// work, known exactly here — cloning more worker chains than morsels
+	// (or than the scheduler has workers to drive) only costs setup and
+	// session checkouts. Results are merged by morsel sequence, so the
+	// effective worker count never affects output bytes.
+	dop := e.DOP
+	if e.Observe != nil {
+		if n := len(e.morsels); n < dop {
+			dop = n
+		}
+		dop = e.scheduler().ClampDOP(dop)
+		if dop < 1 {
+			dop = 1
+		}
+		e.Observe.ObserveCardinality("exchange_dop", float64(e.DOP), float64(dop))
+		if dop != e.DOP {
+			e.Observe.RecordSwitch("exchange_dop", fmt.Sprintf("dop=%d", e.DOP), fmt.Sprintf("dop=%d", dop))
+		}
+	}
 	// The reorder window bounds buffered results under skew: at most
 	// window morsels are outstanding, and the channel holds the whole
 	// window so task sends never block.
-	e.window = e.DOP * 4
+	e.window = dop * 4
 	e.out = make(chan seqBatch, e.window)
 	e.workers = e.workers[:0]
 	// failWorkers closes the chains already opened for earlier workers,
@@ -311,7 +336,7 @@ func (e *Exchange) Open() error {
 		e.workers = e.workers[:0]
 		return err
 	}
-	for i := 0; i < e.DOP; i++ {
+	for i := 0; i < dop; i++ {
 		w := &worker{src: &batchSource{cols: e.scan.Columns()}}
 		w.scanStats = OpStats{Name: e.scan.stats.Name, Parallel: true}
 		var op Operator = w.src
@@ -527,26 +552,28 @@ func segmentable(op Operator) bool {
 // worker chain (its build side is independently parallelized), and the
 // operators above a converted join are rebuilt over the new child via
 // their worker-clone hook. Segments without joins are returned unchanged.
-func chainify(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
+func chainify(op Operator, c rwConf) (Operator, error) {
 	switch o := op.(type) {
 	case *Scan:
 		return o, nil
 	case *HashJoin:
-		child, err := chainify(o.Left, dop, morselSize, s)
+		child, err := chainify(o.Left, c)
 		if err != nil {
 			return nil, err
 		}
-		build, err := rewrite(o.Right, dop, morselSize, s)
+		build, err := rewrite(o.Right, c)
 		if err != nil {
 			return nil, err
 		}
-		return NewParallelHashJoin(child, build, o.LeftKey, o.RightKey, dop), nil
+		phj := NewParallelHashJoin(child, build, o.LeftKey, o.RightKey, c.dop)
+		phj.Observe, phj.EstBuildRows = o.Observe, o.EstBuildRows
+		return phj, nil
 	}
 	p, ok := op.(ParallelOp)
 	if !ok || len(p.Children()) != 1 {
 		return nil, fmt.Errorf("relational: cannot chainify operator %T", op)
 	}
-	child, err := chainify(p.Children()[0], dop, morselSize, s)
+	child, err := chainify(p.Children()[0], c)
 	if err != nil {
 		return nil, err
 	}
@@ -573,18 +600,36 @@ func Parallelize(root Operator, dop, morselSize int) (Operator, error) {
 // ParallelizeOn is Parallelize with an explicit scheduler for the plan's
 // exchanges; nil uses the process-wide shared pool.
 func ParallelizeOn(root Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
+	return ParallelizeAdaptive(root, dop, morselSize, s, nil)
+}
+
+// ParallelizeAdaptive is ParallelizeOn with a per-query adaptive context:
+// every Exchange it creates gets adaptive worker-count clamping, and the
+// breaker operators' observation hooks survive the parallel rewrite (the
+// serial operators' Observe/estimate fields are copied onto the
+// Partial/Merge pairs and ParallelHashJoins that replace them). A nil
+// context yields exactly the static rewrite.
+func ParallelizeAdaptive(root Operator, dop, morselSize int, s *sched.Scheduler, obs AdaptiveContext) (Operator, error) {
 	if dop <= 1 {
 		return root, nil
 	}
 	if morselSize <= 0 {
 		morselSize = 10000
 	}
-	return rewrite(root, dop, morselSize, s)
+	return rewrite(root, rwConf{dop: dop, morselSize: morselSize, sched: s, obs: obs})
+}
+
+// rwConf carries the parallel rewrite's configuration.
+type rwConf struct {
+	dop        int
+	morselSize int
+	sched      *sched.Scheduler
+	obs        AdaptiveContext
 }
 
 // exchangeSegment wraps op in an Exchange when it roots a segment whose
 // probe-most scan is big enough to split; ok reports whether it did.
-func exchangeSegment(op Operator, dop, morselSize int, sch *sched.Scheduler) (Operator, bool, error) {
+func exchangeSegment(op Operator, c rwConf) (Operator, bool, error) {
 	if !segmentable(op) {
 		return nil, false, nil
 	}
@@ -592,20 +637,21 @@ func exchangeSegment(op Operator, dop, morselSize int, sch *sched.Scheduler) (Op
 	if err != nil {
 		return nil, false, err
 	}
-	if s.Table.NumRows() <= morselSize {
+	if s.Table.NumRows() <= c.morselSize {
 		return nil, false, nil
 	}
-	chain, err := chainify(op, dop, morselSize, sch)
+	chain, err := chainify(op, c)
 	if err != nil {
 		return nil, false, err
 	}
-	ex := NewExchange(chain, dop, morselSize)
-	ex.Sched = sch
+	ex := NewExchange(chain, c.dop, c.morselSize)
+	ex.Sched = c.sched
+	ex.Observe = c.obs
 	return ex, true, nil
 }
 
-func rewrite(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, error) {
-	if ex, ok, err := exchangeSegment(op, dop, morselSize, s); err != nil {
+func rewrite(op Operator, c rwConf) (Operator, error) {
+	if ex, ok, err := exchangeSegment(op, c); err != nil {
 		return nil, err
 	} else if ok {
 		return ex, nil
@@ -613,36 +659,41 @@ func rewrite(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, er
 	var err error
 	switch o := op.(type) {
 	case *Filter:
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *Project:
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *HashJoin:
-		if o.Left, err = rewrite(o.Left, dop, morselSize, s); err != nil {
+		if o.Left, err = rewrite(o.Left, c); err != nil {
 			return nil, err
 		}
-		o.Right, err = rewrite(o.Right, dop, morselSize, s)
+		o.Right, err = rewrite(o.Right, c)
 	case *Aggregate:
 		// Partial aggregation: when the input is a big-enough segment,
 		// fold per-batch accumulators inside the exchange workers and
 		// merge them (in morsel order) above it.
-		if seg, ok, serr := exchangeSegment(&PartialAggregate{Child: o.Child, Aggs: o.Aggs}, dop, morselSize, s); serr != nil {
+		if seg, ok, serr := exchangeSegment(&PartialAggregate{Child: o.Child, Aggs: o.Aggs}, c); serr != nil {
 			return nil, serr
 		} else if ok {
 			return &MergeAggregate{Child: seg, Aggs: o.Aggs}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *GroupAggregate:
 		// Grouped partial aggregation: per-worker grouped accumulators
 		// (dense arrays or hash tables) inside the exchange, merged by
-		// key value in morsel order at the breaker.
+		// key value in morsel order at the breaker. The adaptive hooks
+		// move with the split: the partial side inherits the
+		// dense-vs-hash decision, the merge side reports the true group
+		// cardinality.
 		if seg, ok, serr := exchangeSegment(&PartialGroupAggregate{
 			Child: o.Child, Keys: o.Keys, Aggs: o.Aggs, DenseLimit: o.DenseLimit,
-		}, dop, morselSize, s); serr != nil {
+			Observe: o.Observe, EstRows: o.EstRows,
+		}, c); serr != nil {
 			return nil, serr
 		} else if ok {
-			return &MergeGroupAggregate{Child: seg, Keys: o.Keys, Aggs: o.Aggs}, nil
+			return &MergeGroupAggregate{Child: seg, Keys: o.Keys, Aggs: o.Aggs,
+				Observe: o.Observe, EstGroups: o.EstGroups}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *Sort:
 		// Parallel sort: per-worker sorted runs (one per morsel, truncated
 		// to the limit) inside the exchange, k-way merged in morsel order
@@ -656,26 +707,27 @@ func rewrite(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, er
 		}
 		if seg, ok, serr := exchangeSegment(&PartialSort{
 			Child: o.Child, Keys: o.Keys, Limit: partialLimit,
-		}, dop, morselSize, s); serr != nil {
+		}, c); serr != nil {
 			return nil, serr
 		} else if ok {
-			return &MergeSortRuns{Child: seg, Keys: o.Keys, Limit: o.Limit, Offset: o.Offset}, nil
+			return &MergeSortRuns{Child: seg, Keys: o.Keys, Limit: o.Limit, Offset: o.Offset,
+				Observe: o.Observe, EstRows: o.EstRows}, nil
 		}
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *HavingFilter:
 		// HAVING stays above the grouped-aggregation breaker; only its
 		// input parallelizes.
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *Limit:
 		// LIMIT consumes the morsel-ordered batch stream serially; the
 		// cutoff is deterministic because that stream equals the serial
 		// one.
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *Materialize:
-		o.Child, err = rewrite(o.Child, dop, morselSize, s)
+		o.Child, err = rewrite(o.Child, c)
 	case *Union:
 		for i, in := range o.Inputs {
-			if o.Inputs[i], err = rewrite(in, dop, morselSize, s); err != nil {
+			if o.Inputs[i], err = rewrite(in, c); err != nil {
 				return nil, err
 			}
 		}
@@ -684,7 +736,7 @@ func rewrite(op Operator, dop, morselSize int, s *sched.Scheduler) (Operator, er
 		// non-parallelizable child: rebuild them over the rewritten child
 		// via their worker-clone hook.
 		if p, ok := op.(ParallelOp); ok && len(p.Children()) == 1 {
-			child, err := rewrite(p.Children()[0], dop, morselSize, s)
+			child, err := rewrite(p.Children()[0], c)
 			if err != nil {
 				return nil, err
 			}

@@ -67,7 +67,10 @@ func floatKey(v float64) uint64 {
 }
 
 // drainBuild materializes an opened build-side operator in stream order.
-func drainBuild(right Operator, cols []string) (*data.Table, error) {
+// A zero-batch build synthesizes a typed empty table from the operator's
+// static schema (falling back to all-Float64 names only when no schema is
+// derivable), so an empty build side keeps its real key column type.
+func drainBuild(right Operator) (*data.Table, error) {
 	var rows *data.Table
 	for {
 		b, err := right.Next()
@@ -84,7 +87,10 @@ func drainBuild(right Operator, cols []string) (*data.Table, error) {
 		}
 	}
 	if rows == nil {
-		return emptyLike(cols)
+		if s, ok := SchemaOf(right); ok {
+			return emptyTyped(s)
+		}
+		return emptyLike(right.Columns())
 	}
 	return rows, nil
 }
@@ -292,6 +298,10 @@ type ParallelHashJoin struct {
 	LeftKey, RightKey string
 	// DOP bounds the workers used for parallel index construction.
 	DOP int
+	// Observe/EstBuildRows mirror HashJoin: the template reports the
+	// build side's true cardinality ("join_build") once it materializes.
+	Observe      AdaptiveContext
+	EstBuildRows float64
 
 	rightCols []string
 	stats     OpStats
@@ -350,10 +360,13 @@ func (j *ParallelHashJoin) Open() (err error) {
 	if err := j.Build.Open(); err != nil {
 		return err
 	}
-	rows, err := drainBuild(j.Build, j.rightCols)
+	rows, err := drainBuild(j.Build)
 	if err != nil {
 		j.Build.Close()
 		return err
+	}
+	if j.Observe != nil {
+		j.Observe.ObserveCardinality("join_build", j.EstBuildRows, float64(rows.NumRows()))
 	}
 	bu, err := newJoinBuild(rows, j.RightKey, j.DOP)
 	if err != nil {

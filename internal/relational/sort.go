@@ -453,6 +453,10 @@ type Sort struct {
 	// Offset skips the first Offset ordered rows (the OFFSET clause); the
 	// top-(Offset+Limit) heap finds the window without sorting the rest.
 	Offset int
+	// Observe, when set, receives the true input row count at the sort
+	// breaker ("sort_merge"); EstRows is the plan-time estimate.
+	Observe AdaptiveContext
+	EstRows float64
 
 	stats   OpStats
 	done    bool
@@ -482,6 +486,13 @@ func (s *Sort) Next() (*data.Table, error) {
 	buf, err := drainConcat(s.Child)
 	if err != nil {
 		return nil, err
+	}
+	if s.Observe != nil {
+		rows := 0
+		if buf != nil {
+			rows = buf.NumRows()
+		}
+		s.Observe.ObserveCardinality("sort_merge", s.EstRows, float64(rows))
 	}
 	if buf == nil {
 		return nil, nil
@@ -669,6 +680,10 @@ type MergeSortRuns struct {
 	Keys   []SortKey
 	Limit  int
 	Offset int
+	// Observe/EstRows mirror Sort: the breaker reports the true merged
+	// row count ("sort_merge").
+	Observe AdaptiveContext
+	EstRows float64
 
 	stats   OpStats
 	done    bool
@@ -726,6 +741,13 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 	}
 	if buf == nil {
 		buf = first
+	}
+	if m.Observe != nil {
+		rows := 0
+		if buf != nil {
+			rows = buf.NumRows()
+		}
+		m.Observe.ObserveCardinality("sort_merge", m.EstRows, float64(rows))
 	}
 	if buf == nil || m.Limit == 0 {
 		return nil, nil

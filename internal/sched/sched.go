@@ -73,6 +73,16 @@ func Default() *Scheduler {
 // Workers returns the fixed pool size.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// ClampDOP caps a requested degree of parallelism at the pool size:
+// cloning more exchange workers than scheduler workers only adds
+// queueing, never concurrency.
+func (s *Scheduler) ClampDOP(dop int) int {
+	if dop > s.workers {
+		return s.workers
+	}
+	return dop
+}
+
 // SetAdmissionLimit changes the admission cap (minimum 1).
 func (s *Scheduler) SetAdmissionLimit(n int) {
 	if n < 1 {

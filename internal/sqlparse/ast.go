@@ -68,10 +68,15 @@ type JoinClause struct {
 	Left, Right ColName
 }
 
-// OrderItem is one ORDER BY key: an output column and a direction.
+// OrderItem is one ORDER BY key and a direction. The key is either an
+// output column (Col) or an inline aggregate call like AVG(x) (Agg +
+// AggCol), which the planner resolves against the aggregate select items —
+// so `ORDER BY AVG(x)` works without requiring an alias.
 type OrderItem struct {
-	Col  ColName
-	Desc bool
+	Col    ColName
+	Agg    string  // aggregate function name, upper-case, "" for plain columns
+	AggCol ColName // aggregate argument; zero for COUNT(*)
+	Desc   bool
 }
 
 // SelectStmt is a (sub)query.

@@ -213,14 +213,37 @@ func (p *parser) parseSelectStmt() (*SelectStmt, error) {
 			return nil, err
 		}
 		for {
-			col, err := p.parseColName()
-			if err != nil {
-				return nil, err
+			var item OrderItem
+			if t := p.cur(); t.kind == tokIdent && aggFuncs[strings.ToUpper(t.text)] &&
+				p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+				// Inline aggregate key: ORDER BY AVG(x) / COUNT(*). Mirrors
+				// the select-item aggregate syntax; the planner resolves it
+				// against the aggregate select items.
+				upper := strings.ToUpper(t.text)
+				p.pos += 2 // consume fn name and "("
+				item.Agg = upper
+				if !p.symbol("*") {
+					col, err := p.parseColName()
+					if err != nil {
+						return nil, err
+					}
+					item.AggCol = col
+				} else if upper != "COUNT" {
+					return nil, fmt.Errorf("sqlparse: %s(*) is only valid for COUNT", upper)
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			} else {
+				col, err := p.parseColName()
+				if err != nil {
+					return nil, err
+				}
+				if col.Name == "*" {
+					return nil, fmt.Errorf("sqlparse: cannot ORDER BY %s", col)
+				}
+				item.Col = col
 			}
-			if col.Name == "*" {
-				return nil, fmt.Errorf("sqlparse: cannot ORDER BY %s", col)
-			}
-			item := OrderItem{Col: col}
 			if p.keyword("DESC") {
 				item.Desc = true
 			} else {

@@ -421,15 +421,15 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem, stmt *Selec
 		return nil, fmt.Errorf("sqlparse: HAVING requires GROUP BY")
 	}
 	if hasAgg || len(stmt.GroupBy) > 0 {
-		agg, err := p.applyAggregate(node, cols, items, stmt.GroupBy, stmt.Having)
+		agg, aggOut, err := p.applyAggregate(node, cols, items, stmt.GroupBy, stmt.Having)
 		if err != nil {
 			return nil, err
 		}
-		return p.applyOrderLimit(agg, stmt)
+		return p.applyOrderLimit(agg, stmt, cols, aggOut)
 	}
 	// Pure star select: no projection needed.
 	if len(items) == 1 && items[0].Star && items[0].Qualifier == "" {
-		return p.applyOrderLimit(node, stmt)
+		return p.applyOrderLimit(node, stmt, nil, nil)
 	}
 	proj := p.g.NewNode(ir.KindProject, node)
 	for _, it := range items {
@@ -456,16 +456,22 @@ func (p *planner) applySelectList(node *ir.Node, items []SelectItem, stmt *Selec
 	if len(proj.Exprs) == 0 {
 		return nil, fmt.Errorf("sqlparse: empty select list after resolution")
 	}
-	return p.applyOrderLimit(proj, stmt)
+	return p.applyOrderLimit(proj, stmt, nil, nil)
 }
 
 // applyOrderLimit wraps node with a Sort node for ORDER BY / LIMIT. Sort
 // keys must resolve among the node's output columns (the select list's
 // aliases, after any reorder projection) — sorting by a column the query
 // does not return is rejected, which keeps ordered results independent
-// of pruned-away columns. LIMIT without ORDER BY lowers to a pure row
-// cutoff over the (deterministic) batch stream.
-func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, error) {
+// of pruned-away columns. Inline aggregate keys (ORDER BY AVG(x)) resolve
+// through aggOut, the map applyAggregate builds from the canonical
+// aggregate spec to its output name — the same layout applyHaving resolves
+// against — so no alias is required. aggInputCols are the aggregate's
+// input columns, used to canonicalize the aggregate's argument; both are
+// nil for non-aggregate queries, where aggregate keys are rejected. LIMIT
+// without ORDER BY lowers to a pure row cutoff over the (deterministic)
+// batch stream.
+func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt, aggInputCols []string, aggOut map[string]string) (*ir.Node, error) {
 	if len(stmt.OrderBy) == 0 && stmt.Limit < 0 && stmt.Offset <= 0 {
 		return node, nil
 	}
@@ -477,14 +483,50 @@ func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, er
 	sortNode.Limit = stmt.Limit
 	sortNode.Offset = stmt.Offset
 	for _, item := range stmt.OrderBy {
-		col, err := resolveCol(outCols, item.Col)
-		if err != nil {
-			return nil, fmt.Errorf("sqlparse: ORDER BY %s: must be an output column of the query (have %v)",
-				item.Col, outCols)
+		var col string
+		if item.Agg != "" {
+			col, err = resolveOrderAgg(item, aggInputCols, aggOut)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			col, err = resolveCol(outCols, item.Col)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: ORDER BY %s: must be an output column of the query (have %v)",
+					item.Col, outCols)
+			}
 		}
 		sortNode.OrderBy = append(sortNode.OrderBy, relational.SortKey{Col: col, Desc: item.Desc})
 	}
 	return sortNode, nil
+}
+
+// resolveOrderAgg maps an inline ORDER BY aggregate to the select-list
+// output column that computes it. COUNT keys ignore their argument (the
+// aggregate itself does: COUNT(c) plans identically to COUNT(*)); other
+// functions canonicalize the argument against the aggregate's input
+// columns before matching.
+func resolveOrderAgg(item OrderItem, aggInputCols []string, aggOut map[string]string) (string, error) {
+	display := item.Agg + "(" + item.AggCol.String() + ")"
+	if item.Agg == "COUNT" && item.AggCol == (ColName{}) {
+		display = "COUNT(*)"
+	}
+	if aggOut == nil {
+		return "", fmt.Errorf("sqlparse: ORDER BY %s: aggregates in ORDER BY require an aggregate query", display)
+	}
+	key := item.Agg + "()"
+	if item.Agg != "COUNT" {
+		col, err := resolveCol(aggInputCols, item.AggCol)
+		if err != nil {
+			return "", fmt.Errorf("sqlparse: ORDER BY %s: %v", display, err)
+		}
+		key = item.Agg + "(" + col + ")"
+	}
+	out, ok := aggOut[key]
+	if !ok {
+		return "", fmt.Errorf("sqlparse: ORDER BY %s: the aggregate must appear in the select list", display)
+	}
+	return out, nil
 }
 
 // applyAggregate lowers an aggregation select list — global, or grouped
@@ -495,14 +537,16 @@ func (p *planner) applyOrderLimit(node *ir.Node, stmt *SelectStmt) (*ir.Node, er
 // planned as a Having node directly above the aggregate (below the
 // reorder projection), where the canonical keys-then-aggregates columns
 // exist; their columns may be group keys, aggregate aliases, or
-// select-list aliases of group keys.
-func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectItem, groupBy []ColName, having []Predicate) (*ir.Node, error) {
+// select-list aliases of group keys. The second result maps each
+// aggregate's canonical form ("AVG(t.x)", "COUNT()") to its output column
+// name, letting ORDER BY reference aggregates inline without an alias.
+func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectItem, groupBy []ColName, having []Predicate) (*ir.Node, map[string]string, error) {
 	keys := make([]string, 0, len(groupBy))
 	keySet := make(map[string]bool, len(groupBy))
 	for _, g := range groupBy {
 		col, err := resolveCol(cols, g)
 		if err != nil {
-			return nil, fmt.Errorf("sqlparse: GROUP BY: %v", err)
+			return nil, nil, fmt.Errorf("sqlparse: GROUP BY: %v", err)
 		}
 		if keySet[col] {
 			continue // GROUP BY k, k groups once
@@ -521,10 +565,14 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 	outExprs := make([]relational.NamedExpr, 0, len(items))
 	seenOut := make(map[string]bool, len(items))
 	aliasOf := make(map[string]string, len(items))
+	// aggOut maps the canonical aggregate form to its output name, for
+	// inline ORDER BY aggregates. The first occurrence wins — duplicate
+	// aggregates under different aliases compute identical values.
+	aggOut := make(map[string]string, len(items))
 	for _, it := range items {
 		switch {
 		case it.Star:
-			return nil, fmt.Errorf("sqlparse: SELECT * is not valid in an aggregate query")
+			return nil, nil, fmt.Errorf("sqlparse: SELECT * is not valid in an aggregate query")
 		case it.Agg != "":
 			spec := relational.AggSpec{As: it.Alias}
 			switch it.Agg {
@@ -542,12 +590,15 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 			if it.Agg != "COUNT" {
 				col, err := resolveCol(cols, it.AggCol)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				spec.Col = col
 			}
 			if spec.As == "" {
 				spec.As = strings.ToLower(it.Agg)
+			}
+			if key := it.Agg + "(" + spec.Col + ")"; aggOut[key] == "" {
+				aggOut[key] = spec.As
 			}
 			agg.Aggs = append(agg.Aggs, spec)
 			outNames = append(outNames, spec.As)
@@ -555,13 +606,13 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 		default:
 			col, err := resolveCol(cols, it.Col)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if !keySet[col] {
 				if len(keys) == 0 {
-					return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (mixing aggregates and plain columns)", it.Col)
+					return nil, nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (mixing aggregates and plain columns)", it.Col)
 				}
-				return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (keys: %v)", it.Col, keys)
+				return nil, nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY (keys: %v)", it.Col, keys)
 			}
 			name := it.Alias
 			if name == "" {
@@ -574,7 +625,7 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 	}
 	for _, name := range outNames {
 		if seenOut[name] {
-			return nil, fmt.Errorf("sqlparse: duplicate output column %q (alias aggregates with AS)", name)
+			return nil, nil, fmt.Errorf("sqlparse: duplicate output column %q (alias aggregates with AS)", name)
 		}
 		seenOut[name] = true
 	}
@@ -586,16 +637,16 @@ func (p *planner) applyAggregate(node *ir.Node, cols []string, items []SelectIte
 	if len(having) > 0 {
 		h, err := p.applyHaving(agg, canonical, aliasOf, having)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = h
 	}
 	if slices.Equal(outNames, canonical) {
-		return out, nil
+		return out, aggOut, nil
 	}
 	proj := p.g.NewNode(ir.KindProject, out)
 	proj.Exprs = outExprs
-	return proj, nil
+	return proj, aggOut, nil
 }
 
 // applyHaving plans the HAVING conjuncts over the aggregate's canonical

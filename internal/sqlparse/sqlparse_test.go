@@ -672,6 +672,119 @@ func TestPlanHavingOnKeyAlias(t *testing.T) {
 	}
 }
 
+func TestParseOrderByAggregate(t *testing.T) {
+	stmt, err := Parse("SELECT key, AVG(score) FROM t GROUP BY key ORDER BY AVG(score) DESC, COUNT(*), key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.OrderBy) != 3 {
+		t.Fatalf("OrderBy = %+v", stmt.OrderBy)
+	}
+	if o := stmt.OrderBy[0]; o.Agg != "AVG" || o.AggCol.Name != "score" || !o.Desc {
+		t.Fatalf("OrderBy[0] = %+v", o)
+	}
+	if o := stmt.OrderBy[1]; o.Agg != "COUNT" || o.AggCol != (ColName{}) || o.Desc {
+		t.Fatalf("OrderBy[1] = %+v", o)
+	}
+	if o := stmt.OrderBy[2]; o.Agg != "" || o.Col.Name != "key" {
+		t.Fatalf("OrderBy[2] = %+v", o)
+	}
+	for _, bad := range []string{
+		"SELECT key, AVG(s) FROM t GROUP BY key ORDER BY AVG(s",  // unclosed call
+		"SELECT key, AVG(s) FROM t GROUP BY key ORDER BY AVG(*)", // star arg on non-COUNT
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestPlanOrderByInlineAggregate(t *testing.T) {
+	cat := covidCatalog(t)
+	// Ages: asthma=yes → 30,45,80 (avg 51.67); no → 72,65,25 (avg 54).
+	// The ORDER BY aggregate is written inline, without referencing the
+	// select-list alias; it must resolve to the same output column.
+	for _, sql := range []string{
+		// Aliased aggregate, inline ORDER BY key.
+		"SELECT asthma, AVG(age) AS avg_age FROM patient_info GROUP BY asthma ORDER BY AVG(age) DESC",
+		// Qualified aggregate argument canonicalizes to the same spec.
+		"SELECT asthma, AVG(age) AS avg_age FROM patient_info GROUP BY asthma ORDER BY AVG(patient_info.age) DESC",
+	} {
+		g, err := ParseAndPlan(sql, cat)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		res, err := engine.Run(g, cat, engine.Local)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if res.Table.NumRows() != 2 || res.Table.Col("patient_info.asthma").AsString(0) != "no" {
+			t.Fatalf("%q:\n%s", sql, res.Table)
+		}
+		if got := res.Table.Col("avg_age").F64[0]; got != 54 {
+			t.Fatalf("%q: avg_age[0] = %v", sql, got)
+		}
+	}
+	// Entirely unaliased aggregate: the canonical output name ("avg") is
+	// synthesized by the planner, so without inline resolution this query
+	// has no way to spell its sort key.
+	g0, err := ParseAndPlan("SELECT asthma, AVG(age) FROM patient_info"+
+		" GROUP BY asthma ORDER BY AVG(age) DESC", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := engine.Run(g0, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Table.NumRows() != 2 || res0.Table.Col("avg").F64[0] != 54 {
+		t.Fatalf("unaliased:\n%s", res0.Table)
+	}
+	// The aggregate listed before the group key forces a reorder projection
+	// above the canonical keys-then-aggs layout; the inline ORDER BY must
+	// still resolve through it. COUNT(age) matches the COUNT(*) spec — the
+	// planner's COUNT ignores its argument.
+	g, err := ParseAndPlan("SELECT COUNT(*) AS n, asthma FROM patient_info"+
+		" GROUP BY asthma ORDER BY COUNT(age), asthma", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g, cat, engine.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 || res.Table.Col("n").F64[0] != 3 {
+		t.Fatalf("result:\n%s", res.Table)
+	}
+}
+
+func TestPlanOrderByAggregateErrorPaths(t *testing.T) {
+	cat := covidCatalog(t)
+	for _, c := range []struct{ sql, want string }{
+		// Inline aggregate in a non-aggregate query.
+		{"SELECT id FROM patient_info ORDER BY AVG(age)",
+			"require an aggregate query"},
+		// Aggregate not computed by the select list.
+		{"SELECT asthma, AVG(age) AS m FROM patient_info GROUP BY asthma ORDER BY SUM(age)",
+			"must appear in the select list"},
+		// Same function, different argument.
+		{"SELECT asthma, AVG(age) AS m FROM patient_info GROUP BY asthma ORDER BY AVG(id)",
+			"must appear in the select list"},
+		// Unknown aggregate argument.
+		{"SELECT asthma, AVG(age) AS m FROM patient_info GROUP BY asthma ORDER BY AVG(ghost)",
+			"not found"},
+	} {
+		_, err := ParseAndPlan(c.sql, cat)
+		if err == nil {
+			t.Errorf("expected plan error for %q", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.want)
+		}
+	}
+}
+
 func TestPlanLimitWithoutOrderBy(t *testing.T) {
 	cat := covidCatalog(t)
 	g, err := ParseAndPlan("SELECT id, age FROM patient_info LIMIT 2", cat)

@@ -1,0 +1,98 @@
+package strategy
+
+import (
+	"math"
+	"sort"
+
+	"raven/internal/opt"
+)
+
+// RuntimeObs is one observed execution: the pipeline's feature vector, the
+// true input cardinality, the runtime choice that executed it, and the
+// measured seconds. The bench harness emits these pairs and feeds them back
+// into Calibrate, closing the §5.2 loop ("users can go through this process
+// once to finetune the strategy on their workload and hardware setup") with
+// measured — not modeled — runtimes.
+type RuntimeObs struct {
+	Features *opt.Features
+	Rows     float64
+	Choice   opt.Choice
+	Seconds  float64
+}
+
+// Calibrate fits a CalibratedRule from observed (plan features, cardinality,
+// choice) → runtime pairs. The only fitted parameter is the small-input
+// threshold: for ensemble pipelines it finds the cardinality crossover
+// between "the ML runtime session wins" (fixed costs dominate) and "a
+// compiled/translated form wins" (per-row costs dominate), and places the
+// threshold at the geometric mean of the largest None-wins and smallest
+// other-wins cardinalities. Linear/DT observations are ignored — MLtoSQL
+// has no fixed cost to trade off. With no informative observations the
+// zero-value rule (DefaultSmallInputRows) is returned.
+func Calibrate(obs []RuntimeObs) CalibratedRule {
+	// Group ensemble observations by cardinality; per cardinality find the
+	// best measured choice.
+	type best struct {
+		noneSec  float64
+		otherSec float64
+		hasNone  bool
+		hasOther bool
+	}
+	byRows := map[float64]*best{}
+	for _, o := range obs {
+		if o.Features == nil || o.Seconds <= 0 {
+			continue
+		}
+		if o.Features.Get("is_linear") == 1 || o.Features.Get("is_dt") == 1 {
+			continue
+		}
+		b := byRows[o.Rows]
+		if b == nil {
+			b = &best{}
+			byRows[o.Rows] = b
+		}
+		if o.Choice == opt.ChoiceNone {
+			if !b.hasNone || o.Seconds < b.noneSec {
+				b.noneSec, b.hasNone = o.Seconds, true
+			}
+		} else {
+			if !b.hasOther || o.Seconds < b.otherSec {
+				b.otherSec, b.hasOther = o.Seconds, true
+			}
+		}
+	}
+	var noneWins, otherWins []float64
+	for rows, b := range byRows {
+		if !b.hasNone || !b.hasOther {
+			continue
+		}
+		if b.noneSec <= b.otherSec {
+			noneWins = append(noneWins, rows)
+		} else {
+			otherWins = append(otherWins, rows)
+		}
+	}
+	sort.Float64s(noneWins)
+	sort.Float64s(otherWins)
+	switch {
+	case len(noneWins) == 0 && len(otherWins) == 0:
+		return CalibratedRule{}
+	case len(noneWins) == 0:
+		// Fixed costs never won: place the threshold just under the
+		// smallest measured cardinality.
+		return CalibratedRule{SmallInputRows: otherWins[0]}
+	case len(otherWins) == 0:
+		// Fixed costs always won: threshold just above the largest
+		// measured cardinality.
+		return CalibratedRule{SmallInputRows: noneWins[len(noneWins)-1] + 1}
+	}
+	lo := noneWins[len(noneWins)-1]
+	hi := otherWins[0]
+	if hi <= lo {
+		// Non-separable (noisy) measurements: split at the boundary that
+		// misclassifies the fewest observations — here simply the midpoint
+		// of the overlap.
+		return CalibratedRule{SmallInputRows: (lo + hi) / 2}
+	}
+	return CalibratedRule{SmallInputRows: math.Sqrt(lo * hi)}
+}

@@ -102,6 +102,10 @@ type (
 	OptimizerReport = opt.Report
 	// RuntimeStrategy picks MLtoSQL / MLtoDNN / none per query.
 	RuntimeStrategy = opt.RuntimeStrategy
+	// AdaptiveStats is the mid-query re-optimization trace of one query:
+	// the cardinalities observed at the pipeline breakers and the strategy
+	// switches they triggered.
+	AdaptiveStats = opt.RuntimeStats
 	// TrainSpec describes a pipeline to train.
 	TrainSpec = train.Spec
 	// ModelKind selects the model family of a TrainSpec.
@@ -173,6 +177,9 @@ type Session struct {
 	plans *planCache
 	// planCacheSize is the WithPlanCacheSize request (0 = default).
 	planCacheSize int
+	// adaptive is the WithAdaptive request, applied after all options so
+	// it sees the final strategy and GPU declaration.
+	adaptive bool
 }
 
 // irGraph aliases the internal IR graph for the plan cache.
@@ -218,6 +225,21 @@ func WithGPU(available bool) Option {
 	return func(s *Session) { s.opts.GPUAvailable = available }
 }
 
+// WithAdaptive enables mid-query re-optimization: each query's pipeline
+// breakers (join builds, grouped-aggregation merges, sort merges) record
+// their true cardinalities, and at the breaker boundaries the engine
+// re-costs the remaining plan with the observed numbers — re-picking the ML
+// runtime for downstream predict segments, the dense-vs-hash grouping path,
+// and the worker count of the next exchange — whenever the plan-time
+// estimate was off by the re-optimization factor. Results stay
+// byte-identical to static plans at every decision (only cost changes; the
+// trace is exposed as Result.Adaptive). Runtime re-selection requires the
+// session strategy to be cardinality-aware (the default CalibratedRule is);
+// other strategies still get the breaker-level adaptations.
+func WithAdaptive() Option {
+	return func(s *Session) { s.adaptive = true }
+}
+
 // WithPlanCacheSize bounds the session's plan cache (default 256 plans).
 // n < 0 disables plan caching entirely — every Query replans, the
 // cold-planning baseline the serving benchmark compares against.
@@ -247,6 +269,13 @@ func NewSession(options ...Option) *Session {
 	if s.parallelism > 0 {
 		s.profile.ExecDOP = s.parallelism
 		s.opts.ExecDOP = s.parallelism
+	}
+	if s.adaptive {
+		s.profile.Adaptive = true
+		s.profile.AdaptiveGPU = s.opts.GPUAvailable
+		if c, ok := s.opts.Strategy.(opt.CardinalityAwareStrategy); ok {
+			s.profile.AdaptiveChooser = c
+		}
 	}
 	switch {
 	case s.planCacheSize < 0:
@@ -311,6 +340,9 @@ type Result struct {
 	Report *OptimizerReport
 	// Plan is the optimized plan rendered as text.
 	Plan string
+	// Adaptive is the mid-query re-optimization trace (nil unless the
+	// session runs WithAdaptive).
+	Adaptive *AdaptiveStats
 }
 
 // Query parses, optimizes and executes a prediction query. Plans are
@@ -334,6 +366,7 @@ func (s *Session) Query(sql string) (*Result, error) {
 		Reported: res.Reported,
 		Report:   rep,
 		Plan:     g.Explain(),
+		Adaptive: res.Adaptive,
 	}, nil
 }
 

@@ -96,10 +96,17 @@ func (pc *planCache) stats() (hits, misses uint64) {
 	return pc.hits, pc.misses
 }
 
-// NormalizeSQL collapses whitespace runs to single spaces and trims the
-// ends: the plan-cache key, so formatting differences between otherwise
-// identical queries share one cached plan. Text inside quotes is
-// preserved verbatim.
+// NormalizeSQL collapses whitespace runs to single spaces, strips SQL
+// comments (`-- …` to end of line, `/* … */`) and trims the ends: the
+// plan-cache key, so formatting differences between otherwise identical
+// queries share one cached plan. Text inside quotes is preserved verbatim,
+// with doubled quote characters (the `"a""b"` escape form, and its
+// single-quote equivalent) recognized as escaped quote
+// characters rather than the literal's end — otherwise the remainder of
+// such a statement would be mangled as if it were outside the literal.
+// Comments must not reach the cache key: two queries differing only in a
+// comment are the same statement, and a `--` comment would otherwise
+// swallow the rest of the line into the key text.
 func NormalizeSQL(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
@@ -110,8 +117,32 @@ func NormalizeSQL(sql string) string {
 		if inQuote != 0 {
 			b.WriteByte(c)
 			if c == inQuote {
+				if i+1 < len(sql) && sql[i+1] == inQuote {
+					// Doubled quote: an escaped quote character inside
+					// the literal, not its terminator.
+					b.WriteByte(inQuote)
+					i++
+					continue
+				}
 				inQuote = 0
 			}
+			continue
+		}
+		if c == '-' && i+1 < len(sql) && sql[i+1] == '-' {
+			for i < len(sql) && sql[i] != '\n' {
+				i++
+			}
+			space = true
+			continue
+		}
+		if c == '/' && i+1 < len(sql) && sql[i+1] == '*' {
+			end := strings.Index(sql[i+2:], "*/")
+			if end < 0 {
+				i = len(sql) // unterminated: drop the rest
+			} else {
+				i += 2 + end + 1 // loop increment steps past the closing '/'
+			}
+			space = true
 			continue
 		}
 		switch c {
@@ -206,6 +237,7 @@ func (s *Session) execPlanned(norm string) (*Result, error) {
 		Reported: res.Reported,
 		Report:   e.report,
 		Plan:     e.plan,
+		Adaptive: res.Adaptive,
 	}, nil
 }
 

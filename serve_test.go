@@ -14,6 +14,25 @@ func TestNormalizeSQL(t *testing.T) {
 		{"  SELECT a FROM t  ", "SELECT a FROM t"},
 		{"SELECT 'a  b' FROM t", "SELECT 'a  b' FROM t"},
 		{"SELECT a FROM t", "SELECT a FROM t"},
+		// Doubled quotes are escaped quote characters, not terminators:
+		// the text after them is still inside the literal and must keep
+		// its spacing verbatim.
+		{"SELECT 'it''s  here' FROM t", "SELECT 'it''s  here' FROM t"},
+		{`SELECT "a""b  c" FROM t`, `SELECT "a""b  c" FROM t`},
+		{"SELECT 'x''' ,  a FROM t", "SELECT 'x''' , a FROM t"},
+		// Comments are not part of the statement: two queries differing
+		// only in comments must produce the same cache key.
+		{"SELECT a FROM t -- trailing comment", "SELECT a FROM t"},
+		{"SELECT a -- pick a\nFROM t", "SELECT a FROM t"},
+		{"SELECT a /* inline */ FROM t", "SELECT a FROM t"},
+		{"SELECT a/*tight*/FROM t", "SELECT a FROM t"},
+		{"SELECT a FROM t /* unterminated", "SELECT a FROM t"},
+		{"-- leading\nSELECT a FROM t", "SELECT a FROM t"},
+		// Comment markers inside literals are text, not comments.
+		{"SELECT '--not  a comment' FROM t", "SELECT '--not  a comment' FROM t"},
+		{"SELECT '/* kept */' FROM t", "SELECT '/* kept */' FROM t"},
+		// A lone '-' or '/' is an ordinary character.
+		{"SELECT a - b, a / b FROM t", "SELECT a - b, a / b FROM t"},
 	}
 	for _, c := range cases {
 		if got := NormalizeSQL(c.in); got != c.want {
