@@ -13,10 +13,20 @@ SHELL := /bin/bash
 # hot-path micro-benches at 20 iterations.
 BENCH_OUT := /tmp/raven-bench.out
 
-.PHONY: test bench-baseline benchcmp
+.PHONY: test stress bench-baseline benchcmp
 
 test:
 	go build ./... && go test ./...
+
+# stress runs the robustness suite — cancellation storms, injected
+# panics/errors at every execution boundary, overload rejection, drain
+# semantics — under the race detector. Every test registers the
+# goroutine-leak checker (internal/testfix.LeakCheck), so a worker or
+# waiter that outlives its query fails here. CI runs the same command.
+stress:
+	go test -race -count=1 \
+		-run 'Cancel|Deadline|Overload|Fault|Injected|Poisoned|Storm|Drain|Admit|Panic|Leak|SessionsReturn|StatusFor|Serve' \
+		./...
 
 # bench-baseline re-runs the CI bench set and rewrites
 # bench/baseline.json — the deliberate way to move the perf-regression

@@ -16,15 +16,29 @@
 // catalog pool, and morsels from every in-flight query multiplex over the
 // process-wide scheduler with fair round-robin scheduling and admission
 // control.
+//
+// Serving robustness knobs:
+//
+//   - -query-timeout bounds each query's execution (default 30s); expiry
+//     cancels the query at its next morsel/batch boundary and answers 408.
+//   - A client disconnect cancels its query the same way (499 internally).
+//   - -admit-wait bounds how long a parallel query waits for an admission
+//     slot (default 1s); exhaustion answers 503 with Retry-After instead
+//     of queueing without bound.
+//   - -shutdown-timeout bounds the graceful drain of in-flight queries on
+//     SIGINT/SIGTERM (default 5s).
+//
+// Errors are returned as a JSON envelope
+// {"error":{"code","message","status"}} with the status also on the wire:
+// 400 empty/bad request, 408 deadline, 422 query failure, 499 client
+// cancel, 500 isolated engine fault, 503 overload.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"time"
 
 	"raven"
 	"raven/internal/data"
@@ -45,6 +59,10 @@ func main() {
 		noOpt       = flag.Bool("no-opt", false, "disable Raven optimizations")
 		serveAddr   = flag.String("serve", "", "serve queries over HTTP on this address instead of one-shot mode")
 		parallelism = flag.Int("parallelism", 1, "morsel parallelism per query (0 = all CPUs, 1 = serial)")
+
+		queryTimeout    = flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline in serve mode (0 = none)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain window on SIGINT/SIGTERM in serve mode")
+		admitWait       = flag.Duration("admit-wait", time.Second, "max wait for a scheduler admission slot before 503 (0 = wait forever)")
 	)
 	flag.Parse()
 	if *modelPath == "" || len(csvs) == 0 || (*query == "" && *serveAddr == "") {
@@ -70,7 +88,12 @@ func main() {
 		fatal(err)
 	}
 	if *serveAddr != "" {
-		if err := serve(s, *serveAddr); err != nil {
+		cfg := serveConfig{
+			queryTimeout:    *queryTimeout,
+			shutdownTimeout: *shutdownTimeout,
+			admitWait:       *admitWait,
+		}
+		if err := serve(s, *serveAddr, cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -93,51 +116,6 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d rows in %v (optimizations: %v)\n",
 		res.Table.NumRows(), res.Wall, res.Report.Fired)
-}
-
-// serve runs the HTTP serving front end over one shared session.
-func serve(s *raven.Session, addr string) error {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		sql := r.URL.Query().Get("q")
-		if sql == "" && r.Body != nil {
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			sql = string(body)
-		}
-		if sql == "" {
-			http.Error(w, "ravensql: empty query (POST the SQL or pass ?q=)", http.StatusBadRequest)
-			return
-		}
-		res, err := s.Query(sql)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		w.Header().Set("Content-Type", "text/csv")
-		w.Header().Set("X-Raven-Wall", res.Wall.String())
-		if err := data.WriteCSV(res.Table, w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		hits, misses := s.PlanCacheStats()
-		sch := s.Scheduler()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"plan_cache_hits":   hits,
-			"plan_cache_misses": misses,
-			"sched_workers":     sch.Workers(),
-			"sched_admitted":    sch.Admitted(),
-			"tables":            s.Tables(),
-			"models":            s.Models(),
-		})
-	})
-	fmt.Fprintf(os.Stderr, "ravensql: serving on %s (workers=%d)\n", addr, s.Scheduler().Workers())
-	return http.ListenAndServe(addr, mux)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"raven/internal/data"
@@ -42,6 +43,14 @@ type Result struct {
 
 // Run lowers and executes an IR plan under the profile.
 func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
+	return RunContext(context.Background(), g, cat, prof)
+}
+
+// RunContext lowers and executes an IR plan under the profile, with the
+// context governing cancellation: after lowering, ctx is stamped onto the
+// cancellation-aware operators (SetContext), so a done context surfaces
+// as the query error within one batch/morsel boundary of work.
+func RunContext(ctx context.Context, g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
 	var rs *opt.RuntimeStats
 	if prof.Adaptive {
 		rs = opt.NewRuntimeStats(prof.ReoptFactor)
@@ -50,7 +59,8 @@ func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := Execute(root, prof)
+	relational.SetContext(ctx, root)
+	res, err := ExecuteContext(ctx, root, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -65,17 +75,34 @@ func Run(g *ir.Graph, cat *Catalog, prof Profile) (*Result, error) {
 // only — scheduler workers never admit — so it cannot deadlock with
 // morsel scheduling.
 func Execute(root Operator, prof Profile) (*Result, error) {
+	return ExecuteContext(context.Background(), root, prof)
+}
+
+// ExecuteContext is Execute under a context: admission waits are
+// cancelable (and bounded when the scheduler has an admit wait configured,
+// surfacing sched.ErrOverloaded), the drain polls ctx per output batch,
+// and the whole query-thread execution runs behind a panic boundary — a
+// panic in any operator Open/Next/Close on this thread becomes the query's
+// *relational.PanicError instead of taking down the process.
+func ExecuteContext(ctx context.Context, root Operator, prof Profile) (res *Result, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if prof.ExecDOP > 1 {
-		release := prof.scheduler().Admit()
+		release, aerr := prof.scheduler().AdmitContext(ctx)
+		if aerr != nil {
+			return nil, aerr
+		}
 		defer release()
 	}
+	defer relational.RecoverPanic("query execution", &err)
 	t0 := time.Now()
-	table, err := relational.Drain(root)
+	table, err := relational.DrainContext(ctx, root)
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(t0)
-	res := &Result{Table: table, Wall: wall}
+	res = &Result{Table: table, Wall: wall}
 	res.Ops = relational.CollectStats(root)
 	res.Reported = reportedTime(root, prof, res)
 	return res, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 	"raven/internal/mlruntime"
 	"raven/internal/model"
 	"raven/internal/relational"
@@ -146,7 +147,12 @@ func (p *PredictOp) Open() error {
 		return err
 	}
 	if p.MaterializeFeatures {
-		return p.openMaterialized()
+		if err := p.openMaterialized(); err != nil {
+			// Drain never Closes a tree whose Open failed; release the
+			// opened child here so its resources are not stranded.
+			p.Child.Close()
+			return err
+		}
 	}
 	return nil
 }
@@ -303,6 +309,9 @@ func (p *PredictOp) Next() (*data.Table, error) {
 	defer timeOp(&p.stats)()
 	b, err := p.Child.Next()
 	if err != nil || b == nil {
+		return nil, err
+	}
+	if err := fault.Inject(fault.SitePredictNext); err != nil {
 		return nil, err
 	}
 	var outs map[string]mlruntime.Value

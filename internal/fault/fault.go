@@ -1,0 +1,60 @@
+// Package fault provides the process-wide fault-injection hook the
+// robustness test harness arms to deterministically inject panics, errors
+// and delays at execution boundaries. Production code calls Inject at its
+// boundary sites; with no hook armed (the always case outside tests) a
+// call is one atomic load and a nil check, cheap enough for per-batch and
+// per-morsel granularity. The arming side lives in internal/testfix.
+package fault
+
+import "sync/atomic"
+
+// Boundary sites. Each names one place production code calls Inject; the
+// harness arms actions per site.
+const (
+	// SiteSchedTask fires at the top of every exchange morsel task, the
+	// scheduler-task dispatch boundary (inside the task's panic-recovery
+	// scope, so an injected panic becomes that query's error).
+	SiteSchedTask = "sched.task"
+	// SiteExchangeMorsel fires per morsel after the task's cancellation
+	// check, the operator boundary inside exchange workers.
+	SiteExchangeMorsel = "exchange.morsel"
+	// SiteJoinBuild fires after a hash join drained its build side.
+	SiteJoinBuild = "join.build"
+	// SiteGroupMerge fires after a grouped-aggregation breaker drained its
+	// input, before finalizing the groups.
+	SiteGroupMerge = "group.merge"
+	// SiteSortMerge fires after a sort breaker drained its input, before
+	// ordering/merging.
+	SiteSortMerge = "sort.merge"
+	// SitePredictNext fires per batch crossing the ML prediction boundary.
+	SitePredictNext = "predict.next"
+	// SiteSessionCheckout fires on every ML session pool checkout, before
+	// any pool state is touched.
+	SiteSessionCheckout = "mlsession.checkout"
+)
+
+// Hook decides what happens at a site: return a non-nil error to inject a
+// failure, sleep to inject a delay, or panic to inject a panic. A nil
+// return means "no fault here".
+type Hook func(site string) error
+
+var hook atomic.Pointer[Hook]
+
+// Inject invokes the armed hook for the site; nil when no hook is armed.
+func Inject(site string) error {
+	h := hook.Load()
+	if h == nil {
+		return nil
+	}
+	return (*h)(site)
+}
+
+// Set arms the process-global hook (tests only; not composable — the last
+// Set wins).
+func Set(h Hook) { hook.Store(&h) }
+
+// Clear disarms the hook.
+func Clear() { hook.Store(nil) }
+
+// Armed reports whether a hook is currently set.
+func Armed() bool { return hook.Load() != nil }

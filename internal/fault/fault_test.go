@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectDisarmed(t *testing.T) {
+	Clear()
+	if Armed() {
+		t.Fatal("hook armed before Set")
+	}
+	if err := Inject(SiteJoinBuild); err != nil {
+		t.Fatalf("disarmed Inject = %v", err)
+	}
+}
+
+func TestSetClearArmed(t *testing.T) {
+	boom := errors.New("boom")
+	var seen []string
+	Set(func(site string) error {
+		seen = append(seen, site)
+		if site == SiteSortMerge {
+			return boom
+		}
+		return nil
+	})
+	defer Clear()
+	if !Armed() {
+		t.Fatal("hook not armed after Set")
+	}
+	if err := Inject(SiteGroupMerge); err != nil {
+		t.Fatalf("hook injected for wrong site: %v", err)
+	}
+	if err := Inject(SiteSortMerge); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want boom", err)
+	}
+	if len(seen) != 2 || seen[0] != SiteGroupMerge || seen[1] != SiteSortMerge {
+		t.Fatalf("hook saw sites %v", seen)
+	}
+	Clear()
+	if Armed() {
+		t.Fatal("hook armed after Clear")
+	}
+	if err := Inject(SiteSortMerge); err != nil {
+		t.Fatalf("cleared Inject = %v", err)
+	}
+}

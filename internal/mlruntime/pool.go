@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"raven/internal/fault"
 	"raven/internal/model"
 )
 
@@ -50,6 +51,10 @@ type Pool struct {
 	mu      sync.Mutex
 	entries map[PoolKey]*poolEntry
 	maxFree int
+	// outstanding counts sessions checked out and not yet released — the
+	// session-hygiene invariant the robustness tests pin: it must return
+	// to zero on every query path, including errors and cancellations.
+	outstanding int
 }
 
 // NewPool returns an empty pool keeping at most 2×NumCPU warm sessions
@@ -65,6 +70,11 @@ func NewPool() *Pool {
 // newly initialized (a cold start). build is called only when the key has
 // no prototype yet.
 func (p *Pool) Acquire(k PoolKey, build func() (*model.Pipeline, error)) (*Session, bool, error) {
+	// The fault site sits before the lock: an injected panic here must not
+	// take the pool mutex down with it.
+	if err := fault.Inject(fault.SiteSessionCheckout); err != nil {
+		return nil, false, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e := p.entries[k]
@@ -76,6 +86,7 @@ func (p *Pool) Acquire(k PoolKey, build func() (*model.Pipeline, error)) (*Sessi
 		s := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		p.outstanding++
 		return s, false, nil
 	}
 	if e.proto == nil {
@@ -88,8 +99,10 @@ func (p *Pool) Acquire(k PoolKey, build func() (*model.Pipeline, error)) (*Sessi
 			return nil, false, err
 		}
 		e.proto = s
+		p.outstanding++
 		return s, true, nil
 	}
+	p.outstanding++
 	return e.proto.Clone(), true, nil
 }
 
@@ -98,11 +111,19 @@ func (p *Pool) Acquire(k PoolKey, build func() (*model.Pipeline, error)) (*Sessi
 func (p *Pool) Release(k PoolKey, s *Session) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.outstanding--
 	e := p.entries[k]
 	if e == nil || len(e.free) >= p.maxFree {
 		return
 	}
 	e.free = append(e.free, s)
+}
+
+// Outstanding returns the number of checked-out sessions not yet released.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding
 }
 
 // Evict drops every entry bound to the given catalog pipeline (called when

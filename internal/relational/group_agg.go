@@ -1,11 +1,13 @@
 package relational
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 )
 
 // Grouped aggregation (GROUP BY) — the grouped twin of the global
@@ -423,6 +425,9 @@ type GroupAggregate struct {
 	Observe   AdaptiveContext
 	EstRows   float64
 	EstGroups float64
+	// Ctx, when set (see SetContext), is polled per drained batch so a
+	// canceled query stops accumulating groups at the next batch boundary.
+	Ctx context.Context
 
 	stats      OpStats
 	done       bool
@@ -458,6 +463,9 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 	a.done = true
 	acc := newGroupedMerge(a.Keys, a.Aggs)
 	for {
+		if err := canceled(a.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := a.Child.Next()
 		if err != nil {
 			return nil, err
@@ -472,6 +480,9 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 		if err := acc.foldBatch(bg); err != nil {
 			return nil, err
 		}
+	}
+	if err := fault.Inject(fault.SiteGroupMerge); err != nil {
+		return nil, err
 	}
 	if a.Observe != nil {
 		a.Observe.ObserveCardinality("group_merge", a.EstGroups, float64(len(acc.parts)))
@@ -632,6 +643,8 @@ type MergeGroupAggregate struct {
 	// true group cardinality ("group_merge") for downstream re-costing.
 	Observe   AdaptiveContext
 	EstGroups float64
+	// Ctx, when set (see SetContext), is polled per drained partial batch.
+	Ctx context.Context
 
 	stats OpStats
 	done  bool
@@ -656,6 +669,9 @@ func (m *MergeGroupAggregate) Next() (*data.Table, error) {
 	m.done = true
 	acc := newGroupedMerge(m.Keys, m.Aggs)
 	for {
+		if err := canceled(m.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := m.Child.Next()
 		if err != nil {
 			return nil, err
@@ -686,6 +702,9 @@ func (m *MergeGroupAggregate) Next() (*data.Table, error) {
 				return nil, err
 			}
 		}
+	}
+	if err := fault.Inject(fault.SiteGroupMerge); err != nil {
+		return nil, err
 	}
 	if m.Observe != nil {
 		m.Observe.ObserveCardinality("group_merge", m.EstGroups, float64(len(acc.parts)))

@@ -1,10 +1,12 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 )
 
 // OpStats accumulates per-operator execution statistics. WallNs is
@@ -363,6 +365,9 @@ type HashJoin struct {
 	// against it. EstBuildRows is the plan-time estimate.
 	Observe      AdaptiveContext
 	EstBuildRows float64
+	// Ctx, when set (see SetContext), is polled per build batch so a
+	// canceled query stops the build drain promptly.
+	Ctx context.Context
 
 	stats OpStats
 	build *joinBuild
@@ -373,7 +378,10 @@ func (j *HashJoin) Columns() []string {
 	return append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
 }
 
-// Open drains the build side and indexes it by key.
+// Open drains the build side and indexes it by key. Drain does not Close
+// a tree whose Open failed, so every error path here closes what this
+// operator already opened — otherwise a failed build would strand child
+// resources (e.g. checked-out ML sessions under the build side).
 func (j *HashJoin) Open() error {
 	j.stats = OpStats{Name: fmt.Sprintf("HashJoin(%s=%s)", j.LeftKey, j.RightKey), Parallel: true}
 	defer startTimer(&j.stats)()
@@ -381,16 +389,26 @@ func (j *HashJoin) Open() error {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
 		return err
 	}
-	rows, err := drainBuild(j.Right)
+	rows, err := drainBuild(j.Ctx, j.Right)
+	if err == nil {
+		err = fault.Inject(fault.SiteJoinBuild)
+	}
 	if err != nil {
+		j.Left.Close()
+		j.Right.Close()
 		return err
 	}
 	if j.Observe != nil {
 		j.Observe.ObserveCardinality("join_build", j.EstBuildRows, float64(rows.NumRows()))
 	}
 	j.build, err = newJoinBuild(rows, j.RightKey, 1)
+	if err != nil {
+		j.Left.Close()
+		j.Right.Close()
+	}
 	return err
 }
 
@@ -468,6 +486,8 @@ type AggSpec struct {
 type Aggregate struct {
 	Child Operator
 	Aggs  []AggSpec
+	// Ctx, when set (see SetContext), is polled per drained batch.
+	Ctx context.Context
 
 	stats OpStats
 	done  bool
@@ -502,6 +522,9 @@ func (a *Aggregate) Next() (*data.Table, error) {
 	a.done = true
 	acc := newAggPartial(len(a.Aggs))
 	for {
+		if err := canceled(a.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := a.Child.Next()
 		if err != nil {
 			return nil, err
@@ -538,6 +561,8 @@ func (a *Aggregate) Children() []Operator { return []Operator{a.Child} }
 // steps, reproducing MADlib's forced materialization.
 type Materialize struct {
 	Child Operator
+	// Ctx, when set (see SetContext), is polled per drained batch.
+	Ctx context.Context
 
 	stats OpStats
 	buf   *data.Table
@@ -548,7 +573,9 @@ type Materialize struct {
 // Columns returns the child's columns.
 func (m *Materialize) Columns() []string { return m.Child.Columns() }
 
-// Open drains the child into the buffer.
+// Open drains the child into the buffer. On error the already-opened
+// child is closed here: Drain does not Close a tree whose Open failed, so
+// a failing Open must not strand child resources.
 func (m *Materialize) Open() error {
 	m.stats = OpStats{Name: "Materialize"}
 	defer startTimer(&m.stats)()
@@ -557,8 +584,13 @@ func (m *Materialize) Open() error {
 	}
 	m.buf, m.pos, m.batch = nil, 0, 10000
 	for {
+		if err := canceled(m.Ctx); err != nil {
+			m.Child.Close()
+			return err
+		}
 		b, err := m.Child.Next()
 		if err != nil {
+			m.Child.Close()
 			return err
 		}
 		if b == nil {
@@ -570,6 +602,7 @@ func (m *Materialize) Open() error {
 		if m.buf == nil {
 			m.buf = b.Clone()
 		} else if err := m.buf.AppendFrom(b); err != nil {
+			m.Child.Close()
 			return err
 		}
 	}
@@ -613,12 +646,16 @@ type Union struct {
 // Columns returns the first child's columns.
 func (u *Union) Columns() []string { return u.Inputs[0].Columns() }
 
-// Open opens all children.
+// Open opens all children; on error the already-opened prefix is closed
+// (a child whose Open failed has cleaned up after itself).
 func (u *Union) Open() error {
 	u.stats = OpStats{Name: "Union"}
 	u.cur = 0
-	for _, in := range u.Inputs {
+	for i, in := range u.Inputs {
 		if err := in.Open(); err != nil {
+			for _, opened := range u.Inputs[:i] {
+				opened.Close()
+			}
 			return err
 		}
 	}
@@ -663,12 +700,24 @@ func (u *Union) Children() []Operator { return u.Inputs }
 // Drain runs an operator tree to completion, concatenating all batches
 // into one table. It is the engine's terminal step.
 func Drain(root Operator) (*data.Table, error) {
+	return DrainContext(context.Background(), root)
+}
+
+// DrainContext is Drain with cooperative cancellation: the context is
+// polled once per output batch, so a canceled query stops within one
+// batch of coordinator work. An operator whose Open fails must have
+// released its own resources — DrainContext does not Close a tree that
+// never opened (Close on a half-constructed tree is not safe in general).
+func DrainContext(ctx context.Context, root Operator) (*data.Table, error) {
 	if err := root.Open(); err != nil {
 		return nil, err
 	}
 	defer root.Close()
 	var out *data.Table
 	for {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		b, err := root.Next()
 		if err != nil {
 			return nil, err

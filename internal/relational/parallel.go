@@ -1,10 +1,12 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 	"raven/internal/sched"
 )
 
@@ -211,6 +213,11 @@ type Exchange struct {
 	// "exchange_dop" observation. Morsel-order merging makes any worker
 	// count byte-identical, so the clamp is always safe.
 	Observe AdaptiveContext
+	// Ctx, when set (see SetContext), is polled at every morsel boundary:
+	// once per Next call on the consumer side, and at the top of every
+	// scheduled task — so a canceled query both stops emitting batches and
+	// releases its shared-pool worker slots within one morsel of work.
+	Ctx context.Context
 
 	stats   OpStats
 	scan    *Scan
@@ -395,16 +402,44 @@ func (e *Exchange) submitMorsel() {
 	m := e.morsels[e.submitted]
 	e.submitted++
 	e.job.Submit(func() {
-		e.idleMu.Lock()
-		w := e.idle[len(e.idle)-1]
-		e.idle = e.idle[:len(e.idle)-1]
-		e.idleMu.Unlock()
-		t, err := e.execMorsel(w, m)
+		t, err := e.runMorsel(m)
+		// The send stays outside runMorsel's recover scope and its
+		// deferred idle-return: whatever happens inside the morsel —
+		// error, cancellation, panic — the sequence slot is always
+		// delivered, so the consumer can never block on a lost result.
+		e.out <- seqBatch{seq: seq, t: t, err: err}
+	})
+}
+
+// runMorsel checks a clone chain out of the idle set and drives one morsel
+// through it, behind the task's cancellation check and panic boundary. A
+// panic anywhere in the chain becomes this query's *PanicError instead of
+// killing the shared scheduler worker, and the deferred idle-return keeps
+// the clone set intact even then (the poisoned query is failing anyway —
+// its remaining tasks are about to be canceled, and a reused clone's
+// output can never surface, because batches are consumed strictly in
+// sequence order and the first error stops consumption).
+func (e *Exchange) runMorsel(m Morsel) (t *data.Table, err error) {
+	e.idleMu.Lock()
+	w := e.idle[len(e.idle)-1]
+	e.idle = e.idle[:len(e.idle)-1]
+	e.idleMu.Unlock()
+	defer func() {
 		e.idleMu.Lock()
 		e.idle = append(e.idle, w)
 		e.idleMu.Unlock()
-		e.out <- seqBatch{seq: seq, t: t, err: err}
-	})
+	}()
+	defer RecoverPanic("exchange morsel", &err)
+	if err := fault.Inject(fault.SiteSchedTask); err != nil {
+		return nil, err
+	}
+	if err := canceled(e.Ctx); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject(fault.SiteExchangeMorsel); err != nil {
+		return nil, err
+	}
+	return e.execMorsel(w, m)
 }
 
 // execMorsel drives the worker's chain over one morsel and returns the
@@ -445,11 +480,17 @@ func (e *Exchange) execMorsel(w *worker, m Morsel) (*data.Table, error) {
 	return first, nil
 }
 
-// Next returns the next non-empty batch in morsel order.
+// Next returns the next non-empty batch in morsel order. The query's
+// context is polled on every call (even when the reorder window already
+// holds results), so cancellation reaction is bounded by one output batch
+// of coordinator work.
 func (e *Exchange) Next() (*data.Table, error) {
 	defer startTimer(&e.stats)()
 	if e.failed != nil {
 		return nil, e.failed
+	}
+	if err := canceled(e.Ctx); err != nil {
+		return nil, e.fail(err)
 	}
 	if !e.started {
 		e.start()
@@ -472,14 +513,32 @@ func (e *Exchange) Next() (*data.Table, error) {
 			e.finish()
 			return nil, nil
 		}
-		sb := <-e.out
+		var sb seqBatch
+		if e.Ctx != nil && e.Ctx.Done() != nil {
+			// Don't block on a slow morsel after cancellation: the done
+			// branch fails the query immediately; the in-flight task still
+			// delivers into the buffered channel and is discarded by Close.
+			select {
+			case sb = <-e.out:
+			case <-e.Ctx.Done():
+				return nil, e.fail(e.Ctx.Err())
+			}
+		} else {
+			sb = <-e.out
+		}
 		if sb.err != nil {
-			e.failed = sb.err
-			e.stop()
-			return nil, sb.err
+			return nil, e.fail(sb.err)
 		}
 		e.pending[sb.seq] = sb.t
 	}
+}
+
+// fail records the terminal error, drops queued scheduler tasks and
+// returns the error (Next's error paths share it).
+func (e *Exchange) fail(err error) error {
+	e.failed = err
+	e.stop()
+	return err
 }
 
 // stop drops the exchange's queued scheduler tasks; in-flight tasks finish
@@ -496,6 +555,12 @@ func (e *Exchange) finish() {
 	if e.job != nil {
 		e.job.Wait()
 	}
+	e.absorb()
+}
+
+// absorb merges the clone statistics into the template chain exactly once.
+// Callers must ensure no task is running (job waited or drained).
+func (e *Exchange) absorb() {
 	e.absorbO.Do(func() {
 		for _, w := range e.workers {
 			e.scan.stats.Absorb(&w.scanStats)
@@ -506,11 +571,14 @@ func (e *Exchange) finish() {
 	})
 }
 
-// Close stops the scheduled work, merges statistics and closes the clone
-// chains.
+// Close cancels queued morsels, waits for in-flight tasks to complete
+// (Job.Drain — a still-running morsel must never race the clone chains
+// being closed below), merges statistics and closes the clone chains.
 func (e *Exchange) Close() error {
-	e.stop()
-	e.finish()
+	if e.job != nil {
+		e.job.Drain()
+	}
+	e.absorb()
 	var first error
 	for _, w := range e.workers {
 		if err := w.root.Close(); err != nil && first == nil {

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 
 	"raven/internal/data"
@@ -228,6 +229,8 @@ func (a *PartialAggregate) AbsorbWorker(clone Operator) { a.stats.Absorb(clone.S
 type MergeAggregate struct {
 	Child Operator
 	Aggs  []AggSpec
+	// Ctx, when set (see SetContext), is polled per drained partial batch.
+	Ctx context.Context
 
 	stats OpStats
 	done  bool
@@ -258,6 +261,9 @@ func (m *MergeAggregate) Next() (*data.Table, error) {
 	m.done = true
 	acc := newAggPartial(len(m.Aggs))
 	for {
+		if err := canceled(m.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := m.Child.Next()
 		if err != nil {
 			return nil, err

@@ -1,11 +1,13 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 )
 
 // This file extends morsel-driven parallelism across the hash-join
@@ -66,13 +68,18 @@ func floatKey(v float64) uint64 {
 	return math.Float64bits(v)
 }
 
-// drainBuild materializes an opened build-side operator in stream order.
-// A zero-batch build synthesizes a typed empty table from the operator's
-// static schema (falling back to all-Float64 names only when no schema is
-// derivable), so an empty build side keeps its real key column type.
-func drainBuild(right Operator) (*data.Table, error) {
+// drainBuild materializes an opened build-side operator in stream order,
+// polling ctx once per batch so a canceled query stops its join build at
+// the next batch boundary. A zero-batch build synthesizes a typed empty
+// table from the operator's static schema (falling back to all-Float64
+// names only when no schema is derivable), so an empty build side keeps
+// its real key column type.
+func drainBuild(ctx context.Context, right Operator) (*data.Table, error) {
 	var rows *data.Table
 	for {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		b, err := right.Next()
 		if err != nil {
 			return nil, err
@@ -302,6 +309,8 @@ type ParallelHashJoin struct {
 	// build side's true cardinality ("join_build") once it materializes.
 	Observe      AdaptiveContext
 	EstBuildRows float64
+	// Ctx, when set (see SetContext), is polled per build batch.
+	Ctx context.Context
 
 	rightCols []string
 	stats     OpStats
@@ -360,7 +369,10 @@ func (j *ParallelHashJoin) Open() (err error) {
 	if err := j.Build.Open(); err != nil {
 		return err
 	}
-	rows, err := drainBuild(j.Build)
+	rows, err := drainBuild(j.Ctx, j.Build)
+	if err == nil {
+		err = fault.Inject(fault.SiteJoinBuild)
+	}
 	if err != nil {
 		j.Build.Close()
 		return err

@@ -1,12 +1,14 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"raven/internal/data"
+	"raven/internal/fault"
 )
 
 // Ordered output over (grouped) prediction results: HAVING above the
@@ -458,6 +460,9 @@ type Sort struct {
 	Observe AdaptiveContext
 	EstRows float64
 
+	// Ctx, when set (see SetContext), is polled per drained batch.
+	Ctx context.Context
+
 	stats   OpStats
 	done    bool
 	scratch sortScratch
@@ -483,7 +488,10 @@ func (s *Sort) Next() (*data.Table, error) {
 		return nil, nil
 	}
 	s.done = true
-	buf, err := drainConcat(s.Child)
+	buf, err := drainConcat(s.Ctx, s.Child)
+	if err == nil {
+		err = fault.Inject(fault.SiteSortMerge)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -516,13 +524,18 @@ func (s *Sort) Stats() *OpStats { return &s.stats }
 func (s *Sort) Children() []Operator { return []Operator{s.Child} }
 
 // drainConcat drains an operator into one table (nil when the child
-// produced no rows). A single batch is returned as-is — the common case
-// (e.g. a Sort above an aggregation breaker) pays no copy; the clone
+// produced no rows), polling ctx once per batch (nil ctx skips the
+// check — PartialSort runs inside exchange tasks, which poll at the
+// morsel boundary already). A single batch is returned as-is — the common
+// case (e.g. a Sort above an aggregation breaker) pays no copy; the clone
 // happens lazily only when a second batch must be appended, since the
 // first may be a zero-copy view of shared storage.
-func drainConcat(child Operator) (*data.Table, error) {
+func drainConcat(ctx context.Context, child Operator) (*data.Table, error) {
 	var first, merged *data.Table
 	for {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		b, err := child.Next()
 		if err != nil {
 			return nil, err
@@ -636,7 +649,7 @@ func (p *PartialSort) Open() error {
 // scratch (index buffer, per-dictionary rank tables) across morsels.
 func (p *PartialSort) Next() (*data.Table, error) {
 	defer startTimer(&p.stats)()
-	buf, err := drainConcat(p.Child)
+	buf, err := drainConcat(nil, p.Child)
 	if err != nil || buf == nil {
 		return nil, err
 	}
@@ -684,6 +697,9 @@ type MergeSortRuns struct {
 	// row count ("sort_merge").
 	Observe AdaptiveContext
 	EstRows float64
+	// Ctx, when set (see SetContext), is polled per collected run so a
+	// canceled ranking query stops collecting at the next run boundary.
+	Ctx context.Context
 
 	stats   OpStats
 	done    bool
@@ -714,6 +730,9 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 	var first, buf *data.Table
 	var runs [][2]int
 	for {
+		if err := canceled(m.Ctx); err != nil {
+			return nil, err
+		}
 		b, err := m.Child.Next()
 		if err != nil {
 			return nil, err
@@ -741,6 +760,9 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 	}
 	if buf == nil {
 		buf = first
+	}
+	if err := fault.Inject(fault.SiteSortMerge); err != nil {
+		return nil, err
 	}
 	if m.Observe != nil {
 		rows := 0

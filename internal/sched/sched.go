@@ -15,9 +15,18 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// ErrOverloaded is returned by AdmitContext when the bounded admission
+// wait elapses with every query slot still occupied. Front ends should map
+// it to a retryable "come back later" response rather than queueing.
+var ErrOverloaded = errors.New("sched: overloaded, no query slot available")
 
 // Task is one unit of scheduled work (one morsel through one chain clone).
 type Task func()
@@ -39,6 +48,13 @@ type Scheduler struct {
 	admitCond *sync.Cond
 	admitCap  int
 	admitted  int
+	admitWait time.Duration // 0 = AdmitContext waits until ctx is done
+
+	// recovered counts task panics absorbed by the worker backstop. Tasks
+	// are expected to recover their own panics and surface them as query
+	// errors; this counter catching a panic means a raw task escaped that
+	// discipline (it still must not kill the shared worker).
+	recovered atomic.Int64
 }
 
 // New creates a scheduler with the given number of workers (minimum 1) and
@@ -94,6 +110,15 @@ func (s *Scheduler) SetAdmissionLimit(n int) {
 	s.admitCond.Broadcast()
 }
 
+// SetAdmitWait bounds how long AdmitContext blocks for a free query slot
+// before giving up with ErrOverloaded. Zero (the default) keeps the
+// original semantics: wait until a slot frees or the context is done.
+func (s *Scheduler) SetAdmitWait(d time.Duration) {
+	s.mu.Lock()
+	s.admitWait = d
+	s.mu.Unlock()
+}
+
 // Admit blocks until a query slot is free and returns its release func.
 // The release func is idempotent.
 func (s *Scheduler) Admit() func() {
@@ -103,6 +128,67 @@ func (s *Scheduler) Admit() func() {
 	}
 	s.admitted++
 	s.mu.Unlock()
+	return s.releaseFunc()
+}
+
+// AdmitContext is Admit with cooperative cancellation and (when an admit
+// wait is configured) bounded queueing: it returns ctx.Err() if the
+// context is done first, and ErrOverloaded if the admit wait elapses with
+// all slots still held. On success the returned release func is idempotent
+// and must be called exactly like Admit's.
+func (s *Scheduler) AdmitContext(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.admitted < s.admitCap || s.closed {
+		s.admitted++
+		s.mu.Unlock()
+		return s.releaseFunc(), nil
+	}
+	// Slow path: arrange wakeups for the two external events the cond var
+	// cannot see. Both callbacks take s.mu before broadcasting so the flag
+	// write / ctx.Err() transition cannot land between a waiter's predicate
+	// check and its cond.Wait (the classic missed-wakeup race).
+	var timedOut bool
+	if wait := s.admitWait; wait > 0 {
+		timer := time.AfterFunc(wait, func() {
+			s.mu.Lock()
+			timedOut = true
+			s.mu.Unlock()
+			s.admitCond.Broadcast()
+		})
+		defer timer.Stop()
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast
+			// after any waiter mid-predicate reaches admitCond.Wait.
+			s.mu.Unlock()
+			s.admitCond.Broadcast()
+		})
+		defer stop()
+	}
+	for s.admitted >= s.admitCap && !s.closed {
+		if err := ctx.Err(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if timedOut {
+			s.mu.Unlock()
+			return nil, ErrOverloaded
+		}
+		s.admitCond.Wait()
+	}
+	s.admitted++
+	s.mu.Unlock()
+	return s.releaseFunc(), nil
+}
+
+// releaseFunc builds the idempotent slot-release closure shared by Admit
+// and AdmitContext. The caller must already hold the slot.
+func (s *Scheduler) releaseFunc() func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -198,6 +284,29 @@ func (j *Job) Wait() {
 	}
 	j.canceled = true
 	j.queue, j.head = nil, 0
+	j.deregisterLocked()
+	s.mu.Unlock()
+}
+
+// Drain cancels the job's queued tasks, waits for its in-flight tasks to
+// finish, and deregisters the job. Unlike Cancel (which returns while
+// tasks may still be running), after Drain no task of this job can be
+// touching shared state, so Close paths may safely free operator state.
+func (j *Job) Drain() {
+	s := j.s
+	s.mu.Lock()
+	j.canceled = true
+	j.queue, j.head = nil, 0
+	for j.running > 0 && !s.closed {
+		j.done.Wait()
+	}
+	j.deregisterLocked()
+	s.mu.Unlock()
+}
+
+// deregisterLocked removes the job from the scheduler ring (idempotent).
+func (j *Job) deregisterLocked() {
+	s := j.s
 	for i, other := range s.jobs {
 		if other == j {
 			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
@@ -207,7 +316,6 @@ func (j *Job) Wait() {
 			break
 		}
 	}
-	s.mu.Unlock()
 }
 
 func (j *Job) pendingLocked() int { return len(j.queue) - j.head }
@@ -228,7 +336,7 @@ func (s *Scheduler) runWorker() {
 			continue
 		}
 		s.mu.Unlock()
-		t()
+		s.runTask(t)
 		s.mu.Lock()
 		j.running--
 		if j.running == 0 && (j.pendingLocked() == 0 || j.canceled) {
@@ -241,6 +349,23 @@ func (s *Scheduler) runWorker() {
 		}
 	}
 }
+
+// runTask runs one task behind the worker panic backstop. The exchange
+// protocol recovers task panics itself and reports them as the owning
+// query's error; this backstop only exists so a raw task that escapes that
+// discipline poisons its own query, not the shared pool — without it one
+// panic would kill a worker goroutine for every other in-flight query.
+func (s *Scheduler) runTask(t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered.Add(1)
+		}
+	}()
+	t()
+}
+
+// Recovered reports how many task panics the worker backstop absorbed.
+func (s *Scheduler) Recovered() int64 { return s.recovered.Load() }
 
 // pickLocked scans the job ring from the round-robin cursor and claims the
 // first runnable task (queued work, per-job cap not reached).

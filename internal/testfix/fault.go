@@ -1,0 +1,103 @@
+package testfix
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"raven/internal/fault"
+)
+
+// Faults arms the process-global fault-injection hook (internal/fault)
+// for one test, with deterministic one-shot rules: "on the Nth time
+// execution crosses this site, fail / panic / delay / call". Because the
+// hook is process-global, tests arming faults must not run in parallel
+// with each other; the per-SITE targeting is what isolates a poisoned
+// query from concurrent clean ones (give the victim query a plan shape —
+// e.g. an ORDER BY — that crosses a site the others never do).
+type Faults struct {
+	mu    sync.Mutex
+	rules map[string][]*faultRule
+	hits  map[string]int
+}
+
+type faultRule struct {
+	nth      int // fire when the site's hit count reaches nth (1-based)
+	done     bool
+	err      error
+	panicMsg string
+	fn       func()
+}
+
+// InjectFaults arms the hook for the duration of the test (disarmed by
+// t.Cleanup). The returned Faults accumulates rules and hit counts.
+func InjectFaults(t testing.TB) *Faults {
+	f := &Faults{rules: map[string][]*faultRule{}, hits: map[string]int{}}
+	fault.Set(f.inject)
+	t.Cleanup(fault.Clear)
+	return f
+}
+
+// FailAt injects err the nth time the site is crossed.
+func (f *Faults) FailAt(site string, nth int, err error) {
+	f.add(site, &faultRule{nth: nth, err: err})
+}
+
+// PanicAt panics with msg the nth time the site is crossed.
+func (f *Faults) PanicAt(site string, nth int, msg string) {
+	f.add(site, &faultRule{nth: nth, panicMsg: msg})
+}
+
+// DelayAt sleeps for d the nth time the site is crossed (for widening
+// race windows deterministically).
+func (f *Faults) DelayAt(site string, nth int, d time.Duration) {
+	f.add(site, &faultRule{nth: nth, fn: func() { time.Sleep(d) }})
+}
+
+// CallAt invokes fn the nth time the site is crossed — e.g. a context
+// cancel func, to kill a query at exactly one execution boundary.
+func (f *Faults) CallAt(site string, nth int, fn func()) {
+	f.add(site, &faultRule{nth: nth, fn: fn})
+}
+
+// Hits reports how many times the site has been crossed so far.
+func (f *Faults) Hits(site string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[site]
+}
+
+func (f *Faults) add(site string, r *faultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules[site] = append(f.rules[site], r)
+}
+
+// inject is the fault.Hook: count the hit, fire every rule armed for this
+// ordinal (side effects first, then panic, then error).
+func (f *Faults) inject(site string) error {
+	f.mu.Lock()
+	f.hits[site]++
+	n := f.hits[site]
+	var fire []*faultRule
+	for _, r := range f.rules[site] {
+		if !r.done && r.nth == n {
+			r.done = true
+			fire = append(fire, r)
+		}
+	}
+	f.mu.Unlock()
+	var err error
+	for _, r := range fire {
+		if r.fn != nil {
+			r.fn()
+		}
+		if r.panicMsg != "" {
+			panic(r.panicMsg)
+		}
+		if err == nil {
+			err = r.err
+		}
+	}
+	return err
+}

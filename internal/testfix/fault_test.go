@@ -1,0 +1,68 @@
+package testfix
+
+import (
+	"errors"
+	"testing"
+
+	"raven/internal/fault"
+)
+
+func TestFaultRulesFireOnTheirOrdinal(t *testing.T) {
+	boom := errors.New("boom")
+	t.Run("armed", func(t *testing.T) {
+		f := InjectFaults(t)
+		f.FailAt(fault.SiteJoinBuild, 2, boom)
+		if err := fault.Inject(fault.SiteJoinBuild); err != nil {
+			t.Fatalf("hit 1 injected %v, want nil", err)
+		}
+		if err := fault.Inject(fault.SiteJoinBuild); !errors.Is(err, boom) {
+			t.Fatalf("hit 2 injected %v, want boom", err)
+		}
+		// One-shot: the rule must not fire again.
+		if err := fault.Inject(fault.SiteJoinBuild); err != nil {
+			t.Fatalf("hit 3 injected %v, want nil", err)
+		}
+		// Other sites are untouched but still counted.
+		if err := fault.Inject(fault.SiteSortMerge); err != nil {
+			t.Fatalf("other site injected %v", err)
+		}
+		if got := f.Hits(fault.SiteJoinBuild); got != 3 {
+			t.Fatalf("Hits(join.build) = %d, want 3", got)
+		}
+		if got := f.Hits(fault.SiteSortMerge); got != 1 {
+			t.Fatalf("Hits(sort.merge) = %d, want 1", got)
+		}
+	})
+	// The subtest's cleanup must have disarmed the global hook.
+	if fault.Armed() {
+		t.Fatal("hook still armed after test cleanup")
+	}
+}
+
+func TestFaultPanicAt(t *testing.T) {
+	f := InjectFaults(t)
+	f.PanicAt(fault.SiteExchangeMorsel, 1, "injected panic")
+	defer func() {
+		r := recover()
+		if r != "injected panic" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	fault.Inject(fault.SiteExchangeMorsel)
+	t.Fatal("PanicAt did not panic")
+}
+
+func TestFaultCallAtRunsBeforeError(t *testing.T) {
+	f := InjectFaults(t)
+	boom := errors.New("boom")
+	var called bool
+	f.CallAt(fault.SitePredictNext, 1, func() { called = true })
+	f.FailAt(fault.SitePredictNext, 1, boom)
+	err := fault.Inject(fault.SitePredictNext)
+	if !called {
+		t.Fatal("CallAt fn not invoked")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want boom (rules on the same ordinal compose)", err)
+	}
+}

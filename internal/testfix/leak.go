@@ -1,0 +1,96 @@
+package testfix
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"raven/internal/sched"
+)
+
+// LeakCheck snapshots the currently running goroutines and registers a
+// cleanup failing the test if goroutines born during the test are still
+// alive at its end (after a grace period for asynchronous teardown —
+// timer callbacks, connection teardown — to settle). Call it FIRST in the
+// test so its cleanup runs LAST, after the test's own cleanups have torn
+// everything down. Hand-rolled on runtime.Stack: the repo takes no
+// third-party dependencies.
+func LeakCheck(t testing.TB) {
+	// Force the shared scheduler pool into existence first, so its
+	// long-lived workers land in the baseline instead of being reported.
+	sched.Default()
+	base := map[string]bool{}
+	for _, g := range goroutineDump() {
+		base[goroutineID(g)] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked := leakedGoroutines(base, goroutineDump())
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("testfix: %d goroutine(s) leaked by this test:\n\n%s",
+					len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// goroutineDump returns one stack block per live goroutine.
+func goroutineDump() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+}
+
+// goroutineID extracts the numeric ID from a stack block's first line
+// ("goroutine 42 [running]:"); empty if the block is malformed.
+func goroutineID(block string) string {
+	rest, ok := strings.CutPrefix(block, "goroutine ")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return ""
+}
+
+// leakedGoroutines returns the stack blocks of goroutines absent from the
+// baseline and not allowlisted as runtime/testing infrastructure.
+func leakedGoroutines(base map[string]bool, dump []string) []string {
+	var out []string
+	for _, g := range dump {
+		id := goroutineID(g)
+		if id == "" || base[id] || allowlisted(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// allowlisted reports whether the stack belongs to runtime or testing
+// machinery that outlives individual tests by design.
+func allowlisted(block string) bool {
+	for _, frag := range []string{
+		"created by runtime.",
+		"created by testing.",
+		"testing.tRunner",
+		"runtime.ReadTrace",
+	} {
+		if strings.Contains(block, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package testfix
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGoroutineID(t *testing.T) {
+	for _, tc := range []struct{ block, want string }{
+		{"goroutine 42 [running]:\nmain.main()", "42"},
+		{"goroutine 1 [chan receive]:", "1"},
+		{"garbage", ""},
+		{"goroutine ", ""},
+	} {
+		if got := goroutineID(tc.block); got != tc.want {
+			t.Errorf("goroutineID(%q) = %q, want %q", tc.block, got, tc.want)
+		}
+	}
+}
+
+func TestGoroutineDumpContainsSelf(t *testing.T) {
+	dump := goroutineDump()
+	if len(dump) == 0 {
+		t.Fatal("empty goroutine dump")
+	}
+	var found bool
+	for _, g := range dump {
+		if goroutineID(g) == "" {
+			t.Fatalf("block without parseable ID:\n%s", g)
+		}
+		if strings.Contains(g, "goroutineDump") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dump does not contain the dumping goroutine")
+	}
+}
+
+func TestLeakedGoroutinesDetectsParkedGoroutine(t *testing.T) {
+	base := map[string]bool{}
+	for _, g := range goroutineDump() {
+		base[goroutineID(g)] = true
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-gate
+	}()
+	<-started
+	// The parked goroutine was born after the baseline: it must show up.
+	var leaked []string
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		leaked = leakedGoroutines(base, goroutineDump())
+		if len(leaked) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine not reported as leaked")
+	}
+	close(gate)
+	// Once it exits, the report must go clean again (poll: exit is async).
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		leaked = leakedGoroutines(base, goroutineDump())
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines still reported after exit:\n%s", strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	if !allowlisted("goroutine 7 [runnable]:\n...\ncreated by testing.(*T).Run") {
+		t.Fatal("testing goroutine not allowlisted")
+	}
+	if allowlisted("goroutine 8 [chan receive]:\nraven/internal/sched.(*Scheduler).runWorker()") {
+		t.Fatal("scheduler worker wrongly allowlisted")
+	}
+}
+
+func TestLeakCheckPassesOnCleanTest(t *testing.T) {
+	LeakCheck(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

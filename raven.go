@@ -71,6 +71,7 @@
 package raven
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -80,6 +81,8 @@ import (
 	"raven/internal/ir"
 	"raven/internal/model"
 	"raven/internal/opt"
+	"raven/internal/relational"
+	"raven/internal/sched"
 	"raven/internal/sqlparse"
 	"raven/internal/strategy"
 	"raven/internal/train"
@@ -110,7 +113,16 @@ type (
 	TrainSpec = train.Spec
 	// ModelKind selects the model family of a TrainSpec.
 	ModelKind = train.ModelKind
+	// PanicError is a panic inside query execution converted into a typed
+	// per-query error (check with errors.As); the process and concurrent
+	// queries on the same scheduler pool are unaffected.
+	PanicError = relational.PanicError
 )
+
+// ErrOverloaded is returned (wrapped — check with errors.Is) by
+// QueryContext/ExecuteContext when admission control has a bounded wait
+// configured (Scheduler.SetAdmitWait) and no query slot frees in time.
+var ErrOverloaded = sched.ErrOverloaded
 
 // Model families for TrainSpec.Kind (re-exports).
 const (
@@ -343,30 +355,51 @@ type Result struct {
 	// Adaptive is the mid-query re-optimization trace (nil unless the
 	// session runs WithAdaptive).
 	Adaptive *AdaptiveStats
+	// Sessions is the number of ML runtime sessions the query checked out
+	// of the catalog pool; ColdSessions the subset built from scratch
+	// rather than found warm. Together they make pool hygiene observable:
+	// after failed or canceled queries a healthy pool keeps ColdSessions
+	// at zero on the next run.
+	Sessions int
+	// ColdSessions — see Sessions.
+	ColdSessions int
 }
 
 // Query parses, optimizes and executes a prediction query. Plans are
 // served from the session plan cache (keyed on normalized SQL + catalog
 // version) when enabled, so repeated queries skip parse/plan/optimize.
 func (s *Session) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines
+// propagate to every morsel and pipeline-breaker boundary of the
+// executing plan, so a done context surfaces as the query error (wrapping
+// ctx.Err()) within one batch of work, with all scheduler slots and ML
+// sessions released. Overload (a configured bounded admission wait
+// elapsing) surfaces as an error wrapping ErrOverloaded; a panic during
+// execution as one wrapping a *PanicError.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	if s.plans != nil {
-		return s.execPlanned(NormalizeSQL(sql))
+		return s.execPlanned(ctx, NormalizeSQL(sql))
 	}
 	g, rep, err := s.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(g, s.cat, s.profile)
+	res, err := engine.RunContext(ctx, g, s.cat, s.profile)
 	if err != nil {
 		return nil, fmt.Errorf("raven: executing query: %w", err)
 	}
 	return &Result{
-		Table:    res.Table,
-		Wall:     res.Wall,
-		Reported: res.Reported,
-		Report:   rep,
-		Plan:     g.Explain(),
-		Adaptive: res.Adaptive,
+		Table:        res.Table,
+		Wall:         res.Wall,
+		Reported:     res.Reported,
+		Report:       rep,
+		Plan:         g.Explain(),
+		Adaptive:     res.Adaptive,
+		Sessions:     res.Sessions,
+		ColdSessions: res.ColdSessions,
 	}, nil
 }
 

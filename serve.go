@@ -1,6 +1,7 @@
 package raven
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -209,7 +210,13 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 
 // Execute runs the prepared query.
 func (p *Prepared) Execute() (*Result, error) {
-	return p.s.execPlanned(p.norm)
+	return p.s.execPlanned(context.Background(), p.norm)
+}
+
+// ExecuteContext runs the prepared query under a context; cancellation
+// semantics match Session.QueryContext.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	return p.s.execPlanned(ctx, p.norm)
 }
 
 // Plan returns the optimized plan text.
@@ -222,22 +229,24 @@ func (p *Prepared) Plan() (string, error) {
 }
 
 // execPlanned executes the (cached) plan for normalized SQL.
-func (s *Session) execPlanned(norm string) (*Result, error) {
+func (s *Session) execPlanned(ctx context.Context, norm string) (*Result, error) {
 	e, err := s.preparedPlan(norm)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(e.graph.g, s.cat, s.profile)
+	res, err := engine.RunContext(ctx, e.graph.g, s.cat, s.profile)
 	if err != nil {
 		return nil, fmt.Errorf("raven: executing query: %w", err)
 	}
 	return &Result{
-		Table:    res.Table,
-		Wall:     res.Wall,
-		Reported: res.Reported,
-		Report:   e.report,
-		Plan:     e.plan,
-		Adaptive: res.Adaptive,
+		Table:        res.Table,
+		Wall:         res.Wall,
+		Reported:     res.Reported,
+		Report:       e.report,
+		Plan:         e.plan,
+		Adaptive:     res.Adaptive,
+		Sessions:     res.Sessions,
+		ColdSessions: res.ColdSessions,
 	}, nil
 }
 
