@@ -13,7 +13,7 @@ SHELL := /bin/bash
 # hot-path micro-benches at 20 iterations.
 BENCH_OUT := /tmp/raven-bench.out
 
-.PHONY: test stress bench-baseline benchcmp
+.PHONY: test stress stress-spill bench-baseline benchcmp
 
 test:
 	go build ./... && go test ./...
@@ -28,6 +28,14 @@ stress:
 		-run 'Cancel|Deadline|Overload|Fault|Injected|Poisoned|Storm|Drain|Admit|Panic|Leak|SessionsReturn|StatusFor|Serve' \
 		./...
 
+# stress-spill forces every pipeline breaker out of core: the spill
+# differential, fault-injection and leak tests run under the race
+# detector with the tiny in-test budgets, so disk-backed execution gets
+# the same robustness bar as the in-memory paths. CI runs the same
+# command after `make stress`.
+stress-spill:
+	go test -race -count=1 -run 'Spill|MemoryBudget' ./...
+
 # bench-baseline re-runs the CI bench set and rewrites
 # bench/baseline.json — the deliberate way to move the perf-regression
 # gate after an accepted perf change. Commit the refreshed file.
@@ -38,6 +46,9 @@ bench-baseline:
 	go test -run xxx -benchmem \
 		-bench 'Filter|ProjectLiteral' \
 		-benchtime=20x ./internal/relational | tee -a $(BENCH_OUT)
+	go test -run xxx -benchmem \
+		-bench 'ExternalSortSpill' \
+		-benchtime=1x ./internal/relational | tee -a $(BENCH_OUT)
 	go run ./cmd/benchjson < $(BENCH_OUT) > bench/baseline.json
 	@echo "bench/baseline.json refreshed — review and commit it"
 

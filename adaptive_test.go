@@ -2,6 +2,7 @@ package raven
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -244,6 +245,108 @@ ORDER BY AVG(p.score) DESC`
 		}
 		assertResultIdentical(t, base, res)
 	}
+}
+
+// TestMemoryBudgetSpillsMatchInMemory drives the whole engine path: a
+// session-level memory budget of one byte forces the join build, the
+// grouped-aggregation merge and the sort to spill, and the results must
+// stay byte-identical to the unbudgeted in-memory execution — serial and
+// parallel — with the spill volume surfaced on the Result and every temp
+// file gone when Query returns.
+func TestMemoryBudgetSpillsMatchInMemory(t *testing.T) {
+	query := `
+WITH c AS (SELECT * FROM cohort),
+     d AS (SELECT * FROM patients AS pa JOIN c AS co ON pa.id = co.cid)
+SELECT d.asthma, d.grp, AVG(p.score) AS avg_score, COUNT(*) AS n
+FROM PREDICT(MODEL = risk_rf, DATA = d) WITH (score FLOAT) AS p
+GROUP BY d.asthma, d.grp
+ORDER BY avg_score DESC, d.asthma`
+	base, err := adaptiveSession(t).Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SpilledBytes != 0 {
+		t.Fatalf("unbudgeted query reported %d spilled bytes", base.SpilledBytes)
+	}
+	for _, dop := range []int{1, 4} {
+		dir := t.TempDir()
+		s := adaptiveSession(t, WithMemoryBudget(1, dir), WithParallelism(dop))
+		res, err := s.Query(query)
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		if res.SpilledBytes == 0 {
+			t.Fatalf("dop=%d: one-byte budget did not spill", dop)
+		}
+		assertResultIdentical(t, base, res)
+		// The engine's deferred budget cleanup ran before Query returned.
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("dop=%d: %d spill files outlived the query", dop, len(ents))
+		}
+	}
+}
+
+// TestAdaptiveLimitDoesNotMisTrigger is the regression test for the PR 7
+// caveat: under a LIMIT, the parallel per-worker sort runs are truncated
+// to their top-k windows before the merge, so the merged row count is far
+// below the (accurate) plan-time estimate. That observation must be
+// recorded as "sort_merge_truncated" and excluded from re-optimization —
+// a ranking query with correct estimates must not fire any switch.
+func TestAdaptiveLimitDoesNotMisTrigger(t *testing.T) {
+	query := `
+WITH d AS (SELECT * FROM patients)
+SELECT d.id, p.score
+FROM PREDICT(MODEL = risk_rf, DATA = d) WITH (score FLOAT) AS p
+ORDER BY p.score DESC, d.id
+LIMIT 7`
+	base, err := adaptiveSession(t).Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Table.NumRows() != 7 {
+		t.Fatalf("baseline rows = %d, want 7", base.Table.NumRows())
+	}
+	s := adaptiveSession(t, WithAdaptive(), WithParallelism(4))
+	res, err := s.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adaptive == nil {
+		t.Fatal("adaptive session returned no runtime stats")
+	}
+	var truncated bool
+	for _, o := range res.Adaptive.Observations() {
+		switch o.Point {
+		case "sort_merge_truncated":
+			truncated = true
+			if o.Observed >= o.Estimated {
+				t.Errorf("truncated merge observed %v >= estimated %v — fixture not truncating", o.Observed, o.Estimated)
+			}
+		case "sort_merge":
+			t.Errorf("LIMIT merge recorded as %q (estimated %v, observed %v); must be sort_merge_truncated",
+				o.Point, o.Estimated, o.Observed)
+		}
+	}
+	if !truncated {
+		t.Fatalf("no sort_merge_truncated observation; have %+v", res.Adaptive.Observations())
+	}
+	// The estimates are accurate everywhere else, so no cardinality-driven
+	// switch may fire — the truncated count is the only large
+	// "misestimate" and it is inert. (An "exchange_dop" clamp to the
+	// morsels actually available is legitimate and unrelated.)
+	for _, sw := range res.Adaptive.Switches() {
+		if sw.Point != "exchange_dop" {
+			t.Errorf("spurious switch %+v from a limit-truncated observation", sw)
+		}
+	}
+	if adj, trigger := res.Adaptive.Reoptimize(100); trigger || adj != 100 {
+		t.Errorf("Reoptimize(100) = (%v, %v), want (100, false)", adj, trigger)
+	}
+	assertResultIdentical(t, base, res)
 }
 
 // assertResultIdentical compares two results byte-for-byte (AsString

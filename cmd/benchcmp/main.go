@@ -23,6 +23,10 @@
 //     host), so it needs no baseline and survives host changes. Above
 //     1.0 means mid-query re-optimization made the misestimated
 //     workload slower than just executing the static plan.
+//   - a spill_overhead metric above 20.0 fails the same way: the ratio
+//     of the budgeted external sort to the in-memory sort of the same
+//     input, measured inside one run, must stay a bounded constant
+//     factor.
 //   - benchmarks present in the baseline but missing from the new report
 //     warn (renames should refresh the baseline deliberately).
 //
@@ -189,6 +193,15 @@ func compare(base, cur Report, maxRegress float64, allocsRe *regexp.Regexp) (fai
 			failures = append(failures, fmt.Sprintf(
 				"%s regret_vs_static = %.3f: adaptive re-optimization lost to static execution (must stay <= 1.0)",
 				c.Name, regret))
+		}
+		// Same in-run structure for out-of-core sorting: spill_overhead is
+		// the budgeted external sort's time over the in-memory sort of the
+		// same input. Spilling must cost a bounded constant factor; past
+		// 20x the external path has degenerated (per-row I/O, re-reads).
+		if ovh, ok := c.Metrics["spill_overhead"]; ok && ovh > 20.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s spill_overhead = %.3f: external sort cost over in-memory sort (must stay <= 20.0)",
+				c.Name, ovh))
 		}
 	}
 	// Benchmarks only in the new report are ungated until the baseline

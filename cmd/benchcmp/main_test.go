@@ -223,3 +223,28 @@ func TestGateFailsOnAdaptiveRegret(t *testing.T) {
 		t.Fatalf("winning regret failed the gate: %v", failures)
 	}
 }
+
+// TestGateFailsOnSpillOverhead: spill_overhead gates like regret — an
+// absolute in-run ratio, valid without a baseline entry and across
+// hosts, failing past 20x.
+func TestGateFailsOnSpillOverhead(t *testing.T) {
+	spill := func(v float64) Benchmark {
+		return Benchmark{
+			Pkg:        "raven/internal/relational",
+			Name:       "BenchmarkExternalSortSpill-8",
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": 2e8, "spill_overhead": v},
+		}
+	}
+	base := mkReport("xeon")
+	cur := mkReport("epyc", spill(27.5))
+	failures, _ := compare(base, cur, 0.25, allocsRe)
+	if len(failures) != 1 || !strings.Contains(failures[0], "spill_overhead = 27.500") {
+		t.Fatalf("failures = %v", failures)
+	}
+	// A bounded overhead passes.
+	cur = mkReport("epyc", spill(2.4))
+	if failures, _ := compare(base, cur, 0.25, allocsRe); len(failures) != 0 {
+		t.Fatalf("bounded spill overhead failed the gate: %v", failures)
+	}
+}

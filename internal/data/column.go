@@ -284,6 +284,31 @@ func (c *Column) AppendFrom(src *Column) error {
 	return nil
 }
 
+// AppendRow appends row i of src (same type) to c. Like AppendFrom,
+// dictionary-encoded appends stay encoded only when both sides share one
+// dictionary; otherwise the receiver falls back to raw strings.
+func (c *Column) AppendRow(src *Column, i int) error {
+	if c.Type != src.Type {
+		return fmt.Errorf("data: append %s row to %s column %q", src.Type, c.Type, c.Name)
+	}
+	switch c.Type {
+	case Float64:
+		c.F64 = append(c.F64, src.F64[i])
+	case Int64:
+		c.I64 = append(c.I64, src.I64[i])
+	case String:
+		if c.Dict != nil && c.Dict == src.Dict {
+			c.Codes = append(c.Codes, src.Codes[i])
+			return nil
+		}
+		c.decodeInPlace()
+		c.Str = append(c.Str, src.AsString(i))
+	case Bool:
+		c.B = append(c.B, src.B[i])
+	}
+	return nil
+}
+
 // Clone returns a deep copy of the column (dictionaries, being immutable,
 // are shared).
 func (c *Column) Clone() *Column {

@@ -68,6 +68,209 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	return NewTable(name, cols...)
 }
 
+// ReadCSVChunked streams a CSV with a header row into compressed chunked
+// column storage without ever materializing the whole table: records are
+// buffered chunkRows at a time (<= 0 selects DefaultChunkRows) and each
+// full buffer is encoded into one Chunk. Types are inferred from the
+// first data row exactly like ReadCSV. String columns are dictionary
+// encoded with first-occurrence code assignment — the builder appends
+// codes while streaming, blocks pack their codes at the block's own
+// width, and the shared *Dictionary is frozen at EOF and patched into
+// every block's metadata, so all chunks of a column decode over one
+// dictionary. Unlike ReadCSV, an empty field in a numeric or boolean
+// column is a null: the block's validity bitmap marks it absent and it
+// decodes to the type's zero value.
+func ReadCSVChunked(name string, r io.Reader, chunkRows int) (*ChunkedTable, error) {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv header: %w", err)
+	}
+	for j := range header {
+		header[j] = strings.TrimSpace(header[j])
+	}
+	out := &ChunkedTable{Name: name}
+	var (
+		types []Type
+		dicts []*dictBuilder
+		buf   [][]string
+		base  int
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		ch := &Chunk{Rows: len(buf)}
+		for j, h := range header {
+			blk, err := encodeCSVBlock(h, types[j], buf, j, dicts[j], base)
+			if err != nil {
+				return err
+			}
+			ch.Blocks = append(ch.Blocks, blk)
+		}
+		out.chunks = append(out.chunks, ch)
+		out.rows += ch.Rows
+		base += ch.Rows
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row: %w", err)
+		}
+		if types == nil {
+			types = make([]Type, len(header))
+			dicts = make([]*dictBuilder, len(header))
+			for j := range header {
+				types[j] = inferType(rec[j])
+				if types[j] == String {
+					dicts[j] = &dictBuilder{index: make(map[string]int32)}
+				}
+			}
+		}
+		buf = append(buf, rec)
+		if len(buf) >= chunkRows {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if types == nil {
+		// Headers only: the empty table's schema is all-String, like ReadCSV.
+		types = make([]Type, len(header))
+		for j := range types {
+			types[j] = String
+		}
+	}
+	out.schema = make(Schema, len(header))
+	for j, h := range header {
+		out.schema[j] = Field{Name: h, Type: types[j]}
+	}
+	// Freeze the streaming dictionaries and patch the shared pointer into
+	// every dict-coded block of the column.
+	for j, db := range dicts {
+		if db == nil {
+			continue
+		}
+		d := db.freeze()
+		for _, ch := range out.chunks {
+			ch.Blocks[j].Meta.Dict = d
+		}
+	}
+	return out, nil
+}
+
+// dictBuilder assigns dense first-occurrence codes while a column streams
+// in; codes are append-only, so blocks encoded before the dictionary is
+// frozen stay valid.
+type dictBuilder struct {
+	vals  []string
+	index map[string]int32
+}
+
+func (b *dictBuilder) code(v string) int32 {
+	if c, ok := b.index[v]; ok {
+		return c
+	}
+	c := int32(len(b.vals))
+	b.vals = append(b.vals, v)
+	b.index[v] = c
+	return c
+}
+
+func (b *dictBuilder) freeze() *Dictionary {
+	return &Dictionary{vals: b.vals, index: b.index}
+}
+
+// encodeCSVBlock parses and encodes column j of one chunk's buffered
+// records. base is the chunk's first global row number, for error text.
+func encodeCSVBlock(h string, typ Type, recs [][]string, j int, db *dictBuilder, base int) (ColumnBlock, error) {
+	n := len(recs)
+	var valid []bool
+	null := func(i int) {
+		if valid == nil {
+			valid = make([]bool, n)
+			for k := range valid {
+				valid[k] = true
+			}
+		}
+		valid[i] = false
+	}
+	c := &Column{Name: h, Type: typ}
+	switch typ {
+	case Int64:
+		c.I64 = make([]int64, n)
+		for i, rec := range recs {
+			v := rec[j]
+			if v == "" {
+				null(i)
+				continue
+			}
+			x, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return ColumnBlock{}, fmt.Errorf("data: csv %s row %d: %w", h, base+i, err)
+			}
+			c.I64[i] = x
+		}
+	case Float64:
+		c.F64 = make([]float64, n)
+		for i, rec := range recs {
+			v := rec[j]
+			if v == "" {
+				null(i)
+				continue
+			}
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return ColumnBlock{}, fmt.Errorf("data: csv %s row %d: %w", h, base+i, err)
+			}
+			c.F64[i] = x
+		}
+	case Bool:
+		c.B = make([]bool, n)
+		for i, rec := range recs {
+			if rec[j] == "" {
+				null(i)
+				continue
+			}
+			c.B[i] = rec[j] == "true"
+		}
+	default:
+		// Dict codes are packed directly: the dictionary is still growing,
+		// so EncodeColumn (which wants a frozen *Dictionary) does not apply.
+		codes := make([]uint64, n)
+		var maxCode uint64
+		for i, rec := range recs {
+			code := uint64(db.code(rec[j]))
+			codes[i] = code
+			if code > maxCode {
+				maxCode = code
+			}
+		}
+		m := BlockMeta{Name: h, Type: String, Rows: n, Enc: EncDictCodes, Width: bitsFor(maxCode)}
+		return ColumnBlock{Meta: m, Data: packUints(codes, m.Width)}, nil
+	}
+	m, raw, err := EncodeColumn(c)
+	if err != nil {
+		return ColumnBlock{}, err
+	}
+	if valid != nil {
+		m.Valid = PackBits(valid)
+	}
+	return ColumnBlock{Meta: m, Data: raw}, nil
+}
+
 // ReadCSVFile loads a table from a CSV file; the table is named after the
 // file's base name without extension.
 func ReadCSVFile(path string) (*Table, error) {

@@ -194,7 +194,10 @@ func TestPartitionBy(t *testing.T) {
 	if g["bmi"].Rows != 5 {
 		t.Fatalf("global rows = %d", g["bmi"].Rows)
 	}
-	flat := pt.Flatten()
+	flat, err := pt.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
 	if flat.NumRows() != 5 {
 		t.Fatalf("Flatten rows = %d", flat.NumRows())
 	}
@@ -314,7 +317,10 @@ func TestQuickPartitionFlatten(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		flat := pt.Flatten()
+		flat, err := pt.Flatten()
+		if err != nil {
+			return false
+		}
 		if flat.NumRows() != n {
 			return false
 		}
@@ -391,7 +397,10 @@ func TestFilterCountAllFalse(t *testing.T) {
 	if pt.NumRows() != 0 {
 		t.Fatalf("partitioned empty view has %d rows", pt.NumRows())
 	}
-	flat := pt.Flatten()
+	flat, err := pt.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
 	if flat.NumRows() != 0 || flat.NumCols() != 4 {
 		t.Fatalf("flatten shape = %dx%d", flat.NumRows(), flat.NumCols())
 	}

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -236,8 +237,11 @@ func (p *PartitionedTable) GlobalStats() TableStats {
 // Zero partitions (a partitioning of an empty table, e.g. an all-false
 // filter view) flatten to an empty table with the original schema,
 // keeping the same storage-present zero-row shape the all-false
-// FilterCount path produces.
-func (p *PartitionedTable) Flatten() *Table {
+// FilterCount path produces. An append failure (a partition whose schema
+// drifted from the first partition's) is propagated: a silently dropped
+// partition would corrupt every statistic derived from the flattened
+// table with no signal.
+func (p *PartitionedTable) Flatten() (*Table, error) {
 	if len(p.Parts) == 0 {
 		out := &Table{Name: p.Name, byName: make(map[string]int, len(p.schema))}
 		for _, f := range p.schema {
@@ -254,16 +258,18 @@ func (p *PartitionedTable) Flatten() *Table {
 			}
 			_ = out.AddColumn(c)
 		}
-		return out
+		return out, nil
 	}
 	if len(p.Parts) == 1 {
-		return p.Parts[0].Table
+		return p.Parts[0].Table, nil
 	}
 	out := p.Parts[0].Table.Clone()
-	for _, part := range p.Parts[1:] {
-		_ = out.AppendFrom(part.Table)
+	for i, part := range p.Parts[1:] {
+		if err := out.AppendFrom(part.Table); err != nil {
+			return nil, fmt.Errorf("data: flatten %q partition %d: %w", p.Name, i+1, err)
+		}
 	}
-	return out
+	return out, nil
 }
 
 func mergeDistinct(a, b []string) []string {

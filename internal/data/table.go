@@ -169,6 +169,48 @@ func (t *Table) FilterCount(keep []bool, n int) *Table {
 	return out
 }
 
+// NewTableLike returns an empty table with src's schema: typed empty
+// columns that keep src's dictionaries but have their capacity clipped
+// (three-index slices), so rows appended into the new table can never
+// write through to src's arrays. Row-at-a-time assembly (external merge,
+// spill re-fold) starts from this.
+func NewTableLike(src *Table) *Table {
+	out := &Table{Name: src.Name, byName: make(map[string]int, len(src.Cols))}
+	for _, c := range src.Cols {
+		nc := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
+		switch c.Type {
+		case Float64:
+			nc.F64 = clipEmpty(c.F64)
+		case Int64:
+			nc.I64 = clipEmpty(c.I64)
+		case String:
+			if c.Dict != nil {
+				nc.Codes = clipEmpty(c.Codes)
+			} else {
+				nc.Str = clipEmpty(c.Str)
+			}
+		case Bool:
+			nc.B = clipEmpty(c.B)
+		}
+		_ = out.AddColumn(nc)
+	}
+	return out
+}
+
+// AppendRow appends row i of src; schemas must match by name and type.
+func (t *Table) AppendRow(src *Table, i int) error {
+	for _, c := range t.Cols {
+		sc := src.Col(c.Name)
+		if sc == nil {
+			return fmt.Errorf("data: append row: source lacks column %q", c.Name)
+		}
+		if err := c.AppendRow(sc, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // AppendFrom appends all rows of src; schemas must match by name and type.
 func (t *Table) AppendFrom(src *Table) error {
 	for _, c := range t.Cols {

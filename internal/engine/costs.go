@@ -114,6 +114,16 @@ type Profile struct {
 	// AdaptiveGPU tells the adaptive chooser whether a GPU target is
 	// available for a mid-query switch to MLtoDNN-GPU.
 	AdaptiveGPU bool
+	// MemoryBudget, when > 0, caps the bytes each pipeline breaker (join
+	// build, grouped-aggregation merge, sort) may keep resident; state
+	// beyond the cap spills to compressed temp files and is merged back
+	// externally, byte-identical to the in-memory execution at any DOP.
+	// 0 (the default for every baked-in profile) disables spilling.
+	MemoryBudget int64
+	// SpillDir is the directory spill files are created in; empty means
+	// the OS temp dir. Files are removed when the query finishes,
+	// including on error, cancellation and panic paths.
+	SpillDir string
 }
 
 // scheduler resolves the profile's scheduler.

@@ -39,6 +39,9 @@ type Result struct {
 	// observations and strategy switches) when Profile.Adaptive is set;
 	// nil otherwise.
 	Adaptive *opt.RuntimeStats
+	// SpilledBytes is the total bytes the pipeline breakers spilled to
+	// temp files under Profile.MemoryBudget (0 without a budget).
+	SpilledBytes int64
 }
 
 // Run lowers and executes an IR plan under the profile.
@@ -60,11 +63,22 @@ func RunContext(ctx context.Context, g *ir.Graph, cat *Catalog, prof Profile) (*
 		return nil, err
 	}
 	relational.SetContext(ctx, root)
+	var mb *relational.MemBudget
+	if prof.MemoryBudget > 0 {
+		mb = relational.NewMemBudget(prof.MemoryBudget, prof.SpillDir)
+		// Cleanup runs on every exit — error, cancellation and panic
+		// included — so spill temp files cannot outlive the query.
+		defer mb.Cleanup()
+		relational.SetBudget(mb, root)
+	}
 	res, err := ExecuteContext(ctx, root, prof)
 	if err != nil {
 		return nil, err
 	}
 	res.Adaptive = rs
+	if mb != nil {
+		res.SpilledBytes = mb.SpilledBytes()
+	}
 	return res, nil
 }
 

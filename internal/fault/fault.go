@@ -26,6 +26,11 @@ const (
 	// SiteSortMerge fires after a sort breaker drained its input, before
 	// ordering/merging.
 	SiteSortMerge = "sort.merge"
+	// SiteSpillWrite fires before a pipeline breaker writes an encoded
+	// block to its spill file.
+	SiteSpillWrite = "spill.write"
+	// SiteSpillRead fires before a block is read back from a spill file.
+	SiteSpillRead = "spill.read"
 	// SitePredictNext fires per batch crossing the ML prediction boundary.
 	SitePredictNext = "predict.next"
 	// SiteSessionCheckout fires on every ML session pool checkout, before

@@ -114,15 +114,17 @@ func (rs *RuntimeStats) triggerFactor() float64 {
 // shrinks the probe output (and everything above it) by the same f, so
 // the ratio product is exactly the correction the downstream segment
 // needs. Ratios are clamped to avoid division blow-ups on zero
-// estimates.
+// estimates. Only cardinality points participate (see cardinalityPoint)
+// — DOP, spill accounting and limit-truncated merge counts are real
+// observations but not selectivity evidence.
 func (rs *RuntimeStats) Reoptimize(est float64) (adj float64, trigger bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	adj = est
 	threshold := rs.triggerFactor()
 	for _, o := range rs.obs {
-		if o.Point == "exchange_dop" {
-			continue // DOP observations are not cardinality corrections
+		if !cardinalityPoint(o.Point) {
+			continue
 		}
 		r := ratio(o.Observed, o.Estimated)
 		adj *= r
@@ -131,6 +133,25 @@ func (rs *RuntimeStats) Reoptimize(est float64) (adj float64, trigger bool) {
 		}
 	}
 	return adj, trigger
+}
+
+// cardinalityPoint reports whether an observation point carries a TRUE
+// cardinality usable as a selectivity correction. Excluded:
+//
+//   - "exchange_dop": records a DOP choice, not a row count.
+//   - "sort_merge_truncated": a MergeSortRuns count under a LIMIT — the
+//     per-worker runs were already cut to their top-k windows, so the
+//     merged count is a lower bound on the input cardinality; treating
+//     it as a ratio would fabricate a downstream underestimate and could
+//     mis-trigger a strategy switch.
+//   - "*_spill*" points ("join_spill_bytes", "group_spill_partitions",
+//     "sort_spill_runs", ...): byte/partition/run accounting with a zero
+//     estimate, not cardinalities at all.
+func cardinalityPoint(point string) bool {
+	if point == "exchange_dop" || point == "sort_merge_truncated" {
+		return false
+	}
+	return !strings.Contains(point, "_spill")
 }
 
 // ratio computes observed/estimated with both sides floored at one row,

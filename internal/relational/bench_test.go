@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"raven/internal/data"
 )
@@ -104,6 +105,52 @@ func BenchmarkFilterIn(b *testing.B) {
 			}, rows)
 		})
 	}
+}
+
+// BenchmarkExternalSortSpill prices out-of-core sorting: the same sort
+// runs once in memory and once under a budget small enough to cut many
+// on-disk runs, and the ratio of the two times is emitted as
+// spill_overhead. The metric is measured inside one run on one host, so
+// cmd/benchcmp gates it absolutely (no baseline, survives host changes):
+// spilling must cost a bounded constant factor, not an order of
+// magnitude.
+func BenchmarkExternalSortSpill(b *testing.B) {
+	const rows = 200000
+	pt := benchTable(rows, true)
+	mkSort := func() Operator {
+		return &Sort{
+			Child: NewScan(pt, "", nil, 8192),
+			Keys:  []SortKey{{Col: "v", Desc: true}, {Col: "grp"}},
+			Limit: -1,
+		}
+	}
+	dir := b.TempDir()
+	var memT, spillT time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := Drain(mkSort()); err != nil {
+			b.Fatal(err)
+		}
+		memT += time.Since(t0)
+		// 64 KiB against a multi-MB input: dozens of runs, external merge.
+		mb := NewMemBudget(64<<10, dir)
+		root := mkSort()
+		SetBudget(mb, root)
+		t1 := time.Now()
+		if _, err := Drain(root); err != nil {
+			b.Fatal(err)
+		}
+		spillT += time.Since(t1)
+		if mb.Spills() == 0 {
+			b.Fatal("budgeted sort did not spill")
+		}
+		mb.Cleanup()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(spillT)/float64(memT), "spill_overhead")
+	b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 func BenchmarkProjectLiteralArith(b *testing.B) {

@@ -307,11 +307,26 @@ type groupedMerge struct {
 	parts []*aggPartial
 	idx   map[string]int
 	buf   []byte
+
+	// budget, when set, caps the resident group state: once retained
+	// exceeds it, the accumulator migrates to grace-hash partition spill
+	// (group_spill.go) and all later folds route there. seq numbers every
+	// fold; firstSeq remembers each resident group's first one so the
+	// spilled output can be restored to first-occurrence order.
+	budget   *MemBudget
+	seq      float64
+	firstSeq []float64
+	retained int64
+	spill    *groupSpill
 }
 
 func newGroupedMerge(keyNames []string, aggs []AggSpec) *groupedMerge {
 	return &groupedMerge{keyNames: keyNames, aggs: aggs, idx: make(map[string]int)}
 }
+
+// groupStateBytes approximates the resident cost of one group beyond its
+// key bytes: map entry, partial struct, three float slices.
+func groupStateBytes(nAggs int) int64 { return 64 + 8*int64(1+3*nAggs) }
 
 // fold merges one group — key values at row r of keyCols (encoded by
 // encs), partial state p — into the accumulator, taking ownership of p.
@@ -319,6 +334,11 @@ func (m *groupedMerge) fold(keyCols []*data.Column, encs []groupKeyEnc, r int, p
 	m.buf = m.buf[:0]
 	for _, enc := range encs {
 		m.buf = enc(r, m.buf)
+	}
+	seq := m.seq
+	m.seq++
+	if m.spill != nil {
+		return m.spill.add(m.buf, keyCols, r, p, seq)
 	}
 	if gi, ok := m.idx[string(m.buf)]; ok {
 		m.parts[gi].fold(p)
@@ -337,7 +357,70 @@ func (m *groupedMerge) fold(keyCols []*data.Column, encs []groupKeyEnc, r int, p
 	}
 	m.idx[string(m.buf)] = len(m.parts)
 	m.parts = append(m.parts, p)
+	m.firstSeq = append(m.firstSeq, seq)
+	m.retained += int64(len(m.buf)) + groupStateBytes(len(m.aggs))
+	if m.budget.Over(m.retained) {
+		return m.startSpill()
+	}
 	return nil
+}
+
+// startSpill switches the accumulator to grace-hash spill, migrating the
+// resident groups (in first-occurrence order, carrying their original
+// first-occurrence sequence numbers) into the partitions. The migrated
+// row of a group holds its full accumulated prefix state; later partials
+// of the same key fold after it in stream order, so the re-fold
+// reproduces the serial fold exactly.
+func (m *groupedMerge) startSpill() error {
+	sp, err := newGroupSpill(m.budget, m.keyNames, m.aggs)
+	if err != nil {
+		return err
+	}
+	if len(m.parts) > 0 {
+		keyCols := make([]*data.Column, len(m.keys))
+		encs := make([]groupKeyEnc, len(m.keys))
+		for i, kb := range m.keys {
+			keyCols[i] = kb.column()
+			enc, err := keyEncoder(keyCols[i])
+			if err != nil {
+				return err
+			}
+			encs[i] = enc
+		}
+		buf := make([]byte, 0, 64)
+		for gi, p := range m.parts {
+			buf = buf[:0]
+			for _, enc := range encs {
+				buf = enc(gi, buf)
+			}
+			if err := sp.add(buf, keyCols, gi, p, m.firstSeq[gi]); err != nil {
+				return err
+			}
+		}
+	}
+	m.spill = sp
+	m.keys, m.parts, m.firstSeq = nil, nil, nil
+	m.idx = make(map[string]int)
+	m.retained = 0
+	return nil
+}
+
+// result finalizes the accumulator: the in-memory render when nothing
+// spilled, the grace-hash re-fold otherwise.
+func (m *groupedMerge) result() (*data.Table, error) {
+	if m.spill != nil {
+		return m.spill.finalize()
+	}
+	return m.finalize()
+}
+
+// spilledBytes reports the bytes this accumulator spilled (0 without a
+// budget trigger).
+func (m *groupedMerge) spilledBytes() int64 {
+	if m.spill == nil {
+		return 0
+	}
+	return m.spill.spilledBytes()
 }
 
 // foldBatch merges a batch-local accumulator group by group, in the
@@ -428,6 +511,9 @@ type GroupAggregate struct {
 	// Ctx, when set (see SetContext), is polled per drained batch so a
 	// canceled query stops accumulating groups at the next batch boundary.
 	Ctx context.Context
+	// Budget, when set (see SetBudget), caps resident group state via
+	// grace-hash partition spill.
+	Budget *MemBudget
 
 	stats      OpStats
 	done       bool
@@ -462,6 +548,7 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 	}
 	a.done = true
 	acc := newGroupedMerge(a.Keys, a.Aggs)
+	acc.budget = a.Budget
 	for {
 		if err := canceled(a.Ctx); err != nil {
 			return nil, err
@@ -484,12 +571,21 @@ func (a *GroupAggregate) Next() (*data.Table, error) {
 	if err := fault.Inject(fault.SiteGroupMerge); err != nil {
 		return nil, err
 	}
-	if a.Observe != nil {
-		a.Observe.ObserveCardinality("group_merge", a.EstGroups, float64(len(acc.parts)))
-	}
-	out, err := acc.finalize()
+	out, err := acc.result()
 	if err != nil {
 		return nil, err
+	}
+	groups := 0
+	if out != nil {
+		groups = out.NumRows()
+	}
+	a.stats.SpillBytes += acc.spilledBytes()
+	if a.Observe != nil {
+		a.Observe.ObserveCardinality("group_merge", a.EstGroups, float64(groups))
+		if sb := acc.spilledBytes(); sb > 0 {
+			a.Observe.ObserveCardinality("group_spill_bytes", 0, float64(sb))
+			a.Observe.ObserveCardinality("group_spill_partitions", 0, float64(groupSpillPartitions))
+		}
 	}
 	if out == nil {
 		// Zero groups: emit a typed empty batch so downstream operators
@@ -645,6 +741,9 @@ type MergeGroupAggregate struct {
 	EstGroups float64
 	// Ctx, when set (see SetContext), is polled per drained partial batch.
 	Ctx context.Context
+	// Budget, when set (see SetBudget), caps resident group state via
+	// grace-hash partition spill.
+	Budget *MemBudget
 
 	stats OpStats
 	done  bool
@@ -668,6 +767,7 @@ func (m *MergeGroupAggregate) Next() (*data.Table, error) {
 	}
 	m.done = true
 	acc := newGroupedMerge(m.Keys, m.Aggs)
+	acc.budget = m.Budget
 	for {
 		if err := canceled(m.Ctx); err != nil {
 			return nil, err
@@ -706,12 +806,21 @@ func (m *MergeGroupAggregate) Next() (*data.Table, error) {
 	if err := fault.Inject(fault.SiteGroupMerge); err != nil {
 		return nil, err
 	}
-	if m.Observe != nil {
-		m.Observe.ObserveCardinality("group_merge", m.EstGroups, float64(len(acc.parts)))
-	}
-	out, err := acc.finalize()
+	out, err := acc.result()
 	if err != nil {
 		return nil, err
+	}
+	groups := 0
+	if out != nil {
+		groups = out.NumRows()
+	}
+	m.stats.SpillBytes += acc.spilledBytes()
+	if m.Observe != nil {
+		m.Observe.ObserveCardinality("group_merge", m.EstGroups, float64(groups))
+		if sb := acc.spilledBytes(); sb > 0 {
+			m.Observe.ObserveCardinality("group_spill_bytes", 0, float64(sb))
+			m.Observe.ObserveCardinality("group_spill_partitions", 0, float64(groupSpillPartitions))
+		}
 	}
 	if out == nil {
 		if out, err = emptyGrouped(m); err != nil || out == nil {

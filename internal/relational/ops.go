@@ -18,6 +18,9 @@ type OpStats struct {
 	Batches   int64
 	WallNs    int64
 	BytesRead int64
+	// SpillBytes counts bytes this operator wrote to spill files under
+	// the query's memory budget (0 when it never spilled).
+	SpillBytes int64
 	// Parallel marks operators whose work scales out with the engine's
 	// degree of parallelism in the cost model (scans, filters, projects,
 	// predictions — not single-threaded coordinator work).
@@ -368,6 +371,9 @@ type HashJoin struct {
 	// Ctx, when set (see SetContext), is polled per build batch so a
 	// canceled query stops the build drain promptly.
 	Ctx context.Context
+	// Budget, when set (see SetBudget), spills the build rows once they
+	// exceed the per-query memory budget.
+	Budget *MemBudget
 
 	stats OpStats
 	build *joinBuild
@@ -405,6 +411,15 @@ func (j *HashJoin) Open() error {
 		j.Observe.ObserveCardinality("join_build", j.EstBuildRows, float64(rows.NumRows()))
 	}
 	j.build, err = newJoinBuild(rows, j.RightKey, 1)
+	if err == nil && j.Budget.Enabled() {
+		var spilled int64
+		if spilled, err = j.build.spillRows(j.Budget, rows); spilled > 0 {
+			j.stats.SpillBytes += spilled
+			if j.Observe != nil {
+				j.Observe.ObserveCardinality("join_spill_bytes", 0, float64(spilled))
+			}
+		}
+	}
 	if err != nil {
 		j.Left.Close()
 		j.Right.Close()

@@ -63,6 +63,7 @@ func (s *OpStats) Absorb(o *OpStats) {
 	s.Batches += o.Batches
 	s.WallNs += o.WallNs
 	s.BytesRead += o.BytesRead
+	s.SpillBytes += o.SpillBytes
 }
 
 // CloneWorker returns a filter clone sharing the (immutable) predicate.

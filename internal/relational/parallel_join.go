@@ -38,9 +38,13 @@ import (
 // all-string index. The core is immutable after construction; the probe
 // caches use synchronized lazy initialization, so worker clones share one
 // joinBuild without further coordination.
+// Under a memory budget (spillRows) the build ROWS move to a spill file
+// while the key column and the typed index stay resident, so probe
+// lookups are untouched and only the row gather goes through the store.
 type joinBuild struct {
-	rows *data.Table
-	key  *data.Column
+	store buildRows
+	n     int
+	key   *data.Column
 
 	intIdx    map[int64][]int
 	bitsIdx   map[uint64][]int
@@ -165,7 +169,7 @@ func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
 		return nil, fmt.Errorf("relational: join build side lacks key %q", key)
 	}
 	n := rows.NumRows()
-	bu := &joinBuild{rows: rows, key: kc}
+	bu := &joinBuild{store: memRows{rows}, n: n, key: kc}
 	switch {
 	case kc.Type == data.Int64:
 		bu.intIdx = chunkIndex(n, dop, func(i int) int64 { return kc.I64[i] })
@@ -185,6 +189,30 @@ func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
 	return bu, nil
 }
 
+// spillRows moves the build rows to a spill file when the budget demands
+// it, keeping the key column and the typed index resident — dict keys
+// keep the fixed per-code bucket array, no resizing, no rehashing — so
+// probe lookups are untouched and only the row gather reads from disk.
+// Returns the bytes spilled (0 when the rows fit the budget). The spill
+// file must outlive the operator's Close (worker clones are created
+// after the exchange template closes), so only the budget's query-scoped
+// Cleanup releases it.
+func (bu *joinBuild) spillRows(b *MemBudget, rows *data.Table) (int64, error) {
+	if !b.Over(rows.ByteSize()) {
+		return 0, nil
+	}
+	sf, err := b.newSpillFile("join")
+	if err != nil {
+		return 0, err
+	}
+	sp, err := newSpilledBuildRows(sf, rows)
+	if err != nil {
+		return 0, err
+	}
+	bu.store = sp
+	return sf.bytesWritten(), nil
+}
+
 // stringIndex returns the AsString fallback index, building it on first
 // use (raw-string builds reuse strIdx directly).
 func (bu *joinBuild) stringIndex() map[string][]int {
@@ -192,7 +220,7 @@ func (bu *joinBuild) stringIndex() map[string][]int {
 		return bu.strIdx
 	}
 	bu.strFallbackOnce.Do(func() {
-		n := bu.rows.NumRows()
+		n := bu.n
 		idx := make(map[string][]int, n)
 		for i := 0; i < n; i++ {
 			k := bu.key.AsString(i)
@@ -273,7 +301,10 @@ func probeJoinBatch(b *data.Table, leftKey string, bu *joinBuild) (*data.Table, 
 		return nil, nil
 	}
 	lg := b.Gather(leftIdx)
-	rg := bu.rows.Gather(rightIdx)
+	rg, err := bu.store.Gather(rightIdx)
+	if err != nil {
+		return nil, err
+	}
 	out, err := data.NewTable(b.Name)
 	if err != nil {
 		return nil, err
@@ -311,6 +342,9 @@ type ParallelHashJoin struct {
 	EstBuildRows float64
 	// Ctx, when set (see SetContext), is polled per build batch.
 	Ctx context.Context
+	// Budget, when set (see SetBudget), spills the shared build rows once
+	// they exceed the per-query memory budget.
+	Budget *MemBudget
 
 	rightCols []string
 	stats     OpStats
@@ -381,6 +415,15 @@ func (j *ParallelHashJoin) Open() (err error) {
 		j.Observe.ObserveCardinality("join_build", j.EstBuildRows, float64(rows.NumRows()))
 	}
 	bu, err := newJoinBuild(rows, j.RightKey, j.DOP)
+	if err == nil && j.Budget.Enabled() {
+		var spilled int64
+		if spilled, err = bu.spillRows(j.Budget, rows); spilled > 0 {
+			j.stats.SpillBytes += spilled
+			if j.Observe != nil {
+				j.Observe.ObserveCardinality("join_spill_bytes", 0, float64(spilled))
+			}
+		}
+	}
 	if err != nil {
 		j.Build.Close()
 		return err

@@ -463,6 +463,12 @@ type Sort struct {
 	// Ctx, when set (see SetContext), is polled per drained batch.
 	Ctx context.Context
 
+	// Budget, when set (see SetBudget), caps the resident input: once the
+	// accumulated batches exceed it they are cut into sorted runs spilled
+	// to disk and k-way merged externally, reproducing the in-memory
+	// stable sort byte-for-byte.
+	Budget *MemBudget
+
 	stats   OpStats
 	done    bool
 	scratch sortScratch
@@ -488,6 +494,9 @@ func (s *Sort) Next() (*data.Table, error) {
 		return nil, nil
 	}
 	s.done = true
+	if s.Budget.Enabled() {
+		return s.nextSpill()
+	}
 	buf, err := drainConcat(s.Ctx, s.Child)
 	if err == nil {
 		err = fault.Inject(fault.SiteSortMerge)
@@ -508,6 +517,108 @@ func (s *Sort) Next() (*data.Table, error) {
 	out, err := sortTable(buf, s.Keys, s.Limit, s.Offset, &s.scratch)
 	if err != nil || out == nil {
 		return nil, err
+	}
+	s.stats.Rows += int64(out.NumRows())
+	s.stats.Batches++
+	return out, nil
+}
+
+// nextSpill is the budgeted drain: batches accumulate until the resident
+// bytes exceed the budget, at which point the buffer is stable-sorted
+// into a run (truncated to the top Offset+Limit rows when a limit is set
+// — a row below a run's own window can never enter the global window)
+// and spilled. Runs are cut at batch boundaries in input order and the
+// external merge prefers earlier runs on equal keys, so the merged
+// permutation equals the serial in-memory stable sort exactly.
+func (s *Sort) nextSpill() (*data.Table, error) {
+	fetch := s.Limit
+	if s.Limit >= 0 && s.Offset > 0 {
+		fetch = s.Limit + s.Offset
+	}
+	var es *externalSort
+	var buf *data.Table
+	var retained int64
+	total := 0
+	for {
+		if err := canceled(s.Ctx); err != nil {
+			return nil, err
+		}
+		b, err := s.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if b.NumRows() == 0 {
+			continue
+		}
+		total += b.NumRows()
+		if buf == nil {
+			buf = b.Clone()
+		} else if err := buf.AppendFrom(b); err != nil {
+			return nil, err
+		}
+		retained += b.ByteSize()
+		if !s.Budget.Over(retained) {
+			continue
+		}
+		run, err := sortTable(buf, s.Keys, fetch, 0, &s.scratch)
+		if err != nil {
+			return nil, err
+		}
+		if es == nil {
+			if es, err = newExternalSort(s.Budget); err != nil {
+				return nil, err
+			}
+		}
+		if run != nil {
+			if err := es.addRun(run); err != nil {
+				return nil, err
+			}
+		}
+		buf, retained = nil, 0
+	}
+	if err := fault.Inject(fault.SiteSortMerge); err != nil {
+		return nil, err
+	}
+	if s.Observe != nil {
+		s.Observe.ObserveCardinality("sort_merge", s.EstRows, float64(total))
+	}
+	if es == nil {
+		// The input never exceeded the budget: the plain in-memory sort.
+		if buf == nil {
+			return nil, nil
+		}
+		out, err := sortTable(buf, s.Keys, s.Limit, s.Offset, &s.scratch)
+		if err != nil || out == nil {
+			return nil, err
+		}
+		s.stats.Rows += int64(out.NumRows())
+		s.stats.Batches++
+		return out, nil
+	}
+	if buf != nil {
+		run, err := sortTable(buf, s.Keys, fetch, 0, &s.scratch)
+		if err != nil {
+			return nil, err
+		}
+		if run != nil {
+			es.addRunMem(run)
+		}
+	}
+	s.stats.SpillBytes += es.bytes()
+	if s.Observe != nil {
+		s.Observe.ObserveCardinality("sort_spill_bytes", 0, float64(es.bytes()))
+		s.Observe.ObserveCardinality("sort_spill_runs", 0, float64(len(es.runs)))
+	}
+	out, err := es.merge(s.Keys, s.Limit, s.Offset, &s.scratch)
+	if err != nil {
+		return nil, err
+	}
+	es.release()
+	if out == nil {
+		return nil, nil
 	}
 	s.stats.Rows += int64(out.NumRows())
 	s.stats.Batches++
@@ -693,13 +804,23 @@ type MergeSortRuns struct {
 	Keys   []SortKey
 	Limit  int
 	Offset int
-	// Observe/EstRows mirror Sort: the breaker reports the true merged
-	// row count ("sort_merge").
+	// Observe/EstRows mirror Sort, with one caveat fixed here: when a
+	// Limit is set the per-worker runs arrive already truncated to their
+	// top-(Offset+Limit) windows, so the merged row count is NOT the
+	// operator's true input cardinality. Those observations are reported
+	// under "sort_merge_truncated" (never "sort_merge"), which the
+	// re-optimizer excludes from selectivity evidence.
 	Observe AdaptiveContext
 	EstRows float64
 	// Ctx, when set (see SetContext), is polled per collected run so a
 	// canceled ranking query stops collecting at the next run boundary.
 	Ctx context.Context
+
+	// Budget, when set (see SetBudget), caps the resident runs: once the
+	// collected runs exceed it they move to disk and every later run is
+	// written directly, with the same earlier-run-preferring external
+	// merge as the in-memory heap.
+	Budget *MemBudget
 
 	stats   OpStats
 	done    bool
@@ -729,6 +850,9 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 	// second run arrives.
 	var first, buf *data.Table
 	var runs [][2]int
+	var es *externalSort
+	var retained int64
+	total := 0
 	for {
 		if err := canceled(m.Ctx); err != nil {
 			return nil, err
@@ -744,19 +868,46 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 		if n == 0 {
 			continue
 		}
+		total += n
+		if es != nil {
+			// Already spilling: each arriving run goes straight to disk.
+			if err := es.addRun(b); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if first == nil {
 			first = b
 			runs = append(runs, [2]int{0, n})
+		} else {
+			if buf == nil {
+				buf = first.Clone()
+			}
+			start := buf.NumRows()
+			if err := buf.AppendFrom(b); err != nil {
+				return nil, err
+			}
+			runs = append(runs, [2]int{start, start + n})
+		}
+		retained += b.ByteSize()
+		if !m.Budget.Over(retained) {
 			continue
 		}
-		if buf == nil {
-			buf = first.Clone()
-		}
-		start := buf.NumRows()
-		if err := buf.AppendFrom(b); err != nil {
+		// Over budget: migrate the collected runs to disk, each as its
+		// own run so the merge's earlier-run tie-break is unchanged.
+		if es, err = newExternalSort(m.Budget); err != nil {
 			return nil, err
 		}
-		runs = append(runs, [2]int{start, start + n})
+		src := buf
+		if src == nil {
+			src = first
+		}
+		for _, r := range runs {
+			if err := es.addRun(src.Slice(r[0], r[1])); err != nil {
+				return nil, err
+			}
+		}
+		first, buf, runs, retained = nil, nil, nil, 0
 	}
 	if buf == nil {
 		buf = first
@@ -765,11 +916,32 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 		return nil, err
 	}
 	if m.Observe != nil {
-		rows := 0
-		if buf != nil {
-			rows = buf.NumRows()
+		// With a Limit the runs were truncated upstream, so the merged
+		// count is a lower bound, not the input cardinality — report it
+		// under a point the re-optimizer knows to skip.
+		point := "sort_merge"
+		if m.Limit >= 0 {
+			point = "sort_merge_truncated"
 		}
-		m.Observe.ObserveCardinality("sort_merge", m.EstRows, float64(rows))
+		m.Observe.ObserveCardinality(point, m.EstRows, float64(total))
+	}
+	if es != nil {
+		m.stats.SpillBytes += es.bytes()
+		if m.Observe != nil {
+			m.Observe.ObserveCardinality("sort_spill_bytes", 0, float64(es.bytes()))
+			m.Observe.ObserveCardinality("sort_spill_runs", 0, float64(len(es.runs)))
+		}
+		out, err := es.merge(m.Keys, m.Limit, m.Offset, &m.scratch)
+		if err != nil {
+			return nil, err
+		}
+		es.release()
+		if out == nil {
+			return nil, nil
+		}
+		m.stats.Rows += int64(out.NumRows())
+		m.stats.Batches++
+		return out, nil
 	}
 	if buf == nil || m.Limit == 0 {
 		return nil, nil

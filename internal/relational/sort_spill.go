@@ -1,0 +1,269 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"raven/internal/data"
+)
+
+// External sort: sorted runs written to a spill file as slab sequences
+// and k-way merged with the same comparator semantics and earlier-run
+// tie-break as the in-memory MergeSortRuns heap. Runs are added in input
+// (serial batch / morsel) order and are each internally stable, so the
+// external merge reproduces the serial stable sort's permutation exactly
+// — spilled ordered output is byte-identical to the in-memory result.
+
+// sortRun is one sorted run: spilled as slabs, or resident (the
+// under-budget tail the serial Sort keeps in memory).
+type sortRun struct {
+	slabs []spillTable
+	mem   *data.Table
+}
+
+// externalSort accumulates runs against one spill file and merges them.
+type externalSort struct {
+	sf   *spillFile
+	runs []sortRun
+}
+
+func newExternalSort(b *MemBudget) (*externalSort, error) {
+	sf, err := b.newSpillFile("sort")
+	if err != nil {
+		return nil, err
+	}
+	return &externalSort{sf: sf}, nil
+}
+
+// addRun spills a sorted run to disk.
+func (e *externalSort) addRun(t *data.Table) error {
+	slabs, err := writeTableSlabs(e.sf, t)
+	if err != nil {
+		return err
+	}
+	e.runs = append(e.runs, sortRun{slabs: slabs})
+	return nil
+}
+
+// addRunMem appends a resident run (no IO).
+func (e *externalSort) addRunMem(t *data.Table) {
+	e.runs = append(e.runs, sortRun{mem: t})
+}
+
+func (e *externalSort) bytes() int64 { return e.sf.bytesWritten() }
+func (e *externalSort) release()    { e.sf.release() }
+
+// runCursor walks one run a row at a time, holding one decoded slab.
+type runCursor struct {
+	e    *externalSort
+	run  sortRun
+	slab int
+	cur  *data.Table
+	pos  int
+	keys []*data.Column
+}
+
+func (c *runCursor) loadKeys(keyNames []string) error {
+	if c.keys == nil {
+		c.keys = make([]*data.Column, len(keyNames))
+	}
+	for i, k := range keyNames {
+		col := c.cur.Col(k)
+		if col == nil {
+			return fmt.Errorf("relational: sort run lacks key column %q", k)
+		}
+		c.keys[i] = col
+	}
+	return nil
+}
+
+// nextSlab decodes the run's next non-empty slab; false at end of run.
+func (c *runCursor) nextSlab(keyNames []string) (bool, error) {
+	for c.slab < len(c.run.slabs) {
+		t, err := readTable(c.e.sf, c.run.slabs[c.slab])
+		if err != nil {
+			return false, err
+		}
+		c.slab++
+		if t.NumRows() == 0 {
+			continue
+		}
+		c.cur, c.pos = t, 0
+		return true, c.loadKeys(keyNames)
+	}
+	return false, nil
+}
+
+// start positions the cursor at the run's first row; false for an empty
+// run.
+func (c *runCursor) start(keyNames []string) (bool, error) {
+	if c.run.mem != nil {
+		if c.run.mem.NumRows() == 0 {
+			return false, nil
+		}
+		c.cur, c.pos = c.run.mem, 0
+		return true, c.loadKeys(keyNames)
+	}
+	return c.nextSlab(keyNames)
+}
+
+// advance moves to the next row; false at end of run.
+func (c *runCursor) advance(keyNames []string) (bool, error) {
+	c.pos++
+	if c.pos < c.cur.NumRows() {
+		return true, nil
+	}
+	if c.run.mem != nil {
+		return false, nil
+	}
+	return c.nextSlab(keyNames)
+}
+
+// cmpKeyAt three-way compares one key across two (possibly different)
+// batches with the in-memory keyComparator's exact semantics: Int64 and
+// Bool by value, Float64 under the canonical NaN ordering, dictionary
+// strings sharing one dictionary by rank (== value order), anything else
+// by string value. Spill round-trips preserve dictionary pointers, so
+// the shared-dict rank path is the common case.
+func cmpKeyAt(scratch *sortScratch, ca *data.Column, ia int, cb *data.Column, ib int) int {
+	switch ca.Type {
+	case data.Int64:
+		a, b := ca.I64[ia], cb.I64[ib]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case data.Float64:
+		return cmpFloatKey(ca.F64[ia], cb.F64[ib])
+	case data.Bool:
+		a, b := ca.B[ia], cb.B[ib]
+		switch {
+		case !a && b:
+			return -1
+		case a && !b:
+			return 1
+		}
+		return 0
+	default:
+		if ca.Dict != nil && ca.Dict == cb.Dict {
+			ranks := scratch.dictRanks(ca.Dict)
+			return int(ranks[ca.Codes[ia]]) - int(ranks[cb.Codes[ib]])
+		}
+		return strings.Compare(ca.AsString(ia), cb.AsString(ib))
+	}
+}
+
+// merge k-way merges the runs, skipping the first offset merged rows and
+// emitting at most limit rows (negative limit = all). Equal keys prefer
+// the earlier run — runs were added in serial input order, so with
+// in-run stability the merged order equals the serial stable sort.
+func (e *externalSort) merge(keys []SortKey, limit, offset int, scratch *sortScratch) (*data.Table, error) {
+	if limit == 0 {
+		return nil, nil
+	}
+	keyNames := make([]string, len(keys))
+	for i, k := range keys {
+		keyNames[i] = k.Col
+	}
+	var cursors []*runCursor
+	for i := range e.runs {
+		c := &runCursor{e: e, run: e.runs[i]}
+		ok, err := c.start(keyNames)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cursors = append(cursors, c)
+		}
+	}
+	if len(cursors) == 0 {
+		return nil, nil
+	}
+	// Validate key types once (every run shares the plan's schema).
+	for _, kc := range cursors[0].keys {
+		if _, err := scratch.keyComparator(kc); err != nil {
+			return nil, err
+		}
+	}
+	cmp := func(a, b *runCursor) int {
+		for ki, k := range keys {
+			c := cmpKeyAt(scratch, a.keys[ki], a.pos, b.keys[ki], b.pos)
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	// Min-heap of cursor indices; index order equals run arrival order, so
+	// the index tie-break is the earlier-run preference.
+	less := func(a, b int) bool {
+		if c := cmp(cursors[a], cursors[b]); c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+	heap := make([]int, 0, len(cursors))
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for i := range cursors {
+		heap = append(heap, i)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !less(heap[c], heap[p]) {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	out := data.NewTableLike(cursors[0].cur)
+	skipped, emitted := 0, 0
+	for len(heap) > 0 {
+		cur := cursors[heap[0]]
+		if skipped < offset {
+			skipped++
+		} else {
+			if err := out.AppendRow(cur.cur, cur.pos); err != nil {
+				return nil, err
+			}
+			emitted++
+			if limit >= 0 && emitted >= limit {
+				break
+			}
+		}
+		ok, err := cur.advance(keyNames)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	if out.NumRows() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

@@ -1,0 +1,392 @@
+package relational
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"raven/internal/data"
+	"raven/internal/fault"
+)
+
+// Out-of-core execution: a per-query memory budget under which every
+// pipeline breaker bounds its resident working set by spilling encoded
+// column blocks (internal/data's block format) to temp files.
+//
+// The three breakers spill differently because each has a different
+// invariant to preserve (all three keep the byte-identity contract —
+// spilled results, including row order, equal the in-memory serial
+// baseline at any DOP):
+//
+//   - Hash join build: the build ROWS spill; the key column and the typed
+//     index stay resident (dict keys keep the fixed per-code bucket
+//     array — no resizing, no rehashing). Probes still emit (probe row
+//     order × ascending build row order); only the row gather goes
+//     through the spill file. A grace-hash join would repartition both
+//     sides and reorder output, which the determinism contract forbids.
+//   - Grouped aggregation: grace-hash partition spill. Groups are
+//     hash-partitioned by canonical key bytes; each spilled row carries
+//     the group's partial state plus a global fold sequence number.
+//     Partitions are re-folded one at a time (rows in fold order, so
+//     per-key fold order — and therefore every float — equals serial),
+//     and the final output is ordered by each group's first-occurrence
+//     sequence number: exactly the serial first-occurrence order.
+//   - Sort: the per-morsel runs (already independent since the
+//     PartialSort rewrite) are written to disk and k-way merged
+//     externally with the same earlier-run tie-break the in-memory merge
+//     uses, so the merged permutation stays the serial stable sort.
+//
+// Lifecycle: the engine creates one MemBudget per query, stamps it onto
+// the breakers (SetBudget) and defers Cleanup, so every error, cancel
+// and panic path removes all spill files — including the join build's,
+// which must outlive operator Close (worker clones are created after the
+// template closes). fault.Inject sites spill.write/spill.read cover the
+// new IO boundaries.
+
+// MemBudget is a per-query spilling budget: Limit bounds the bytes any
+// single pipeline breaker keeps resident (<= 0 disables spilling). It
+// tracks every spill file created under it so one Cleanup call releases
+// whatever execution left behind.
+type MemBudget struct {
+	// Limit is the per-breaker resident byte bound; <= 0 disables spill.
+	Limit int64
+	dir   string
+
+	mu      sync.Mutex
+	files   map[*spillFile]bool
+	spilled int64
+	spills  int
+}
+
+// NewMemBudget returns a budget writing spill files under dir (empty
+// selects the OS temp directory).
+func NewMemBudget(limit int64, dir string) *MemBudget {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &MemBudget{Limit: limit, dir: dir, files: make(map[*spillFile]bool)}
+}
+
+// Enabled reports whether the budget triggers spilling at all.
+func (b *MemBudget) Enabled() bool { return b != nil && b.Limit > 0 }
+
+// Over reports whether a breaker holding retained resident bytes must
+// spill.
+func (b *MemBudget) Over(retained int64) bool { return b.Enabled() && retained > b.Limit }
+
+// newSpillFile creates and registers a temp spill file.
+func (b *MemBudget) newSpillFile(label string) (*spillFile, error) {
+	f, err := os.CreateTemp(b.dir, "raven-spill-"+label+"-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	sf := &spillFile{b: b, f: f}
+	b.mu.Lock()
+	b.files[sf] = true
+	b.spills++
+	b.mu.Unlock()
+	return sf, nil
+}
+
+func (b *MemBudget) addSpilled(n int64) {
+	b.mu.Lock()
+	b.spilled += n
+	b.mu.Unlock()
+}
+
+// SpilledBytes returns the total bytes written to spill files under this
+// budget.
+func (b *MemBudget) SpilledBytes() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spilled
+}
+
+// Spills returns the number of spill files created under this budget.
+func (b *MemBudget) Spills() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spills
+}
+
+// Cleanup closes and removes every spill file still registered. The
+// engine defers it for the whole query, so error, cancel and panic paths
+// cannot leak temp files; files already released (eager cleanup after a
+// successful merge) are gone from the registry and not touched again.
+func (b *MemBudget) Cleanup() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	files := make([]*spillFile, 0, len(b.files))
+	for sf := range b.files {
+		files = append(files, sf)
+	}
+	b.files = make(map[*spillFile]bool)
+	b.mu.Unlock()
+	for _, sf := range files {
+		sf.close()
+	}
+}
+
+// spillFile is one temp file of encoded column blocks, append-written and
+// randomly read. Writes reserve their offset under the lock and WriteAt
+// concurrently; reads go through ReadAt, so concurrent probe gathers need
+// no read lock of their own.
+type spillFile struct {
+	b *MemBudget
+
+	mu  sync.Mutex
+	f   *os.File
+	off int64
+}
+
+// blockRef locates one encoded column block in a spill file. The metadata
+// stays in memory — only payload bytes hit disk — so dictionary blocks
+// keep their live *Dictionary pointer across the round trip.
+type blockRef struct {
+	meta data.BlockMeta
+	off  int64
+	n    int
+}
+
+// writeBlock encodes a column and appends its payload to the file.
+func (sf *spillFile) writeBlock(c *data.Column) (blockRef, error) {
+	if err := fault.Inject(fault.SiteSpillWrite); err != nil {
+		return blockRef{}, err
+	}
+	m, raw, err := data.EncodeColumn(c)
+	if err != nil {
+		return blockRef{}, err
+	}
+	sf.mu.Lock()
+	f := sf.f
+	off := sf.off
+	sf.off += int64(len(raw))
+	sf.mu.Unlock()
+	if f == nil {
+		return blockRef{}, fmt.Errorf("relational: write to released spill file")
+	}
+	if len(raw) > 0 {
+		if _, err := f.WriteAt(raw, off); err != nil {
+			return blockRef{}, fmt.Errorf("relational: spill write: %w", err)
+		}
+	}
+	sf.b.addSpilled(int64(len(raw)))
+	return blockRef{meta: m, off: off, n: len(raw)}, nil
+}
+
+// readBlock reads a block's payload back and decodes it.
+func (sf *spillFile) readBlock(ref blockRef) (*data.Column, error) {
+	if err := fault.Inject(fault.SiteSpillRead); err != nil {
+		return nil, err
+	}
+	sf.mu.Lock()
+	f := sf.f
+	sf.mu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("relational: read from released spill file")
+	}
+	raw := make([]byte, ref.n)
+	if ref.n > 0 {
+		if _, err := f.ReadAt(raw, ref.off); err != nil {
+			return nil, fmt.Errorf("relational: spill read: %w", err)
+		}
+	}
+	return data.DecodeColumn(ref.meta, raw)
+}
+
+// bytesWritten returns the bytes appended to this file so far.
+func (sf *spillFile) bytesWritten() int64 {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.off
+}
+
+// release closes and removes the file eagerly (successful finalize) and
+// unregisters it from the budget.
+func (sf *spillFile) release() {
+	sf.b.mu.Lock()
+	delete(sf.b.files, sf)
+	sf.b.mu.Unlock()
+	sf.close()
+}
+
+func (sf *spillFile) close() {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.f == nil {
+		return
+	}
+	name := sf.f.Name()
+	sf.f.Close()
+	os.Remove(name)
+	sf.f = nil
+}
+
+// spillTable references one table slab written to a spill file: one block
+// per column, all with the same row count.
+type spillTable struct {
+	name   string
+	rows   int
+	blocks []blockRef
+}
+
+// writeTable writes all columns of t as one slab.
+func writeTable(sf *spillFile, t *data.Table) (spillTable, error) {
+	st := spillTable{name: t.Name, rows: t.NumRows(), blocks: make([]blockRef, 0, t.NumCols())}
+	for _, c := range t.Cols {
+		ref, err := sf.writeBlock(c)
+		if err != nil {
+			return spillTable{}, err
+		}
+		st.blocks = append(st.blocks, ref)
+	}
+	return st, nil
+}
+
+// readTable decodes one slab back into a table identical to the one
+// written (dictionary columns decode over the same shared *Dictionary).
+func readTable(sf *spillFile, st spillTable) (*data.Table, error) {
+	t, err := data.NewTable(st.name)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range st.blocks {
+		c, err := sf.readBlock(ref)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// spillSlabRows is the row count of one spill slab: the unit of decode on
+// the read path, sized like a morsel so a reader holds one slab's worth
+// of decoded columns at a time.
+const spillSlabRows = 4096
+
+// writeTableSlabs writes t as a sequence of slabs of at most
+// spillSlabRows rows each.
+func writeTableSlabs(sf *spillFile, t *data.Table) ([]spillTable, error) {
+	n := t.NumRows()
+	slabs := make([]spillTable, 0, (n+spillSlabRows-1)/spillSlabRows)
+	for lo := 0; lo < n; lo += spillSlabRows {
+		hi := min(lo+spillSlabRows, n)
+		st, err := writeTable(sf, t.Slice(lo, hi))
+		if err != nil {
+			return nil, err
+		}
+		slabs = append(slabs, st)
+	}
+	return slabs, nil
+}
+
+// SetBudget stamps the per-query memory budget onto every spill-capable
+// breaker in the tree, mirroring SetContext's walk. Safe on any tree;
+// called by the engine after lowering, before Open.
+func SetBudget(b *MemBudget, root Operator) {
+	if root == nil {
+		return
+	}
+	switch op := root.(type) {
+	case *HashJoin:
+		op.Budget = b
+	case *ParallelHashJoin:
+		op.Budget = b
+	case *GroupAggregate:
+		op.Budget = b
+	case *MergeGroupAggregate:
+		op.Budget = b
+	case *Sort:
+		op.Budget = b
+	case *MergeSortRuns:
+		op.Budget = b
+	}
+	for _, c := range root.Children() {
+		SetBudget(b, c)
+	}
+}
+
+// buildRows abstracts where a join's build rows live: resident (memRows)
+// or spilled (spilledBuildRows). Gather returns the rows at the given
+// indices, in index order — the only access the probe path needs.
+type buildRows interface {
+	Gather(idx []int) (*data.Table, error)
+}
+
+// memRows is the resident build-row store — the pre-spill behavior.
+type memRows struct{ t *data.Table }
+
+func (m memRows) Gather(idx []int) (*data.Table, error) { return m.t.Gather(idx), nil }
+
+// spilledBuildRows stores the build rows as spill slabs, keeping only a
+// zero-row prototype (for schema and dictionaries) and one decoded slab
+// cached. Worker probes run concurrently, so Gather serializes on the
+// cache lock; each call decodes a needed slab at most once while its
+// indices stay within it.
+type spilledBuildRows struct {
+	sf     *spillFile
+	proto  *data.Table
+	slabs  []spillTable
+	starts []int // first global row index of each slab
+
+	mu       sync.Mutex
+	cacheIdx int
+	cache    *data.Table
+}
+
+func newSpilledBuildRows(sf *spillFile, rows *data.Table) (*spilledBuildRows, error) {
+	slabs, err := writeTableSlabs(sf, rows)
+	if err != nil {
+		return nil, err
+	}
+	starts := make([]int, len(slabs))
+	at := 0
+	for i, st := range slabs {
+		starts[i] = at
+		at += st.rows
+	}
+	return &spilledBuildRows{
+		sf: sf, proto: data.NewTableLike(rows),
+		slabs: slabs, starts: starts, cacheIdx: -1,
+	}, nil
+}
+
+// Gather assembles the rows at idx (in order) by decoding each touched
+// slab and appending row by row. Decoded dictionary columns share the
+// build's original dictionaries (block metadata keeps the live pointer),
+// so appends stay on the shared-dict code fast path and the output is
+// representation-identical to a resident gather.
+func (s *spilledBuildRows) Gather(idx []int) (*data.Table, error) {
+	out := data.NewTableLike(s.proto)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range idx {
+		si := sort.SearchInts(s.starts, j+1) - 1
+		if si < 0 || si >= len(s.slabs) || j-s.starts[si] >= s.slabs[si].rows {
+			return nil, fmt.Errorf("relational: spilled build row %d out of range", j)
+		}
+		if s.cacheIdx != si {
+			t, err := readTable(s.sf, s.slabs[si])
+			if err != nil {
+				return nil, err
+			}
+			s.cache, s.cacheIdx = t, si
+		}
+		if err := out.AppendRow(s.cache, j-s.starts[si]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

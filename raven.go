@@ -192,6 +192,10 @@ type Session struct {
 	// adaptive is the WithAdaptive request, applied after all options so
 	// it sees the final strategy and GPU declaration.
 	adaptive bool
+	// memBudget/spillDir are the WithMemoryBudget request, applied after
+	// all options so they compose with WithProfile in any order.
+	memBudget int64
+	spillDir  string
 }
 
 // irGraph aliases the internal IR graph for the plan cache.
@@ -252,6 +256,22 @@ func WithAdaptive() Option {
 	return func(s *Session) { s.adaptive = true }
 }
 
+// WithMemoryBudget enables out-of-core execution: each pipeline breaker
+// (join build, grouped-aggregation merge, sort) keeps at most bytes of
+// state resident and spills the rest to compressed temp files, merged
+// back externally. Results — including row order — stay byte-identical
+// to the in-memory execution at any parallelism; Result.SpilledBytes
+// reports the spill volume. dir is the spill directory (empty = the OS
+// temp dir); files are removed when the query finishes, on error,
+// cancellation and panic paths included. bytes <= 0 disables spilling
+// (the default).
+func WithMemoryBudget(bytes int64, dir string) Option {
+	return func(s *Session) {
+		s.memBudget = bytes
+		s.spillDir = dir
+	}
+}
+
 // WithPlanCacheSize bounds the session's plan cache (default 256 plans).
 // n < 0 disables plan caching entirely — every Query replans, the
 // cold-planning baseline the serving benchmark compares against.
@@ -288,6 +308,10 @@ func NewSession(options ...Option) *Session {
 		if c, ok := s.opts.Strategy.(opt.CardinalityAwareStrategy); ok {
 			s.profile.AdaptiveChooser = c
 		}
+	}
+	if s.memBudget > 0 {
+		s.profile.MemoryBudget = s.memBudget
+		s.profile.SpillDir = s.spillDir
 	}
 	switch {
 	case s.planCacheSize < 0:
@@ -363,6 +387,9 @@ type Result struct {
 	Sessions int
 	// ColdSessions — see Sessions.
 	ColdSessions int
+	// SpilledBytes is the total bytes the pipeline breakers spilled to
+	// temp files under the session memory budget (0 without a budget).
+	SpilledBytes int64
 }
 
 // Query parses, optimizes and executes a prediction query. Plans are
@@ -400,6 +427,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string) (*Result, error)
 		Adaptive:     res.Adaptive,
 		Sessions:     res.Sessions,
 		ColdSessions: res.ColdSessions,
+		SpilledBytes: res.SpilledBytes,
 	}, nil
 }
 

@@ -247,6 +247,7 @@ func (s *Session) execPlanned(ctx context.Context, norm string) (*Result, error)
 		Adaptive:     res.Adaptive,
 		Sessions:     res.Sessions,
 		ColdSessions: res.ColdSessions,
+		SpilledBytes: res.SpilledBytes,
 	}, nil
 }
 
