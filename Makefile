@@ -13,10 +13,18 @@ SHELL := /bin/bash
 # hot-path micro-benches at 20 iterations.
 BENCH_OUT := /tmp/raven-bench.out
 
-.PHONY: test stress stress-spill bench-baseline benchcmp
+.PHONY: test stress stress-spill docs-check bench-baseline benchcmp
 
 test:
 	go build ./... && go test ./...
+
+# docs-check enforces the documentation gates without a staticcheck
+# install: every package carries exactly one package comment (CI also
+# runs staticcheck with ST1000 enabled, see staticcheck.conf), and every
+# ```go snippet in README.md compiles inside the module. CI runs the
+# same command in the lint job.
+docs-check:
+	go run ./cmd/docscheck
 
 # stress runs the robustness suite — cancellation storms, injected
 # panics/errors at every execution boundary, overload rejection, drain

@@ -63,6 +63,9 @@ func main() {
 		queryTimeout    = flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline in serve mode (0 = none)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain window on SIGINT/SIGTERM in serve mode")
 		admitWait       = flag.Duration("admit-wait", time.Second, "max wait for a scheduler admission slot before 503 (0 = wait forever)")
+
+		memBudget = flag.Int64("mem-budget", 0, "engine-global memory budget in bytes shared by all queries; breaker state beyond it spills to disk (0 = unbounded)")
+		spillDir  = flag.String("spill-dir", "", "directory for spill files (default: OS temp dir)")
 	)
 	flag.Parse()
 	if *modelPath == "" || len(csvs) == 0 || (*query == "" && *serveAddr == "") {
@@ -77,6 +80,9 @@ func main() {
 	}
 	if *parallelism != 1 {
 		options = append(options, raven.WithParallelism(*parallelism))
+	}
+	if *memBudget > 0 {
+		options = append(options, raven.WithGlobalMemoryBudget(*memBudget, *spillDir))
 	}
 	s := raven.NewSession(options...)
 	for _, path := range csvs {

@@ -2,6 +2,7 @@
 // and a JSON error envelope whose status codes distinguish client errors
 // (400/422), deadline expiry (408), client disconnects (499), engine
 // faults (500), and overload (503 + Retry-After).
+
 package main
 
 import (
@@ -128,15 +129,21 @@ func newServeMux(s *raven.Session, cfg serveConfig) *http.ServeMux {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := s.PlanCacheStats()
 		sch := s.Scheduler()
+		mem := s.MemoryStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"plan_cache_hits":   hits,
-			"plan_cache_misses": misses,
-			"sched_workers":     sch.Workers(),
-			"sched_admitted":    sch.Admitted(),
-			"sched_recovered":   sch.Recovered(),
-			"tables":            s.Tables(),
-			"models":            s.Models(),
+			"plan_cache_hits":    hits,
+			"plan_cache_misses":  misses,
+			"sched_workers":      sch.Workers(),
+			"sched_admitted":     sch.Admitted(),
+			"sched_recovered":    sch.Recovered(),
+			"mem_budget_bytes":   mem.BudgetBytes,
+			"mem_reserved_bytes": mem.ReservedBytes,
+			"mem_spilled_bytes":  mem.SpilledBytes,
+			"mem_spills":         mem.Spills,
+			"mem_active_queries": mem.ActiveQueries,
+			"tables":             s.Tables(),
+			"models":             s.Models(),
 		})
 	})
 	return mux

@@ -3,6 +3,17 @@
 // dimension tables, feeding a gradient-boosting model with hundreds of
 // one-hot features. The demo compares the optimized and unoptimized
 // executions and shows the columns the scans stopped reading.
+//
+// Run it (no input files needed; ~20k searches are generated in-process,
+// takes a few seconds to train the model):
+//
+//	go run ./examples/expedia_ranking
+//
+// Expected output: the ranking query text; a no-opt vs raven comparison
+// (identical row counts, reported times under the Spark-like profile,
+// and the rules that fired); the per-scan column lists after projection
+// pushdown; and a top-10 ranking of site groups by average predicted
+// score via GROUP BY / HAVING / ORDER BY / LIMIT.
 package main
 
 import (

@@ -8,6 +8,20 @@
 //   - model-projection pushdown: the freed features make bpm unused, so
 //     the pulmonary_test join disappears entirely;
 //   - join elimination: blood_test contributes nothing and is dropped.
+//
+// Run it (no input files needed):
+//
+//	go run ./examples/hospital_risk
+//
+// Expected output: the unoptimized plan (three scans, two joins, a
+// six-feature Predict[ML]) followed by the optimized plan, which reads
+// one table and evaluates a single-feature CASE expression —
+//
+//	Predict[SQL] model=covid_risk ops=3 features=1
+//	  sql p.score := CASE WHEN (CASE WHEN (d.hypertension = 'yes') ...
+//	  Scan patient_info AS pi [id,asthma,hypertension] prune=1
+//
+// — and both executions returning identical rows.
 package main
 
 import (

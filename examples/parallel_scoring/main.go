@@ -3,6 +3,20 @@
 // are identical, and report both wall times. On a multi-core host the
 // parallel session approaches a NumCPU-fold speedup; on one core it
 // degrades gracefully to serial speed.
+//
+// Run it (no input files needed; 200k rows are generated in-process):
+//
+//	go run ./examples/parallel_scoring
+//
+// Expected output (wall times and speedups depend on the host):
+//
+//	serial:           8104 rows  wall=32.0ms
+//	parallel dop=2:   8104 rows  wall=17.8ms  speedup=1.80x  (results identical)
+//	parallel dop=4:   8104 rows  wall=10.1ms  speedup=3.17x  (results identical)
+//	parallel dop=1:   8104 rows  wall=32.9ms  speedup=0.97x  (results identical)
+//
+// The row count and "results identical" must not vary: parallel
+// execution is byte-identical to serial at any DOP.
 package main
 
 import (

@@ -1,5 +1,18 @@
 // Quickstart: train a pipeline on a small table, register it with a Raven
 // session, and run an optimized prediction query.
+//
+// Run it (no input files needed — data and model are built in-process):
+//
+//	go run ./examples/quickstart
+//
+// Expected output (timing varies):
+//
+//	high-churn-risk basic customers: 26 rows (of 2000)
+//	wall time: 202.906µs
+//	optimizations fired: [predicate-based-model-pruning model-projection-pushdown zone-predicate-pushdown MLtoSQL]
+//
+// followed by the optimized plan tree, in which the decision tree has
+// been pruned by the plan='basic' predicate and translated to SQL.
 package main
 
 import (

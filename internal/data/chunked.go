@@ -1,6 +1,10 @@
 package data
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Chunked compressed column storage: a ChunkedTable holds its rows as a
 // sequence of independently encoded chunks (encode.go), so consumers
@@ -72,6 +76,9 @@ type ChunkedTable struct {
 	schema Schema
 	chunks []*Chunk
 	rows   int
+
+	offsetsOnce sync.Once
+	starts      []int
 }
 
 // NumRows returns the total row count across chunks.
@@ -118,6 +125,87 @@ func (ct *ChunkedTable) Decode() (*Table, error) {
 	}
 	if out == nil {
 		return NewTable(ct.Name)
+	}
+	return out, nil
+}
+
+// rowOffsets returns the cumulative row offsets of the chunks: starts[i]
+// is the first row of chunk i and starts[len(chunks)] == NumRows. Computed
+// once; safe for concurrent readers because chunked tables are immutable
+// after Finish.
+func (ct *ChunkedTable) rowOffsets() []int {
+	ct.offsetsOnce.Do(func() {
+		ct.starts = make([]int, len(ct.chunks)+1)
+		for i, ch := range ct.chunks {
+			ct.starts[i+1] = ct.starts[i] + ch.Rows
+		}
+	})
+	return ct.starts
+}
+
+// ChunkCache memoizes the most recently decoded chunk for one sequential
+// consumer of DecodeRange, so a scan walking forward decodes each chunk
+// once. It is not safe for concurrent use: parallel consumers each pass
+// nil or hold their own cache, and a cache must always be used with the
+// same column set.
+type ChunkCache struct {
+	idx int
+	t   *Table
+}
+
+// NewChunkCache returns an empty cache.
+func NewChunkCache() *ChunkCache { return &ChunkCache{idx: -1} }
+
+func (ct *ChunkedTable) decodeChunk(i int, cols []string, cache *ChunkCache) (*Table, error) {
+	if cache != nil && cache.idx == i && cache.t != nil {
+		return cache.t, nil
+	}
+	dec, err := ct.chunks[i].Decode(ct.Name, cols)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.idx, cache.t = i, dec
+	}
+	return dec, nil
+}
+
+// DecodeRange materializes rows [lo, hi) of the named columns (nil = all).
+// A range inside a single chunk returns a zero-copy slice of the decoded
+// chunk — the common case when batch size and chunk size are of the same
+// order; a range spanning chunks copies the overlap of each. Decoded
+// string columns keep the chunked table's shared *Dictionary pointers, so
+// every dict fast path downstream survives out-of-core storage.
+func (ct *ChunkedTable) DecodeRange(lo, hi int, cols []string, cache *ChunkCache) (*Table, error) {
+	if lo < 0 || hi > ct.rows || lo > hi {
+		return nil, fmt.Errorf("data: decode range [%d,%d) of %q with %d rows", lo, hi, ct.Name, ct.rows)
+	}
+	if lo == hi {
+		return emptyWithSchema(ct.Name, ct.schema), nil
+	}
+	starts := ct.rowOffsets()
+	// First chunk whose range contains row lo.
+	ci := sort.SearchInts(starts, lo+1) - 1
+	var out *Table
+	for pos := lo; pos < hi; ci++ {
+		dec, err := ct.decodeChunk(ci, cols, cache)
+		if err != nil {
+			return nil, err
+		}
+		clo, chi := starts[ci], starts[ci+1]
+		part := dec.Slice(pos-clo, min(hi, chi)-clo)
+		if out == nil {
+			if hi <= chi {
+				return part, nil
+			}
+			// Clone before appending: part is a view of the decoded chunk
+			// (possibly cached), and appending through a view could write
+			// into the chunk's backing arrays.
+			out = part.Clone()
+		} else if err := out.AppendFrom(part); err != nil {
+			return nil, err
+		}
+		pos = chi
 	}
 	return out, nil
 }

@@ -1,16 +1,3 @@
-// Package data implements the columnar storage substrate: in-memory
-// columnar tables with schemas, per-column min/max statistics (zone maps),
-// hash partitioning, CSV I/O and replication utilities used to scale
-// datasets. It stands in for the Parquet/columnstore layer of the paper.
-//
-// String columns have two physical representations: raw ([]string) and
-// dictionary-encoded (a shared *Dictionary of distinct values plus an
-// []int32 code vector, see dict.go). Encoding happens once at CSV load /
-// datagen time; Slice, Gather, Filter, Clone and partitioning preserve
-// the dictionary, and every accessor works identically on both
-// representations, so operators only opt into the integer-shaped fast
-// paths (code-indexed joins, predicates, ML encoders) when a dictionary
-// is present and fall back to raw strings otherwise.
 package data
 
 import (

@@ -133,13 +133,35 @@ func ComputeTableStats(t *Table) TableStats {
 }
 
 // Partition is one horizontal slice of a partitioned table along with its
-// own zone-map statistics.
+// own zone-map statistics. Exactly one of Table and Chunked is set: Table
+// for in-memory partitions, Chunked for partitions served straight from
+// encoded chunk storage and decoded on demand.
 type Partition struct {
 	// Key is the partition's value of the partitioning column ("" for
 	// unpartitioned data).
 	Key   string
 	Table *Table
-	Stats TableStats
+	// Chunked, when non-nil, backs the partition with a ChunkedTable
+	// instead of a decoded Table; scans decode row ranges on demand.
+	Chunked *ChunkedTable
+	Stats   TableStats
+}
+
+// NumRows returns the partition's row count for either backing store.
+func (p *Partition) NumRows() int {
+	if p.Chunked != nil {
+		return p.Chunked.NumRows()
+	}
+	return p.Table.NumRows()
+}
+
+// materialize returns the partition's rows as an in-memory table, decoding
+// chunk-backed partitions.
+func (p *Partition) materialize() (*Table, error) {
+	if p.Chunked != nil {
+		return p.Chunked.Decode()
+	}
+	return p.Table, nil
 }
 
 // PartitionedTable is a table stored as one or more partitions. Engines
@@ -190,11 +212,60 @@ func PartitionBy(t *Table, col string) (*PartitionedTable, error) {
 	return pt, nil
 }
 
+// ChunkPartitioned wraps a chunked table as a one-partition
+// PartitionedTable without materializing it. Zone-map statistics are
+// computed by streaming one decoded chunk at a time and merging, so peak
+// memory stays one chunk regardless of table size.
+func ChunkPartitioned(ct *ChunkedTable) (*PartitionedTable, error) {
+	stats := make(TableStats)
+	r := ct.Reader(nil)
+	for {
+		b, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		mergeTableStats(stats, ComputeTableStats(b))
+	}
+	return &PartitionedTable{
+		Name:   ct.Name,
+		Parts:  []*Partition{{Chunked: ct, Stats: stats}},
+		schema: ct.Schema(),
+	}, nil
+}
+
+// ChunkEncode returns a chunk-backed copy of the partitioned table: the
+// same partitioning, keys, statistics and schema, with every partition's
+// rows encoded into chunks of chunkRows rows (<= 0 selects the default).
+// Scanning the copy decodes row ranges on demand and produces batches
+// representation-identical to scanning the original.
+func (p *PartitionedTable) ChunkEncode(chunkRows int) (*PartitionedTable, error) {
+	out := &PartitionedTable{Name: p.Name, PartitionColumn: p.PartitionColumn, schema: p.schema}
+	for _, part := range p.Parts {
+		t, err := part.materialize()
+		if err != nil {
+			return nil, err
+		}
+		b := NewChunkedBuilder(p.Name, chunkRows)
+		if err := b.Append(t); err != nil {
+			return nil, err
+		}
+		ct, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		out.Parts = append(out.Parts, &Partition{Key: part.Key, Chunked: ct, Stats: part.Stats})
+	}
+	return out, nil
+}
+
 // NumRows returns the total number of rows across partitions.
 func (p *PartitionedTable) NumRows() int {
 	n := 0
 	for _, part := range p.Parts {
-		n += part.Table.NumRows()
+		n += part.NumRows()
 	}
 	return n
 }
@@ -206,31 +277,38 @@ func (p *PartitionedTable) Schema() Schema { return p.schema }
 func (p *PartitionedTable) GlobalStats() TableStats {
 	out := make(TableStats)
 	for _, part := range p.Parts {
-		for name, s := range part.Stats {
-			g, ok := out[name]
-			if !ok {
-				cp := *s
-				cp.Distinct = append([]string(nil), s.Distinct...)
-				out[name] = &cp
-				continue
-			}
-			g.Rows += s.Rows
-			if s.HasRange() {
-				if s.Min < g.Min {
-					g.Min = s.Min
-				}
-				if s.Max > g.Max {
-					g.Max = s.Max
-				}
-			}
-			if s.Type == String {
-				g.Distinct = mergeDistinct(g.Distinct, s.Distinct)
-				g.DistinctOverflow = g.DistinctOverflow || s.DistinctOverflow ||
-					len(g.Distinct) > MaxDistinctTracked
-			}
-		}
+		mergeTableStats(out, part.Stats)
 	}
 	return out
+}
+
+// mergeTableStats folds src into dst, widening ranges and unioning
+// distinct sets. Shared by GlobalStats (merging partition stats) and
+// ChunkPartitioned (merging streamed per-chunk stats).
+func mergeTableStats(dst, src TableStats) {
+	for name, s := range src {
+		g, ok := dst[name]
+		if !ok {
+			cp := *s
+			cp.Distinct = append([]string(nil), s.Distinct...)
+			dst[name] = &cp
+			continue
+		}
+		g.Rows += s.Rows
+		if s.HasRange() {
+			if !(g.Min <= s.Min) {
+				g.Min = s.Min
+			}
+			if !(g.Max >= s.Max) {
+				g.Max = s.Max
+			}
+		}
+		if s.Type == String {
+			g.Distinct = mergeDistinct(g.Distinct, s.Distinct)
+			g.DistinctOverflow = g.DistinctOverflow || s.DistinctOverflow ||
+				len(g.Distinct) > MaxDistinctTracked
+		}
+	}
 }
 
 // Flatten concatenates all partitions into a single table (copying).
@@ -243,33 +321,47 @@ func (p *PartitionedTable) GlobalStats() TableStats {
 // table with no signal.
 func (p *PartitionedTable) Flatten() (*Table, error) {
 	if len(p.Parts) == 0 {
-		out := &Table{Name: p.Name, byName: make(map[string]int, len(p.schema))}
-		for _, f := range p.schema {
-			c := &Column{Name: f.Name, Type: f.Type}
-			switch f.Type {
-			case Float64:
-				c.F64 = []float64{}
-			case Int64:
-				c.I64 = []int64{}
-			case String:
-				c.Str = []string{}
-			case Bool:
-				c.B = []bool{}
-			}
-			_ = out.AddColumn(c)
-		}
-		return out, nil
+		return emptyWithSchema(p.Name, p.schema), nil
 	}
 	if len(p.Parts) == 1 {
-		return p.Parts[0].Table, nil
+		return p.Parts[0].materialize()
 	}
-	out := p.Parts[0].Table.Clone()
+	first, err := p.Parts[0].materialize()
+	if err != nil {
+		return nil, err
+	}
+	out := first.Clone()
 	for i, part := range p.Parts[1:] {
-		if err := out.AppendFrom(part.Table); err != nil {
+		t, err := part.materialize()
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AppendFrom(t); err != nil {
 			return nil, fmt.Errorf("data: flatten %q partition %d: %w", p.Name, i+1, err)
 		}
 	}
 	return out, nil
+}
+
+// emptyWithSchema builds a zero-row table with storage present for every
+// schema column, matching the all-false FilterCount view shape.
+func emptyWithSchema(name string, schema Schema) *Table {
+	out := &Table{Name: name, byName: make(map[string]int, len(schema))}
+	for _, f := range schema {
+		c := &Column{Name: f.Name, Type: f.Type}
+		switch f.Type {
+		case Float64:
+			c.F64 = []float64{}
+		case Int64:
+			c.I64 = []int64{}
+		case String:
+			c.Str = []string{}
+		case Bool:
+			c.B = []bool{}
+		}
+		_ = out.AddColumn(c)
+	}
+	return out
 }
 
 func mergeDistinct(a, b []string) []string {

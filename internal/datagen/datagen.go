@@ -77,6 +77,28 @@ func (d *Dataset) Catalog() *engine.Catalog {
 	return cat
 }
 
+// ChunkedCatalog registers every base table in compressed chunked storage
+// of chunkRows rows per chunk (<= 0 selects the default), the chunk-native
+// counterpart of Catalog: scans decode row ranges on demand, exactly as a
+// large chunk-registered CSV would be served.
+func (d *Dataset) ChunkedCatalog(chunkRows int) (*engine.Catalog, error) {
+	cat := engine.NewCatalog()
+	for _, t := range d.Tables {
+		b := data.NewChunkedBuilder(t.Name, chunkRows)
+		if err := b.Append(t); err != nil {
+			return nil, err
+		}
+		ct, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.RegisterChunked(ct); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
 // Query renders the canonical prediction query: join all tables in a CTE,
 // PREDICT with the given model, and append optional WHERE conjuncts (given
 // over the CTE alias d or the prediction alias p).

@@ -1,7 +1,3 @@
-// Package engine binds the substrates together: it implements the catalog,
-// lowers unified-IR plans to physical operator trees, executes them, and
-// converts measured per-operator work into reported end-to-end times under
-// an engine profile (Spark-like cluster, SQL Server DOP1/16, MADlib-like).
 package engine
 
 import (
@@ -45,6 +41,19 @@ func (c *Catalog) RegisterTable(t *data.Table) {
 	c.tables[t.Name] = pt
 	c.version++
 	c.mu.Unlock()
+}
+
+// RegisterChunked registers a chunk-backed table without materializing
+// it: scans decode row ranges on demand, so the catalog working set can
+// exceed RAM. Zone-map statistics are computed by streaming one chunk at
+// a time.
+func (c *Catalog) RegisterChunked(ct *data.ChunkedTable) error {
+	pt, err := data.ChunkPartitioned(ct)
+	if err != nil {
+		return fmt.Errorf("engine: registering chunked table %q: %w", ct.Name, err)
+	}
+	c.RegisterPartitioned(pt)
+	return nil
 }
 
 // RegisterPartitioned registers an already partitioned table.

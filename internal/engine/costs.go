@@ -5,6 +5,7 @@ import (
 
 	"raven/internal/device"
 	"raven/internal/opt"
+	"raven/internal/relational"
 	"raven/internal/sched"
 )
 
@@ -124,6 +125,13 @@ type Profile struct {
 	// the OS temp dir. Files are removed when the query finishes,
 	// including on error, cancellation and panic paths.
 	SpillDir string
+	// GlobalBudget, when non-nil, replaces the per-query MemoryBudget:
+	// every concurrent query's resident breaker bytes draw from this one
+	// engine-wide accountant, each query keeping an admission-aware floor
+	// (total divided by the scheduler's admission cap) so no query
+	// livelocks under pressure from its neighbors. Takes precedence over
+	// MemoryBudget when both are set.
+	GlobalBudget *relational.GlobalBudget
 }
 
 // scheduler resolves the profile's scheduler.

@@ -64,10 +64,19 @@ func RunContext(ctx context.Context, g *ir.Graph, cat *Catalog, prof Profile) (*
 	}
 	relational.SetContext(ctx, root)
 	var mb *relational.MemBudget
-	if prof.MemoryBudget > 0 {
+	switch {
+	case prof.GlobalBudget != nil:
+		// Engine-global accounting: this query's breaker reservations draw
+		// from the shared budget, with a floor derived from the admission
+		// cap so concurrent queries cannot starve it entirely.
+		mb = prof.GlobalBudget.QueryBudgetFor(prof.scheduler().AdmitCap())
+	case prof.MemoryBudget > 0:
 		mb = relational.NewMemBudget(prof.MemoryBudget, prof.SpillDir)
+	}
+	if mb != nil {
 		// Cleanup runs on every exit — error, cancellation and panic
-		// included — so spill temp files cannot outlive the query.
+		// included — so spill temp files cannot outlive the query and the
+		// query's global reservations are always returned.
 		defer mb.Cleanup()
 		relational.SetBudget(mb, root)
 	}

@@ -1,0 +1,10 @@
+// Package fault provides the process-wide fault-injection hook the
+// robustness test harness arms to deterministically inject panics,
+// errors and delays at execution boundaries. Production code calls
+// Inject at its boundary sites (scheduler tasks, exchange morsels,
+// breaker merges, predict batches, ML session checkout, spill reads and
+// writes); with no hook armed (the always case outside tests) a call is
+// one atomic load and a nil check, cheap enough for per-batch and
+// per-morsel granularity. The arming side lives in internal/testfix;
+// because the hook is global, fault tests must not run in parallel.
+package fault

@@ -1,0 +1,15 @@
+// Package mlruntime interprets trained pipelines over batches of rows.
+// It stands in for ONNX Runtime in the paper: the data engine hands it
+// columnar batches, pays an explicit columnar-to-row-major conversion,
+// and receives prediction columns back. Session initialization
+// (validation, width inference) is performed once per session,
+// mirroring the model loading costs §7.4 of the paper discusses.
+//
+// Pool amortizes that initialization across concurrent queries: the
+// catalog owns one pool per {pipeline, column binding}, worker chains
+// check sessions out lazily on their first predict morsel and return
+// them at close, so steady-state pool size converges to the peak
+// concurrent DOP rather than sessions-per-query times queries. The
+// Outstanding counter lets the robustness suite assert that no session
+// leaks on any error, cancel or panic path.
+package mlruntime

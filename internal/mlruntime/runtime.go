@@ -1,9 +1,3 @@
-// Package mlruntime interprets trained pipelines over batches of rows. It
-// stands in for ONNX Runtime in the paper: the data engine hands it
-// columnar batches, pays an explicit columnar-to-row-major conversion, and
-// receives prediction columns back. Session initialization (validation,
-// width inference) is performed once per session, mirroring the model
-// loading costs §7.4 of the paper discusses.
 package mlruntime
 
 import (

@@ -1,0 +1,17 @@
+// Package opt implements the Raven optimizer: logical
+// cross-optimizations (predicate-based model pruning §4.1,
+// model-projection pushdown §4.1, data-induced optimizations §4.2) and
+// logical-to-physical transformations (MLtoSQL, MLtoDNN §5.1) selected
+// by pluggable data-driven strategies (§5.2). All rules operate on the
+// unified IR.
+//
+// The optimizer also owns the adaptive re-optimization machinery:
+// pipeline breakers record true cardinalities into per-query
+// RuntimeStats at the points where truth is free (join build, group
+// merge, sort merge, exchange DOP), and downstream segments re-cost at
+// breaker boundaries by multiplying estimates with the observed/
+// estimated ratio product, switching strategy mid-query when any ratio
+// exceeds the trigger factor. Accounting-only observations (spill
+// bytes, DOP clamps, limit-truncated sort merges) are recorded but
+// excluded from the ratio product.
+package opt

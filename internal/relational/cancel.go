@@ -11,6 +11,7 @@
 // are deliberately not stamped: they emit one output batch per input
 // batch, so the drain loop's own per-batch check already covers them, and
 // their gated allocs/op benchmarks stay untouched.
+
 package relational
 
 import (

@@ -1,9 +1,3 @@
-// Package relational implements the data-engine substrate: a vectorized
-// expression evaluator and batch-at-a-time physical operators (scan,
-// filter, project, hash join, aggregate). It is the Spark SQL / SQL Server
-// stand-in that executes the relational part of prediction queries —
-// including ML operators that Raven's MLtoSQL rule translated to
-// expressions.
 package relational
 
 import (

@@ -314,6 +314,7 @@ type groupedMerge struct {
 	// fold; firstSeq remembers each resident group's first one so the
 	// spilled output can be restored to first-occurrence order.
 	budget   *MemBudget
+	res      *Reservation
 	seq      float64
 	firstSeq []float64
 	retained int64
@@ -359,7 +360,10 @@ func (m *groupedMerge) fold(keyCols []*data.Column, encs []groupKeyEnc, r int, p
 	m.parts = append(m.parts, p)
 	m.firstSeq = append(m.firstSeq, seq)
 	m.retained += int64(len(m.buf)) + groupStateBytes(len(m.aggs))
-	if m.budget.Over(m.retained) {
+	if m.res == nil {
+		m.res = m.budget.Reserve()
+	}
+	if m.res.Over(m.retained) {
 		return m.startSpill()
 	}
 	return nil
@@ -402,6 +406,10 @@ func (m *groupedMerge) startSpill() error {
 	m.keys, m.parts, m.firstSeq = nil, nil, nil
 	m.idx = make(map[string]int)
 	m.retained = 0
+	// The resident group state just moved to the spill partitions, whose
+	// buffers are bounded by the flush threshold; hand the reservation
+	// back so concurrent queries can use the headroom.
+	m.res.Release()
 	return nil
 }
 

@@ -70,7 +70,7 @@ func newGroupSpill(b *MemBudget, keyNames []string, aggs []AggSpec) (*groupSpill
 	if err != nil {
 		return nil, err
 	}
-	fb := b.Limit / groupSpillPartitions
+	fb := b.spillUnit() / groupSpillPartitions
 	if fb < 1 {
 		fb = 1
 	}

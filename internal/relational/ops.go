@@ -120,6 +120,9 @@ type Scan struct {
 	part    int
 	offset  int
 	skipped int
+	// cache holds the serial cursor's most recently decoded chunk when the
+	// current partition is chunk-backed; reset at each partition start.
+	cache *data.ChunkCache
 }
 
 // NewScan builds a scan over all partitions with the default batch size.
@@ -185,7 +188,7 @@ func (s *Scan) Next() (*data.Table, error) {
 				continue
 			}
 		}
-		n := p.Table.NumRows()
+		n := p.NumRows()
 		if s.offset >= n {
 			s.part++
 			s.offset = 0
@@ -195,15 +198,40 @@ func (s *Scan) Next() (*data.Table, error) {
 		if hi > n {
 			hi = n
 		}
-		src := p.Table
-		if s.Cols != nil {
-			var err error
-			src, err = src.Project(s.Cols)
+		var batch *data.Table
+		if p.Chunked != nil {
+			// Chunk-backed partition: decode the batch's row range on
+			// demand. Batches stay cut at BatchSize boundaries — never at
+			// chunk boundaries — so the batch stream is identical to the
+			// in-memory scan's and order-sensitive folds downstream see the
+			// same boundaries (the byte-identity contract). The cursor
+			// cache keeps the forward walk at one decode per chunk.
+			if s.offset == 0 {
+				s.cache = data.NewChunkCache()
+			}
+			dec, err := p.Chunked.DecodeRange(s.offset, hi, s.Cols, s.cache)
 			if err != nil {
 				return nil, err
 			}
+			if s.Cols != nil {
+				// DecodeRange returns columns in schema order; restore the
+				// requested order the in-memory Project path produces.
+				if dec, err = dec.Project(s.Cols); err != nil {
+					return nil, err
+				}
+			}
+			batch = dec
+		} else {
+			src := p.Table
+			if s.Cols != nil {
+				var err error
+				src, err = src.Project(s.Cols)
+				if err != nil {
+					return nil, err
+				}
+			}
+			batch = src.Slice(s.offset, hi)
 		}
-		batch := src.Slice(s.offset, hi)
 		s.offset = hi
 		// Qualify output names.
 		out, err := data.NewTable(s.Table.Name)

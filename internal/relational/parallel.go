@@ -105,7 +105,7 @@ func (s *Scan) Morsels(size int) []Morsel {
 			s.skipped++
 			continue
 		}
-		n := p.Table.NumRows()
+		n := p.NumRows()
 		for lo := 0; lo < n; lo += size {
 			hi := lo + size
 			if hi > n {
@@ -121,15 +121,36 @@ func (s *Scan) Morsels(size int) []Morsel {
 // into st (each worker owns a private OpStats, absorbed after the join).
 func (s *Scan) MorselBatch(m Morsel, st *OpStats) (*data.Table, error) {
 	defer startTimer(st)()
-	src := s.Table.Parts[m.Part].Table
-	if s.Cols != nil {
-		var err error
-		src, err = src.Project(s.Cols)
+	p := s.Table.Parts[m.Part]
+	var batch *data.Table
+	if p.Chunked != nil {
+		// Chunk-backed partition: decode the morsel's row range without
+		// touching shared scan state — workers call MorselBatch
+		// concurrently, so the decode is stateless (no cursor cache; a
+		// boundary chunk shared by two morsels is decoded by each). Morsel
+		// boundaries are the same fixed row ranges as the serial batch
+		// boundaries, which keeps parallel results byte-identical.
+		dec, err := p.Chunked.DecodeRange(m.Lo, m.Hi, s.Cols, nil)
 		if err != nil {
 			return nil, err
 		}
+		if s.Cols != nil {
+			if dec, err = dec.Project(s.Cols); err != nil {
+				return nil, err
+			}
+		}
+		batch = dec
+	} else {
+		src := p.Table
+		if s.Cols != nil {
+			var err error
+			src, err = src.Project(s.Cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+		batch = src.Slice(m.Lo, m.Hi)
 	}
-	batch := src.Slice(m.Lo, m.Hi)
 	out, err := data.NewTable(s.Table.Name)
 	if err != nil {
 		return nil, err

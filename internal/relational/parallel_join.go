@@ -198,7 +198,11 @@ func newJoinBuild(rows *data.Table, key string, dop int) (*joinBuild, error) {
 // after the exchange template closes), so only the budget's query-scoped
 // Cleanup releases it.
 func (bu *joinBuild) spillRows(b *MemBudget, rows *data.Table) (int64, error) {
-	if !b.Over(rows.ByteSize()) {
+	// One-shot reservation: if the accountant grants the build size it
+	// stays resident (the grant is held until the query's Cleanup, since
+	// probes gather from it for the rest of the query); a denied grant
+	// moves the rows to disk.
+	if !b.Reserve().Over(rows.ByteSize()) {
 		return 0, nil
 	}
 	sf, err := b.newSpillFile("join")

@@ -538,6 +538,7 @@ func (s *Sort) nextSpill() (*data.Table, error) {
 	var es *externalSort
 	var buf *data.Table
 	var retained int64
+	res := s.Budget.Reserve()
 	total := 0
 	for {
 		if err := canceled(s.Ctx); err != nil {
@@ -560,7 +561,7 @@ func (s *Sort) nextSpill() (*data.Table, error) {
 			return nil, err
 		}
 		retained += b.ByteSize()
-		if !s.Budget.Over(retained) {
+		if !res.Over(retained) {
 			continue
 		}
 		run, err := sortTable(buf, s.Keys, fetch, 0, &s.scratch)
@@ -852,6 +853,7 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 	var runs [][2]int
 	var es *externalSort
 	var retained int64
+	res := m.Budget.Reserve()
 	total := 0
 	for {
 		if err := canceled(m.Ctx); err != nil {
@@ -890,7 +892,7 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 			runs = append(runs, [2]int{start, start + n})
 		}
 		retained += b.ByteSize()
-		if !m.Budget.Over(retained) {
+		if !res.Over(retained) {
 			continue
 		}
 		// Over budget: migrate the collected runs to disk, each as its
@@ -908,6 +910,9 @@ func (m *MergeSortRuns) Next() (*data.Table, error) {
 			}
 		}
 		first, buf, runs, retained = nil, nil, nil, 0
+		// Every later run goes straight to disk; the resident state is at
+		// most one arriving batch, so hand the reservation back.
+		res.Release()
 	}
 	if buf == nil {
 		buf = first

@@ -51,7 +51,7 @@ func (e *externalSort) addRunMem(t *data.Table) {
 }
 
 func (e *externalSort) bytes() int64 { return e.sf.bytesWritten() }
-func (e *externalSort) release()    { e.sf.release() }
+func (e *externalSort) release()     { e.sf.release() }
 
 // runCursor walks one run a row at a time, holding one decoded slab.
 type runCursor struct {

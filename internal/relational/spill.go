@@ -44,14 +44,28 @@ import (
 // template closes). fault.Inject sites spill.write/spill.read cover the
 // new IO boundaries.
 
-// MemBudget is a per-query spilling budget: Limit bounds the bytes any
-// single pipeline breaker keeps resident (<= 0 disables spilling). It
+// MemBudget is a query-scoped spilling budget. In fixed mode Limit bounds
+// the bytes any single pipeline breaker keeps resident (<= 0 disables
+// spilling). In global mode (QueryBudgetFor) the query instead draws
+// breaker reservations from an engine-wide GlobalBudget shared by every
+// concurrent query, with a per-query floor always granted so no query
+// livelocks under pressure from its neighbors. Either way the budget
 // tracks every spill file created under it so one Cleanup call releases
 // whatever execution left behind.
 type MemBudget struct {
-	// Limit is the per-breaker resident byte bound; <= 0 disables spill.
+	// Limit is the per-breaker resident byte bound; <= 0 disables spill
+	// unless the budget draws from a GlobalBudget.
 	Limit int64
 	dir   string
+
+	// global, when non-nil, is the engine-wide accountant this query's
+	// breaker reservations draw from; floor is the query's guaranteed
+	// resident allowance under it. reserved (guarded by global.mu) is the
+	// query's total granted reservation bytes.
+	global   *GlobalBudget
+	floor    int64
+	reserved int64
+	released bool
 
 	mu      sync.Mutex
 	files   map[*spillFile]bool
@@ -69,11 +83,205 @@ func NewMemBudget(limit int64, dir string) *MemBudget {
 }
 
 // Enabled reports whether the budget triggers spilling at all.
-func (b *MemBudget) Enabled() bool { return b != nil && b.Limit > 0 }
+func (b *MemBudget) Enabled() bool { return b != nil && (b.Limit > 0 || b.global != nil) }
 
 // Over reports whether a breaker holding retained resident bytes must
-// spill.
-func (b *MemBudget) Over(retained int64) bool { return b.Enabled() && retained > b.Limit }
+// spill under the fixed per-breaker limit. Breakers go through a
+// Reservation (whose Over handles both modes); this remains the fixed-mode
+// primitive.
+func (b *MemBudget) Over(retained int64) bool {
+	return b != nil && b.Limit > 0 && retained > b.Limit
+}
+
+// spillUnit returns the resident byte bound a spilling breaker should
+// buffer against once it has switched to spilling: the fixed per-breaker
+// limit, or the query's guaranteed floor in global mode.
+func (b *MemBudget) spillUnit() int64 {
+	if b.Limit > 0 {
+		return b.Limit
+	}
+	if b.global != nil && b.floor > 0 {
+		return b.floor
+	}
+	return 1
+}
+
+// Reservation is one breaker's claim on the budget. Breakers call Over
+// with their current resident byte count; in global mode a granted call
+// sets the reservation to exactly that count (reservations shrink as well
+// as grow), so the engine-wide accountant tracks the true sum of resident
+// breaker bytes across concurrent queries.
+type Reservation struct {
+	b *MemBudget
+	n int64
+}
+
+// Reserve registers a new breaker reservation (nil-safe: a nil budget
+// returns a nil reservation whose Over is always false).
+func (b *MemBudget) Reserve() *Reservation {
+	if b == nil {
+		return nil
+	}
+	return &Reservation{b: b}
+}
+
+// Over reports whether the breaker, now holding retained resident bytes,
+// must spill. Fixed mode compares against the per-breaker limit. Global
+// mode tries to set the reservation to retained: shrinking always
+// succeeds, and growth is granted while the query sits within its floor
+// or the global budget has headroom; a denied grow leaves the reservation
+// unchanged and tells the breaker to spill.
+func (r *Reservation) Over(retained int64) bool {
+	if r == nil || r.b == nil {
+		return false
+	}
+	if r.b.global == nil {
+		return r.b.Over(retained)
+	}
+	return !r.b.global.setReservation(r.b, r, retained)
+}
+
+// Release returns the reservation to the accountant (global mode); the
+// query-level Cleanup also releases anything still held.
+func (r *Reservation) Release() {
+	if r == nil || r.b == nil || r.b.global == nil {
+		return
+	}
+	r.b.global.setReservation(r.b, r, 0)
+}
+
+// GlobalBudget is the engine-wide memory accountant: the resident breaker
+// bytes of every concurrent query draw from one shared Total. Queries
+// join via QueryBudgetFor, which derives an admission-aware floor
+// (Total / admission cap) each query is always granted regardless of
+// global pressure — concurrent neighbors can force a query to spill
+// sooner, never to livelock.
+type GlobalBudget struct {
+	total int64
+	dir   string
+
+	mu       sync.Mutex
+	reserved int64
+	active   int
+	spilled  int64
+	spills   int
+}
+
+// NewGlobalBudget returns an engine-global budget of total resident bytes
+// writing spill files under dir (empty selects the OS temp directory).
+func NewGlobalBudget(total int64, dir string) *GlobalBudget {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &GlobalBudget{total: total, dir: dir}
+}
+
+// QueryBudgetFor registers a query against the global budget and returns
+// its MemBudget. admitCap is the scheduler's admission cap: the floor is
+// Total/admitCap, so even with every admission slot spilling concurrently
+// the floors cannot oversubscribe the total. The caller must defer
+// Cleanup, which releases the query's reservations and spill files.
+func (g *GlobalBudget) QueryBudgetFor(admitCap int) *MemBudget {
+	if g == nil {
+		return nil
+	}
+	b := NewMemBudget(0, g.dir)
+	b.global = g
+	if admitCap > 0 {
+		b.floor = g.total / int64(admitCap)
+	}
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+	return b
+}
+
+// setReservation moves reservation r of query q to want bytes, returning
+// whether the move was granted. Shrinks always succeed; grows succeed
+// while the query is within its floor or the global total has headroom.
+func (g *GlobalBudget) setReservation(q *MemBudget, r *Reservation, want int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delta := want - r.n
+	if delta > 0 && q.reserved+delta > q.floor && g.reserved+delta > g.total {
+		return false
+	}
+	r.n = want
+	q.reserved += delta
+	g.reserved += delta
+	return true
+}
+
+// releaseQuery returns everything query q still holds (called by Cleanup;
+// idempotent so a double Cleanup cannot corrupt the accountant).
+func (g *GlobalBudget) releaseQuery(q *MemBudget) {
+	g.mu.Lock()
+	if !q.released {
+		g.reserved -= q.reserved
+		q.reserved = 0
+		g.active--
+		q.released = true
+	}
+	g.mu.Unlock()
+}
+
+func (g *GlobalBudget) addSpilled(n int64, files int) {
+	g.mu.Lock()
+	g.spilled += n
+	g.spills += files
+	g.mu.Unlock()
+}
+
+// Total returns the global resident byte budget.
+func (g *GlobalBudget) Total() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.total
+}
+
+// Reserved returns the resident breaker bytes currently reserved across
+// all active queries.
+func (g *GlobalBudget) Reserved() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reserved
+}
+
+// SpilledBytes returns the cumulative bytes spilled under this budget
+// across all queries since creation.
+func (g *GlobalBudget) SpilledBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spilled
+}
+
+// Spills returns the cumulative spill file count across all queries.
+func (g *GlobalBudget) Spills() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spills
+}
+
+// ActiveQueries returns the number of queries currently drawing from the
+// budget.
+func (g *GlobalBudget) ActiveQueries() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}
 
 // newSpillFile creates and registers a temp spill file.
 func (b *MemBudget) newSpillFile(label string) (*spillFile, error) {
@@ -86,6 +294,9 @@ func (b *MemBudget) newSpillFile(label string) (*spillFile, error) {
 	b.files[sf] = true
 	b.spills++
 	b.mu.Unlock()
+	if b.global != nil {
+		b.global.addSpilled(0, 1)
+	}
 	return sf, nil
 }
 
@@ -93,6 +304,9 @@ func (b *MemBudget) addSpilled(n int64) {
 	b.mu.Lock()
 	b.spilled += n
 	b.mu.Unlock()
+	if b.global != nil {
+		b.global.addSpilled(n, 0)
+	}
 }
 
 // SpilledBytes returns the total bytes written to spill files under this
@@ -133,6 +347,9 @@ func (b *MemBudget) Cleanup() {
 	b.mu.Unlock()
 	for _, sf := range files {
 		sf.close()
+	}
+	if b.global != nil {
+		b.global.releaseQuery(b)
 	}
 }
 

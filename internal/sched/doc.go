@@ -1,0 +1,25 @@
+// Package sched provides the shared, engine-level morsel scheduler: one
+// fixed pool of worker goroutines multiplexing tasks from all running
+// queries. Each parallel plan segment registers a Job and submits its
+// morsel tasks to it; workers pick runnable jobs round-robin, taking one
+// task per turn, so a long analytical query cannot starve a concurrent
+// point lookup — every job with queued work gets a worker slot in turn,
+// bounded per job by its declared parallelism.
+//
+// Admission control bounds the number of parallel queries in flight
+// (default max(4, 2*workers), see SetAdmissionLimit/AdmitCap) so queue
+// depth — and therefore tail latency — stays bounded under overload;
+// AdmitContext waits cooperatively and SetAdmitWait turns exhaustion
+// into a typed rejection. The admission cap also sizes the per-query
+// floor of the engine-global memory budget: every admitted query is
+// guaranteed total/cap resident bytes, so global memory pressure can
+// force spilling but never livelock.
+//
+// Tasks must never block on other tasks: the exchange protocol
+// guarantees result channels have capacity for every outstanding task,
+// and nested (join build side) exchanges are drained by the query thread
+// during Open, never from inside a task. That makes the fixed pool
+// deadlock-free. A recover backstop in the task runner keeps an escaped
+// panic from killing a shared worker (the Recovered counter surfaces
+// how often that fired).
+package sched

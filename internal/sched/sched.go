@@ -1,17 +1,3 @@
-// Package sched provides the shared, engine-level morsel scheduler: one
-// fixed pool of worker goroutines multiplexing tasks from all running
-// queries. Each parallel plan segment registers a Job and submits its
-// morsel tasks to it; workers pick runnable jobs round-robin, so a long
-// analytical query cannot starve a concurrent point lookup — every job
-// with queued work gets a worker slot in turn, bounded per job by its
-// declared parallelism. Admission control bounds the number of parallel
-// queries in flight so queue depth (and therefore tail latency) stays
-// bounded under overload.
-//
-// Tasks must never block on other tasks: the exchange protocol guarantees
-// result channels have capacity for every outstanding task, and nested
-// (join build side) exchanges are drained by the query thread during Open,
-// never from inside a task. That makes the fixed pool deadlock-free.
 package sched
 
 import (
@@ -97,6 +83,15 @@ func (s *Scheduler) ClampDOP(dop int) int {
 		return s.workers
 	}
 	return dop
+}
+
+// AdmitCap returns the current admission cap — the most queries that can
+// be in flight at once. The engine's global memory budget divides by it
+// to derive each query's guaranteed resident floor.
+func (s *Scheduler) AdmitCap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitCap
 }
 
 // SetAdmissionLimit changes the admission cap (minimum 1).

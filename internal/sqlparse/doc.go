@@ -1,0 +1,10 @@
+// Package sqlparse implements the SQL surface of Raven: a lexer and
+// recursive-descent parser for prediction queries — SELECT with joins,
+// WHERE conjunctions (comparisons, IN lists, boolean columns), CTEs,
+// GROUP BY / HAVING / ORDER BY / LIMIT / OFFSET, the
+// PREDICT(MODEL=…, DATA=…) WITH(…) table-valued function and the
+// predict(model, *) UDF sugar — plus the planner that lowers the AST
+// into the unified IR. NormalizeSQL (whitespace collapsed outside
+// quotes and comments) is the plan-cache key, so two spellings of the
+// same query share one cached plan.
+package sqlparse

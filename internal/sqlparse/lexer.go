@@ -1,8 +1,3 @@
-// Package sqlparse implements the SQL surface of Raven: a lexer and
-// recursive-descent parser for prediction queries — SELECT with joins,
-// WHERE conjunctions, CTEs, the PREDICT(MODEL=…, DATA=…) WITH(…) table-
-// valued function and the predict(model, *) UDF sugar — plus the planner
-// that lowers the AST into the unified IR.
 package sqlparse
 
 import (

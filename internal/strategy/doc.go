@@ -1,0 +1,16 @@
+// Package strategy implements the data-driven optimization strategies
+// of §5.2: an ML-informed rule-based strategy (a shallow decision tree
+// over the k most important statistics, turned into a rule), a
+// classification-based strategy (a random forest picking the
+// transformation directly), and a regression-based strategy (a decision
+// tree predicting the runtime of each transformation). All three are
+// trained on measured runtimes of a pipeline corpus and plug into the
+// optimizer as opt.RuntimeStrategy implementations.
+//
+// CalibratedRule closes the adaptive feedback loop: the bench harness
+// feeds measured (features, cardinality, choice) → seconds pairs into
+// Calibrate, which fits the small-input crossover below which skipping
+// the model-to-tensor transformation wins; the adaptive executor then
+// re-chooses through ChooseWithCardinality when a breaker observes that
+// an estimate was off.
+package strategy

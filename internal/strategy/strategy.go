@@ -1,11 +1,3 @@
-// Package strategy implements the data-driven optimization strategies of
-// §5.2: an ML-informed rule-based strategy (a shallow decision tree over
-// the k most important statistics, turned into a rule), a
-// classification-based strategy (a random forest picking the
-// transformation directly), and a regression-based strategy (a decision
-// tree predicting the runtime of each transformation). All three are
-// trained on measured runtimes of a pipeline corpus and plug into the
-// optimizer as opt.RuntimeStrategy implementations.
 package strategy
 
 import (

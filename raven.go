@@ -73,7 +73,9 @@ package raven
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"raven/internal/data"
@@ -196,6 +198,13 @@ type Session struct {
 	// all options so they compose with WithProfile in any order.
 	memBudget int64
 	spillDir  string
+	// globalBudget, when non-nil, is the engine-global memory accountant
+	// shared by every query this session runs (WithGlobalMemoryBudget).
+	globalBudget *relational.GlobalBudget
+	// chunkThreshold is the row count at which RegisterTableCSV keeps a
+	// CSV in chunked storage instead of materializing it (0 = the
+	// DefaultChunkRegisterRows default, < 0 = always materialize).
+	chunkThreshold int
 }
 
 // irGraph aliases the internal IR graph for the plan cache.
@@ -272,6 +281,33 @@ func WithMemoryBudget(bytes int64, dir string) Option {
 	}
 }
 
+// WithGlobalMemoryBudget enables out-of-core execution under one
+// engine-global accountant: the resident breaker bytes of every query the
+// session runs — including concurrent ones — draw from a single budget of
+// the given size, so total memory pressure is bounded for the whole
+// session rather than per query. Each query keeps an admission-aware
+// floor (budget divided by the scheduler's admission cap) that is always
+// granted, so concurrent neighbors can force a query to spill earlier but
+// never livelock it. dir is the spill directory (empty = the OS temp
+// dir). Result.SpilledBytes still reports per-query spill volume;
+// MemoryStats exposes the global pressure. Takes precedence over
+// WithMemoryBudget when both are given.
+func WithGlobalMemoryBudget(bytes int64, dir string) Option {
+	return func(s *Session) {
+		if bytes > 0 {
+			s.globalBudget = relational.NewGlobalBudget(bytes, dir)
+		}
+	}
+}
+
+// WithChunkedRegistration sets the row threshold at or above which
+// RegisterTableCSV keeps a CSV in compressed chunked storage instead of
+// materializing it (default DefaultChunkRegisterRows). threshold < 0
+// always materializes; threshold 0 restores the default.
+func WithChunkedRegistration(threshold int) Option {
+	return func(s *Session) { s.chunkThreshold = threshold }
+}
+
 // WithPlanCacheSize bounds the session's plan cache (default 256 plans).
 // n < 0 disables plan caching entirely — every Query replans, the
 // cold-planning baseline the serving benchmark compares against.
@@ -313,6 +349,9 @@ func NewSession(options ...Option) *Session {
 		s.profile.MemoryBudget = s.memBudget
 		s.profile.SpillDir = s.spillDir
 	}
+	if s.globalBudget != nil {
+		s.profile.GlobalBudget = s.globalBudget
+	}
 	switch {
 	case s.planCacheSize < 0:
 		s.plans = nil
@@ -327,14 +366,74 @@ func NewSession(options ...Option) *Session {
 // RegisterTable adds a table (as one partition with statistics).
 func (s *Session) RegisterTable(t *Table) { s.cat.RegisterTable(t) }
 
-// RegisterTableCSV loads a CSV file and registers it.
+// DefaultChunkRegisterRows is the RegisterTableCSV row threshold at which
+// a CSV stays in compressed chunked storage instead of being materialized
+// (override with WithChunkedRegistration).
+const DefaultChunkRegisterRows = 65536
+
+// RegisterTableCSV loads a CSV file and registers it under the file's
+// base name. The file is streamed into compressed chunked storage in one
+// pass; files below the chunked-registration threshold are then decoded
+// and registered in memory (and the decoded table returned), while files
+// at or above it stay chunked — scans decode row ranges on demand, so the
+// catalog can exceed RAM — and the returned table is nil. On either path
+// an empty field in a numeric or boolean column loads as a null (decoding
+// to the type's zero value) rather than rejecting the file.
 func (s *Session) RegisterTableCSV(path string) (*Table, error) {
-	t, err := data.ReadCSVFile(path)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ct, err := data.ReadCSVChunked(csvTableName(path), f, 0)
+	if err != nil {
+		return nil, err
+	}
+	threshold := s.chunkThreshold
+	if threshold == 0 {
+		threshold = DefaultChunkRegisterRows
+	}
+	if threshold > 0 && ct.NumRows() >= threshold {
+		if err := s.cat.RegisterChunked(ct); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	t, err := ct.Decode()
 	if err != nil {
 		return nil, err
 	}
 	s.cat.RegisterTable(t)
 	return t, nil
+}
+
+// csvTableName derives the registered table name from the CSV path: the
+// base name without its extension, matching data.ReadCSVFile.
+func csvTableName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+// RegisterTableChunked encodes t into compressed chunked storage of
+// chunkRows rows per chunk (<= 0 selects the default) and registers it
+// chunk-backed: scans decode row ranges on demand instead of holding the
+// table resident.
+func (s *Session) RegisterTableChunked(t *Table, chunkRows int) error {
+	b := data.NewChunkedBuilder(t.Name, chunkRows)
+	if err := b.Append(t); err != nil {
+		return err
+	}
+	ct, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	return s.cat.RegisterChunked(ct)
 }
 
 // RegisterPartitionedTable partitions t by the given column (computing

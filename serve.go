@@ -259,3 +259,35 @@ func (s *Session) Scheduler() *sched.Scheduler {
 	}
 	return sched.Default()
 }
+
+// MemoryStats is a snapshot of the session's engine-global memory budget
+// (WithGlobalMemoryBudget): how much of the shared residency budget is
+// reserved by in-flight queries and how much has spilled to disk so far.
+type MemoryStats struct {
+	// BudgetBytes is the configured global budget (0 = none configured).
+	BudgetBytes int64
+	// ReservedBytes is the resident breaker bytes currently reserved
+	// across all in-flight queries.
+	ReservedBytes int64
+	// SpilledBytes is the cumulative bytes spilled across all queries
+	// since the session was created.
+	SpilledBytes int64
+	// Spills is the cumulative spill file count.
+	Spills int
+	// ActiveQueries is the number of queries currently drawing from the
+	// budget.
+	ActiveQueries int
+}
+
+// MemoryStats reports global memory pressure; the zero value when the
+// session has no global budget.
+func (s *Session) MemoryStats() MemoryStats {
+	g := s.globalBudget
+	return MemoryStats{
+		BudgetBytes:   g.Total(),
+		ReservedBytes: g.Reserved(),
+		SpilledBytes:  g.SpilledBytes(),
+		Spills:        g.Spills(),
+		ActiveQueries: g.ActiveQueries(),
+	}
+}
